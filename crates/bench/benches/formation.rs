@@ -1,0 +1,60 @@
+//! Criterion benches: compile-time cost of the phase orderings.
+//!
+//! Convergent formation trades compile time (scratch-space trial merges,
+//! iterative optimization) for code quality; this bench quantifies that
+//! trade against the discrete orderings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use chf_core::pipeline::{compile, CompileConfig, PhaseOrdering};
+use chf_workloads::micro;
+
+fn bench_orderings(c: &mut Criterion) {
+    let workloads = [micro::gzip_1(), micro::ammp_1(), micro::matrix_1()];
+    let mut group = c.benchmark_group("compile");
+    for w in &workloads {
+        for ordering in [
+            PhaseOrdering::BasicBlocks,
+            PhaseOrdering::Upio,
+            PhaseOrdering::Iupo,
+            PhaseOrdering::IupThenO,
+            PhaseOrdering::Iupo_,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(ordering.label(), &w.name),
+                &ordering,
+                |b, &ordering| {
+                    let config = CompileConfig::with_ordering(ordering);
+                    b.iter(|| {
+                        black_box(compile(
+                            black_box(&w.function),
+                            black_box(&w.profile),
+                            &config,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let w = micro::parser_1();
+    let mut group = c.benchmark_group("policy");
+    for policy in [
+        chf_core::PolicyKind::BreadthFirst,
+        chf_core::PolicyKind::DepthFirst,
+        chf_core::PolicyKind::Vliw,
+    ] {
+        group.bench_function(policy.label(), |b| {
+            let config = CompileConfig::with_policy(policy, true);
+            b.iter(|| black_box(compile(black_box(&w.function), black_box(&w.profile), &config)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orderings, bench_policies);
+criterion_main!(benches);

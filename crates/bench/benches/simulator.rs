@@ -1,0 +1,56 @@
+//! Criterion benches: simulator throughput.
+//!
+//! The paper notes its cycle-level simulator runs ≈1000 instructions per
+//! second, forcing the microbenchmark methodology; these benches measure
+//! how fast our functional and timing models execute instructions.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use chf_sim::functional::{run, RunConfig};
+use chf_sim::timing::{simulate_timing, TimingConfig};
+use chf_workloads::micro;
+
+fn bench_functional(c: &mut Criterion) {
+    let w = micro::matrix_1();
+    let insts = run(&w.function, &w.args, &w.memory, &RunConfig::default())
+        .unwrap()
+        .insts_executed;
+    let mut group = c.benchmark_group("functional");
+    group.throughput(Throughput::Elements(insts));
+    group.bench_function("matrix_1", |b| {
+        b.iter(|| {
+            black_box(
+                run(
+                    black_box(&w.function),
+                    &w.args,
+                    &w.memory,
+                    &RunConfig::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_timing(c: &mut Criterion) {
+    let w = micro::matrix_1();
+    let cfg = TimingConfig::trips();
+    let insts = simulate_timing(&w.function, &w.args, &w.memory, &cfg)
+        .unwrap()
+        .insts_executed;
+    let mut group = c.benchmark_group("timing");
+    group.throughput(Throughput::Elements(insts));
+    group.bench_function("matrix_1", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_timing(black_box(&w.function), &w.args, &w.memory, &cfg).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_functional, bench_timing);
+criterion_main!(benches);

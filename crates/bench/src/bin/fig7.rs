@@ -1,0 +1,8 @@
+//! Regenerate the paper's Figure 7 (as scatter data + regression).
+
+fn main() {
+    let (points, fit) = chf_bench::fig7::run();
+    println!("Figure 7: cycle-count reduction vs block-count reduction");
+    println!("(one point per benchmark x configuration from Table 1)\n");
+    print!("{}", chf_bench::fig7::render(&points, &fit));
+}

@@ -1,0 +1,43 @@
+//! Block-shape report: how "converged" are the formed hyperblocks?
+//!
+//! For every microbenchmark, prints the static shape of the basic-block
+//! form and of the convergent (IUPO) output — mean/max block sizes relative
+//! to the 128-slot budget, predication fraction, and single-exit counts.
+
+use chf_core::pipeline::{compile, CompileConfig};
+use chf_ir::stats::FunctionStats;
+
+fn main() {
+    let budget = chf_core::BlockConstraints::trips().max_insts;
+    println!("Block shapes: basic blocks vs convergent hyperblocks (budget {budget} slots)\n");
+    println!(
+        "{:<15} {:>7} {:>9} {:>7} | {:>7} {:>9} {:>7} {:>6} {:>7}",
+        "benchmark", "blocks", "mean", "fill%", "blocks", "mean", "max", "fill%", "pred%"
+    );
+    println!("{}", "-".repeat(88));
+
+    let (mut fills, mut n) = (0.0, 0);
+    for w in chf_workloads::microbenchmarks() {
+        let before = FunctionStats::of(&w.function);
+        let c = compile(&w.function, &w.profile, &CompileConfig::convergent());
+        let after = FunctionStats::of(&c.function);
+        println!(
+            "{:<15} {:>7} {:>9.1} {:>6.0}% | {:>7} {:>9.1} {:>7} {:>5.0}% {:>6.0}%",
+            w.name,
+            before.blocks,
+            before.mean_block_slots,
+            before.fill_ratio(budget) * 100.0,
+            after.blocks,
+            after.mean_block_slots,
+            after.max_block_slots,
+            after.fill_ratio(budget) * 100.0,
+            after.predicated_fraction * 100.0,
+        );
+        fills += after.fill_ratio(budget);
+        n += 1;
+    }
+    println!(
+        "\naverage post-formation fill: {:.0}% of the structural budget",
+        fills / n as f64 * 100.0
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerate the paper's Table 1.
+
+fn main() {
+    let rows = chf_bench::table1::run();
+    println!("Table 1: % cycle-count improvement over basic blocks (BB), with");
+    println!("static merged/tail-duplicated/unrolled/peeled (m/t/u/p) counts.\n");
+    print!("{}", chf_bench::table1::render(&rows));
+}

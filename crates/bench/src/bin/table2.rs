@@ -1,0 +1,8 @@
+//! Regenerate the paper's Table 2.
+
+fn main() {
+    let rows = chf_bench::table2::run();
+    println!("Table 2: % cycle-count improvement over basic blocks (BB) using");
+    println!("VLIW, convergent VLIW, depth-first (DF) and breadth-first (BF) heuristics.\n");
+    print!("{}", chf_bench::table2::render(&rows));
+}

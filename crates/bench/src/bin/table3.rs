@@ -1,0 +1,8 @@
+//! Regenerate the paper's Table 3.
+
+fn main() {
+    let rows = chf_bench::table3::run();
+    println!("Table 3: % improvement in dynamic block counts over basic blocks (BB)");
+    println!("on the SPEC2000-like composites (functional simulation).\n");
+    print!("{}", chf_bench::table3::render(&rows));
+}

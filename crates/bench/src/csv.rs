@@ -1,0 +1,129 @@
+//! CSV serialization of experiment results, for plotting Figure 7 and
+//! archiving table data (`summary` writes these under `results/`).
+
+use crate::{fig7, table1, table2, table3};
+use std::fmt::Write as _;
+
+/// Table 1 rows as CSV.
+pub fn table1_csv(rows: &[table1::Row]) -> String {
+    let mut out = String::from("benchmark,bb_cycles,bb_blocks");
+    if let Some(first) = rows.first() {
+        for c in &first.configs {
+            let _ = write!(
+                out,
+                ",{0}_cycles,{0}_blocks,{0}_improvement,{0}_mtup",
+                c.label.replace(['(', ')'], "")
+            );
+        }
+    }
+    out.push('\n');
+    for r in rows {
+        let _ = write!(out, "{},{},{}", r.name, r.bb_cycles, r.bb_blocks);
+        for c in &r.configs {
+            let _ = write!(
+                out,
+                ",{},{},{:.2},{}",
+                c.cycles,
+                c.blocks,
+                c.improvement,
+                c.stats.mtup()
+            );
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Table 2 rows as CSV.
+pub fn table2_csv(rows: &[table2::Row]) -> String {
+    let mut out = String::from("benchmark,bb_cycles");
+    if let Some(first) = rows.first() {
+        for (label, ..) in &first.results {
+            let safe = label.replace(' ', "_");
+            let _ = write!(out, ",{safe}_cycles,{safe}_improvement,{safe}_mispredict_rate");
+        }
+    }
+    out.push('\n');
+    for r in rows {
+        let _ = write!(out, "{},{}", r.name, r.bb_cycles);
+        for (_, cycles, improvement, mr) in &r.results {
+            let _ = write!(out, ",{cycles},{improvement:.2},{mr:.4}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Table 3 rows as CSV.
+pub fn table3_csv(rows: &[table3::Row]) -> String {
+    let mut out = String::from("benchmark,bb_blocks");
+    if let Some(first) = rows.first() {
+        for (label, ..) in &first.results {
+            let safe = label.replace(['(', ')'], "");
+            let _ = write!(out, ",{safe}_blocks,{safe}_improvement");
+        }
+    }
+    out.push('\n');
+    for r in rows {
+        let _ = write!(out, "{},{}", r.name, r.bb_blocks);
+        for (_, blocks, improvement) in &r.results {
+            let _ = write!(out, ",{blocks},{improvement:.2}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 7 scatter points as CSV.
+pub fn fig7_csv(points: &[fig7::Point], fit: &fig7::Fit) -> String {
+    let mut out = String::from("block_reduction,cycle_reduction\n");
+    for p in points {
+        let _ = writeln!(out, "{:.1},{:.1}", p.block_reduction, p.cycle_reduction);
+    }
+    let _ = writeln!(
+        out,
+        "# fit: slope={:.4} intercept={:.2} r2={:.4}",
+        fit.slope, fit.intercept, fit.r2
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig7::{Fit, Point};
+
+    #[test]
+    fn fig7_csv_shape() {
+        let pts = vec![
+            Point {
+                block_reduction: 10.0,
+                cycle_reduction: 25.0,
+            },
+            Point {
+                block_reduction: 0.0,
+                cycle_reduction: -3.0,
+            },
+        ];
+        let fit = Fit {
+            slope: 2.5,
+            intercept: 0.0,
+            r2: 1.0,
+        };
+        let csv = fig7_csv(&pts, &fit);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "block_reduction,cycle_reduction");
+        assert!(lines[3].starts_with("# fit"));
+    }
+
+    #[test]
+    fn table_csvs_have_headers_and_rows() {
+        let w = chf_workloads::micro::vadd();
+        let rows = vec![crate::table1::measure(&w)];
+        let csv = table1_csv(&rows);
+        assert!(csv.starts_with("benchmark,bb_cycles,bb_blocks"));
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("vadd"));
+    }
+}

@@ -1,0 +1,121 @@
+#![warn(missing_docs)]
+//! # chf-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§7):
+//!
+//! * [`table1`] — cycle-count improvement of the four phase orderings over
+//!   basic blocks on the 24 microbenchmarks, with `m/t/u/p` statistics;
+//! * [`table2`] — the VLIW, convergent-VLIW, depth-first and breadth-first
+//!   heuristics on the same suite;
+//! * [`table3`] — block-count improvement on the 19 SPEC-like composites
+//!   (functional simulation);
+//! * [`fig7`] — the cycle-count-reduction vs block-count-reduction
+//!   correlation with its least-squares r².
+//!
+//! Binaries `table1`/`table2`/`table3`/`fig7`/`summary` print the tables;
+//! Criterion benches in `benches/` measure compile-time and simulator
+//! throughput.
+
+pub mod csv;
+pub mod fig7;
+pub mod render;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+use chf_core::pipeline::{compile, CompileConfig};
+use chf_sim::functional::{run, FuncResult, RunConfig};
+use chf_sim::timing::{simulate_timing, TimingConfig, TimingResult};
+use chf_workloads::Workload;
+
+/// Compile `w` under `config` and run the timing simulator, checking that
+/// observable behaviour is preserved.
+///
+/// # Panics
+/// Panics if compilation changes the program's observable behaviour — the
+/// harness refuses to report numbers from a miscompiled benchmark.
+pub fn compile_and_time(
+    w: &Workload,
+    config: &CompileConfig,
+) -> (TimingResult, chf_core::FormationStats) {
+    let compiled = compile(&w.function, &w.profile, config);
+    let t = simulate_timing(
+        &compiled.function,
+        &w.args,
+        &w.memory,
+        &TimingConfig::trips(),
+    )
+    .unwrap_or_else(|e| panic!("{}: timing simulation failed: {e}", w.name));
+    assert_eq!(
+        t.ret,
+        Some(w.expected),
+        "{}: compiled code returned {:?}, expected {}",
+        w.name,
+        t.ret,
+        w.expected
+    );
+    (t, compiled.stats)
+}
+
+/// Compile `w` under `config` and run the functional simulator (block
+/// counts), checking behaviour.
+///
+/// # Panics
+/// Panics on miscompilation, as [`compile_and_time`].
+pub fn compile_and_count(
+    w: &Workload,
+    config: &CompileConfig,
+) -> (FuncResult, chf_core::FormationStats) {
+    let compiled = compile(&w.function, &w.profile, config);
+    let r = run(
+        &compiled.function,
+        &w.args,
+        &w.memory,
+        &RunConfig::default(),
+    )
+    .unwrap_or_else(|e| panic!("{}: functional simulation failed: {e}", w.name));
+    assert_eq!(
+        r.ret,
+        Some(w.expected),
+        "{}: compiled code returned {:?}, expected {}",
+        w.name,
+        r.ret,
+        w.expected
+    );
+    (r, compiled.stats)
+}
+
+/// Percent improvement of `new` over `base` (positive = faster/fewer).
+pub fn percent_improvement(base: u64, new: u64) -> f64 {
+    if base == 0 {
+        return 0.0;
+    }
+    (base as f64 - new as f64) / base as f64 * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_improvement_signs() {
+        assert_eq!(percent_improvement(100, 80), 20.0);
+        assert_eq!(percent_improvement(100, 120), -20.0);
+        assert_eq!(percent_improvement(0, 5), 0.0);
+    }
+
+    #[test]
+    fn compile_and_time_validates_behaviour() {
+        let w = chf_workloads::micro::vadd();
+        let (t, _) = compile_and_time(&w, &CompileConfig::convergent());
+        assert!(t.cycles > 0);
+    }
+
+    #[test]
+    fn compile_and_count_validates_behaviour() {
+        let w = chf_workloads::micro::sieve();
+        let (r, stats) = compile_and_count(&w, &CompileConfig::convergent());
+        assert!(r.blocks_executed > 0);
+        assert!(stats.merges > 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Plain-text table rendering shared by the experiment binaries.
+
+/// Render a table: a header row plus data rows, columns padded to fit.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            if i == 0 {
+                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            } else {
+                line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+            }
+        }
+        line
+    };
+    out.push_str(&fmt_row(header, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a percentage with one decimal, like the paper's tables.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let header = vec!["name".into(), "x".into()];
+        let rows = vec![
+            vec!["long_benchmark".into(), "1.5".into()],
+            vec!["b".into(), "100.0".into()],
+        ];
+        let t = render_table(&header, &rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("long_benchmark"));
+        // Right-aligned numeric column.
+        assert!(lines[3].ends_with("100.0"));
+    }
+
+    #[test]
+    fn pct_format() {
+        assert_eq!(pct(16.24), "16.2");
+        assert_eq!(pct(-5.0), "-5.0");
+    }
+}

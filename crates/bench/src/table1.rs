@@ -1,0 +1,128 @@
+//! Table 1: percent cycle-count improvement over basic blocks for the four
+//! phase orderings (UPIO, IUPO, (IUP)O, (IUPO)), with static `m/t/u/p`
+//! transformation counts, on the 24 microbenchmarks.
+
+use crate::render::{pct, render_table};
+use crate::{compile_and_time, percent_improvement};
+use chf_core::pipeline::{CompileConfig, PhaseOrdering};
+use chf_core::FormationStats;
+use chf_workloads::{microbenchmarks, Workload};
+
+/// One benchmark's measurements across every configuration.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline (basic blocks) cycle count.
+    pub bb_cycles: u64,
+    /// Baseline dynamic block count (used by Figure 7).
+    pub bb_blocks: u64,
+    /// Per-ordering measurements, in [`PhaseOrdering::table1`] order.
+    pub configs: Vec<Config>,
+}
+
+/// One configuration's result on one benchmark.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Column label (`UPIO`, …).
+    pub label: &'static str,
+    /// Cycle count under the timing simulator.
+    pub cycles: u64,
+    /// Dynamic block count.
+    pub blocks: u64,
+    /// Static transformation counts.
+    pub stats: FormationStats,
+    /// Percent improvement over `bb_cycles`.
+    pub improvement: f64,
+}
+
+/// Measure one workload across BB + the four orderings.
+pub fn measure(w: &Workload) -> Row {
+    let (bb, _) = compile_and_time(w, &CompileConfig::with_ordering(PhaseOrdering::BasicBlocks));
+    let mut configs = Vec::new();
+    for ordering in PhaseOrdering::table1() {
+        let (t, stats) = compile_and_time(w, &CompileConfig::with_ordering(ordering));
+        configs.push(Config {
+            label: ordering.label(),
+            cycles: t.cycles,
+            blocks: t.blocks_executed,
+            stats,
+            improvement: percent_improvement(bb.cycles, t.cycles),
+        });
+    }
+    Row {
+        name: w.name.clone(),
+        bb_cycles: bb.cycles,
+        bb_blocks: bb.blocks_executed,
+        configs,
+    }
+}
+
+/// Run the full Table 1 experiment.
+pub fn run() -> Vec<Row> {
+    microbenchmarks().iter().map(measure).collect()
+}
+
+/// Render rows in the paper's format (`BB cycles`, then per ordering
+/// `m/t/u/p` and `%`).
+pub fn render(rows: &[Row]) -> String {
+    let mut header: Vec<String> = vec!["benchmark".into(), "BB cycles".into()];
+    if let Some(first) = rows.first() {
+        for c in &first.configs {
+            header.push(format!("{} m/t/u/p", c.label));
+            header.push(format!("{} %", c.label));
+        }
+    }
+    let mut body = Vec::new();
+    for r in rows {
+        let mut row = vec![r.name.clone(), r.bb_cycles.to_string()];
+        for c in &r.configs {
+            row.push(c.stats.mtup());
+            row.push(pct(c.improvement));
+        }
+        body.push(row);
+    }
+    // Average row.
+    if !rows.is_empty() {
+        let mut avg = vec!["Average".to_string(), String::new()];
+        let n = rows[0].configs.len();
+        for k in 0..n {
+            let mean: f64 =
+                rows.iter().map(|r| r.configs[k].improvement).sum::<f64>() / rows.len() as f64;
+            avg.push(String::new());
+            avg.push(pct(mean));
+        }
+        body.push(avg);
+    }
+    render_table(&header, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_one_row() {
+        let w = chf_workloads::micro::gzip_1();
+        let row = measure(&w);
+        assert_eq!(row.configs.len(), 4);
+        assert!(row.bb_cycles > 0);
+        // The convergent configuration must beat basic blocks on gzip_1
+        // (the paper's flagship example).
+        let iupo = row.configs.last().unwrap();
+        assert!(
+            iupo.improvement > 0.0,
+            "(IUPO) should improve gzip_1: {iupo:?}"
+        );
+    }
+
+    #[test]
+    fn render_has_average_row() {
+        let w = chf_workloads::micro::vadd();
+        let rows = vec![measure(&w)];
+        let text = render(&rows);
+        assert!(text.contains("vadd"));
+        assert!(text.contains("Average"));
+        assert!(text.contains("(IUPO)"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Table 2: percent cycle-count improvement over basic blocks for the
+//! block-selection heuristics — VLIW (without and with iterative
+//! optimization), depth-first, and breadth-first.
+
+use crate::render::{pct, render_table};
+use crate::{compile_and_time, percent_improvement};
+use chf_core::pipeline::{CompileConfig, PhaseOrdering};
+use chf_core::PolicyKind;
+use chf_workloads::{microbenchmarks, Workload};
+
+/// The four heuristic configurations of Table 2, in column order.
+pub fn configurations() -> Vec<(&'static str, CompileConfig)> {
+    vec![
+        (
+            "VLIW",
+            CompileConfig::with_policy(PolicyKind::Vliw, false),
+        ),
+        (
+            "Convergent VLIW",
+            CompileConfig::with_policy(PolicyKind::Vliw, true),
+        ),
+        ("DF", CompileConfig::with_policy(PolicyKind::DepthFirst, true)),
+        ("BF", CompileConfig::with_policy(PolicyKind::BreadthFirst, true)),
+    ]
+}
+
+/// One benchmark's measurements.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline cycles.
+    pub bb_cycles: u64,
+    /// `(label, cycles, improvement %, misprediction rate)` per heuristic.
+    pub results: Vec<(&'static str, u64, f64, f64)>,
+}
+
+/// Measure one workload under every heuristic.
+pub fn measure(w: &Workload) -> Row {
+    let (bb, _) = compile_and_time(w, &CompileConfig::with_ordering(PhaseOrdering::BasicBlocks));
+    let results = configurations()
+        .into_iter()
+        .map(|(label, config)| {
+            let (t, _) = compile_and_time(w, &config);
+            (
+                label,
+                t.cycles,
+                percent_improvement(bb.cycles, t.cycles),
+                t.misprediction_rate(),
+            )
+        })
+        .collect();
+    Row {
+        name: w.name.clone(),
+        bb_cycles: bb.cycles,
+        results,
+    }
+}
+
+/// Run the full Table 2 experiment.
+pub fn run() -> Vec<Row> {
+    microbenchmarks().iter().map(measure).collect()
+}
+
+/// Render in the paper's format.
+pub fn render(rows: &[Row]) -> String {
+    let mut header: Vec<String> = vec!["benchmark".into(), "BB cycles".into()];
+    if let Some(first) = rows.first() {
+        for (label, ..) in &first.results {
+            header.push((*label).to_string());
+        }
+    }
+    let mut body = Vec::new();
+    for r in rows {
+        let mut row = vec![r.name.clone(), r.bb_cycles.to_string()];
+        for (_, _, improvement, _) in &r.results {
+            row.push(pct(*improvement));
+        }
+        body.push(row);
+    }
+    if !rows.is_empty() {
+        let mut avg = vec!["Average".to_string(), String::new()];
+        let n = rows[0].results.len();
+        for k in 0..n {
+            let mean: f64 =
+                rows.iter().map(|r| r.results[k].2).sum::<f64>() / rows.len() as f64;
+            avg.push(pct(mean));
+        }
+        body.push(avg);
+    }
+    render_table(&header, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_configurations() {
+        let cs = configurations();
+        assert_eq!(cs.len(), 4);
+        assert_eq!(cs[0].0, "VLIW");
+        assert_eq!(cs[3].0, "BF");
+    }
+
+    #[test]
+    fn measure_reports_all_heuristics() {
+        let w = chf_workloads::micro::bzip2_1();
+        let row = measure(&w);
+        assert_eq!(row.results.len(), 4);
+    }
+}

@@ -1,0 +1,92 @@
+//! Table 3: percent improvement in *dynamic block counts* over basic blocks
+//! on the SPEC2000-like composites, measured with the fast functional
+//! simulator (cycle-level simulation of whole SPEC programs being
+//! "prohibitively slow", paper §7.3).
+
+use crate::render::{pct, render_table};
+use crate::{compile_and_count, percent_improvement};
+use chf_core::pipeline::{CompileConfig, PhaseOrdering};
+use chf_workloads::{spec_suite, Workload};
+
+/// One composite's measurements.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline dynamic block count (basic blocks).
+    pub bb_blocks: u64,
+    /// `(label, blocks, improvement %)` per ordering.
+    pub results: Vec<(&'static str, u64, f64)>,
+}
+
+/// Measure one composite across BB + the four orderings.
+pub fn measure(w: &Workload) -> Row {
+    let (bb, _) = compile_and_count(w, &CompileConfig::with_ordering(PhaseOrdering::BasicBlocks));
+    let results = PhaseOrdering::table1()
+        .into_iter()
+        .map(|ordering| {
+            let (r, _) = compile_and_count(w, &CompileConfig::with_ordering(ordering));
+            (
+                ordering.label(),
+                r.blocks_executed,
+                percent_improvement(bb.blocks_executed, r.blocks_executed),
+            )
+        })
+        .collect();
+    Row {
+        name: w.name.clone(),
+        bb_blocks: bb.blocks_executed,
+        results,
+    }
+}
+
+/// Run the full Table 3 experiment.
+pub fn run() -> Vec<Row> {
+    spec_suite().iter().map(measure).collect()
+}
+
+/// Render in the paper's format (`BB` in raw block counts, then percents).
+pub fn render(rows: &[Row]) -> String {
+    let mut header: Vec<String> = vec!["benchmark".into(), "BB blocks".into()];
+    if let Some(first) = rows.first() {
+        for (label, ..) in &first.results {
+            header.push((*label).to_string());
+        }
+    }
+    let mut body = Vec::new();
+    for r in rows {
+        let mut row = vec![r.name.clone(), r.bb_blocks.to_string()];
+        for (_, _, improvement) in &r.results {
+            row.push(pct(*improvement));
+        }
+        body.push(row);
+    }
+    if !rows.is_empty() {
+        let mut avg = vec!["Average".to_string(), String::new()];
+        let n = rows[0].results.len();
+        for k in 0..n {
+            let mean: f64 =
+                rows.iter().map(|r| r.results[k].2).sum::<f64>() / rows.len() as f64;
+            avg.push(pct(mean));
+        }
+        body.push(avg);
+    }
+    render_table(&header, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_one_composite() {
+        let suite = spec_suite();
+        let w = suite.iter().find(|w| w.name == "gzip").unwrap();
+        let row = measure(w);
+        assert_eq!(row.results.len(), 4);
+        // Hyperblock formation must reduce block counts on gzip.
+        let (_, blocks, improvement) = row.results.last().unwrap();
+        assert!(*blocks < row.bb_blocks);
+        assert!(*improvement > 0.0);
+    }
+}

@@ -1,0 +1,361 @@
+//! TRIPS structural block constraints (paper §2).
+//!
+//! The TRIPS ISA restricts every block to:
+//!
+//! 1. at most 128 instructions;
+//! 2. at most 32 load/store instructions;
+//! 3. at most 8 reads and 8 writes to each of 4 register banks;
+//! 4. a fixed number of outputs per block (handled by output padding, whose
+//!    cost is charged as estimated instruction overhead).
+//!
+//! The compiler must also leave headroom for instructions inserted after
+//! formation (fanout/spill code, paper §6); [`BlockConstraints::headroom_percent`]
+//! models that estimate.
+
+use chf_ir::function::Function;
+use chf_ir::ids::BlockId;
+use chf_ir::liveness::Liveness;
+use std::fmt;
+
+/// Structural limits a block must satisfy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockConstraints {
+    /// Maximum instruction slots (instructions + branch/exit slots).
+    pub max_insts: usize,
+    /// Maximum load/store instructions.
+    pub max_memory_ops: usize,
+    /// Number of register banks.
+    pub reg_banks: u32,
+    /// Maximum register-file reads per bank.
+    pub reads_per_bank: usize,
+    /// Maximum register-file writes per bank.
+    pub writes_per_bank: usize,
+    /// Fraction of `max_insts` reserved for post-formation insertions
+    /// (fanout, spills, output padding), in percent.
+    pub headroom_percent: usize,
+}
+
+impl BlockConstraints {
+    /// The TRIPS prototype's constraints: 128 instructions, 32 loads/stores,
+    /// 8 reads and 8 writes across each of 4 banks, with a 10% size
+    /// headroom for fanout and spill insertions.
+    pub fn trips() -> Self {
+        BlockConstraints {
+            max_insts: 128,
+            max_memory_ops: 32,
+            reg_banks: 4,
+            reads_per_bank: 8,
+            writes_per_bank: 8,
+            headroom_percent: 10,
+        }
+    }
+
+    /// Unconstrained blocks (useful for testing policies in isolation).
+    pub fn unlimited() -> Self {
+        BlockConstraints {
+            max_insts: usize::MAX,
+            max_memory_ops: usize::MAX,
+            reg_banks: 4,
+            reads_per_bank: usize::MAX,
+            writes_per_bank: usize::MAX,
+            headroom_percent: 0,
+        }
+    }
+
+    /// Effective instruction budget after headroom.
+    pub fn effective_max_insts(&self) -> usize {
+        if self.max_insts == usize::MAX {
+            return usize::MAX;
+        }
+        self.max_insts - self.max_insts * self.headroom_percent / 100
+    }
+
+    /// Check block `b` of `f` against the constraints, using `liveness` for
+    /// the register-interface counts.
+    ///
+    /// # Errors
+    /// Returns the first violated constraint.
+    pub fn check_with(
+        &self,
+        f: &Function,
+        b: BlockId,
+        liveness: &Liveness,
+    ) -> Result<(), Violation> {
+        let blk = f.block(b);
+        // Constant-output rule (paper §2/§4.1): every block execution must
+        // produce the same number of register writes and stores, so each
+        // additional exit path needs null-write padding for the outputs it
+        // does not compute naturally. Charge one padding slot per register
+        // output per extra exit.
+        let writes = liveness.register_writes(b).len();
+        let padding = blk.exits.len().saturating_sub(1) * writes;
+        let size = blk.size() + padding;
+        if size > self.effective_max_insts() {
+            return Err(Violation::TooManyInstructions {
+                block: b,
+                size,
+                max: self.effective_max_insts(),
+            });
+        }
+        let mem = blk.memory_ops();
+        if mem > self.max_memory_ops {
+            return Err(Violation::TooManyMemoryOps {
+                block: b,
+                count: mem,
+                max: self.max_memory_ops,
+            });
+        }
+
+        let mut reads = vec![0usize; self.reg_banks as usize];
+        for r in liveness.register_reads(b) {
+            let bank = (r.0 % self.reg_banks) as usize;
+            reads[bank] += 1;
+            if reads[bank] > self.reads_per_bank {
+                return Err(Violation::TooManyBankReads {
+                    block: b,
+                    bank: bank as u32,
+                    max: self.reads_per_bank,
+                });
+            }
+        }
+        let mut writes = vec![0usize; self.reg_banks as usize];
+        for r in liveness.register_writes(b) {
+            let bank = (r.0 % self.reg_banks) as usize;
+            writes[bank] += 1;
+            if writes[bank] > self.writes_per_bank {
+                return Err(Violation::TooManyBankWrites {
+                    block: b,
+                    bank: bank as u32,
+                    max: self.writes_per_bank,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Check block `b`, computing liveness internally.
+    ///
+    /// # Errors
+    /// Returns the first violated constraint.
+    pub fn check(&self, f: &Function, b: BlockId) -> Result<(), Violation> {
+        let lv = Liveness::compute(f);
+        self.check_with(f, b, &lv)
+    }
+
+    /// Check every block of `f`.
+    ///
+    /// # Errors
+    /// Returns the first violation found, in block order.
+    pub fn check_function(&self, f: &Function) -> Result<(), Violation> {
+        let lv = Liveness::compute(f);
+        for b in f.block_ids() {
+            self.check_with(f, b, &lv)?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for BlockConstraints {
+    fn default() -> Self {
+        Self::trips()
+    }
+}
+
+/// A violated structural constraint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Block exceeds the instruction-slot budget.
+    TooManyInstructions {
+        /// Offending block.
+        block: BlockId,
+        /// Its size in slots.
+        size: usize,
+        /// The effective budget.
+        max: usize,
+    },
+    /// Block exceeds the load/store budget.
+    TooManyMemoryOps {
+        /// Offending block.
+        block: BlockId,
+        /// Number of memory operations.
+        count: usize,
+        /// The budget.
+        max: usize,
+    },
+    /// Too many register reads from one bank.
+    TooManyBankReads {
+        /// Offending block.
+        block: BlockId,
+        /// The saturated bank.
+        bank: u32,
+        /// The per-bank budget.
+        max: usize,
+    },
+    /// Too many register writes to one bank.
+    TooManyBankWrites {
+        /// Offending block.
+        block: BlockId,
+        /// The saturated bank.
+        bank: u32,
+        /// The per-bank budget.
+        max: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::TooManyInstructions { block, size, max } => {
+                write!(f, "block {block} has {size} instruction slots (max {max})")
+            }
+            Violation::TooManyMemoryOps { block, count, max } => {
+                write!(f, "block {block} has {count} memory ops (max {max})")
+            }
+            Violation::TooManyBankReads { block, bank, max } => {
+                write!(f, "block {block} reads bank {bank} more than {max} times")
+            }
+            Violation::TooManyBankWrites { block, bank, max } => {
+                write!(f, "block {block} writes bank {bank} more than {max} times")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chf_ir::builder::FunctionBuilder;
+    use chf_ir::instr::Operand;
+
+    #[test]
+    fn trips_defaults() {
+        let c = BlockConstraints::trips();
+        assert_eq!(c.max_insts, 128);
+        assert_eq!(c.effective_max_insts(), 116);
+        assert_eq!(c.max_memory_ops, 32);
+    }
+
+    #[test]
+    fn small_block_passes() {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let e = fb.create_block();
+        fb.switch_to(e);
+        let x = fb.add(Operand::Reg(fb.param(0)), Operand::Imm(1));
+        fb.ret(Some(Operand::Reg(x)));
+        let f = fb.build().unwrap();
+        assert_eq!(BlockConstraints::trips().check(&f, f.entry), Ok(()));
+    }
+
+    #[test]
+    fn oversized_block_rejected() {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let e = fb.create_block();
+        fb.switch_to(e);
+        let mut x = fb.param(0);
+        for _ in 0..130 {
+            x = fb.add(Operand::Reg(x), Operand::Imm(1));
+        }
+        fb.ret(Some(Operand::Reg(x)));
+        let f = fb.build().unwrap();
+        assert!(matches!(
+            BlockConstraints::trips().check(&f, f.entry),
+            Err(Violation::TooManyInstructions { .. })
+        ));
+    }
+
+    #[test]
+    fn memory_budget_enforced() {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let e = fb.create_block();
+        fb.switch_to(e);
+        for i in 0..33 {
+            fb.store(Operand::Imm(i), Operand::Imm(0));
+        }
+        fb.ret(None);
+        let f = fb.build().unwrap();
+        assert!(matches!(
+            BlockConstraints::trips().check(&f, f.entry),
+            Err(Violation::TooManyMemoryOps { .. })
+        ));
+    }
+
+    #[test]
+    fn bank_reads_enforced() {
+        // Read 9 distinct registers of bank 0 (r0, r4, r8, ...): exceeds 8.
+        let mut fb = FunctionBuilder::new("f", 40);
+        let e = fb.create_block();
+        let tgt = fb.create_block();
+        fb.switch_to(e);
+        fb.jump(tgt);
+        fb.switch_to(tgt);
+        let mut acc = fb.mov(Operand::Imm(0));
+        for i in 0..9 {
+            acc = fb.add(Operand::Reg(acc), Operand::Reg(chf_ir::ids::Reg(i * 4)));
+        }
+        fb.ret(Some(Operand::Reg(acc)));
+        let f = fb.build().unwrap();
+        assert!(matches!(
+            BlockConstraints::trips().check(&f, tgt),
+            Err(Violation::TooManyBankReads { bank: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn bank_writes_enforced() {
+        // Write 9 registers of bank 1 that are live-out.
+        let mut fb = FunctionBuilder::new("f", 0);
+        let e = fb.create_block();
+        let sink = fb.create_block();
+        fb.switch_to(e);
+        let mut regs = Vec::new();
+        // Allocate registers until we have 9 in bank 1.
+        while regs.len() < 9 {
+            let r = fb.fresh_reg();
+            if r.bank() == 1 {
+                regs.push(r);
+            }
+        }
+        for (i, r) in regs.clone().into_iter().enumerate() {
+            fb.mov_to(r, Operand::Imm(i as i64));
+        }
+        fb.jump(sink);
+        fb.switch_to(sink);
+        let mut acc = fb.mov(Operand::Imm(0));
+        for r in regs {
+            acc = fb.add(Operand::Reg(acc), Operand::Reg(r));
+        }
+        fb.ret(Some(Operand::Reg(acc)));
+        let f = fb.build().unwrap();
+        let entry = f.entry;
+        assert!(matches!(
+            BlockConstraints::trips().check(&f, entry),
+            Err(Violation::TooManyBankWrites { bank: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn unlimited_accepts_everything() {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let e = fb.create_block();
+        fb.switch_to(e);
+        for i in 0..200 {
+            fb.store(Operand::Imm(i), Operand::Imm(0));
+        }
+        fb.ret(None);
+        let f = fb.build().unwrap();
+        assert_eq!(BlockConstraints::unlimited().check_function(&f), Ok(()));
+    }
+
+    #[test]
+    fn violation_messages() {
+        let v = Violation::TooManyInstructions {
+            block: BlockId(2),
+            size: 150,
+            max: 116,
+        };
+        assert!(v.to_string().contains("B2"));
+        assert!(v.to_string().contains("150"));
+    }
+}

@@ -1,0 +1,757 @@
+//! Convergent hyperblock formation — the paper's Figure 5.
+//!
+//! [`expand_block`] implements `ExpandBlock`: starting from a seed block, it
+//! repeatedly asks the policy for the best candidate successor, attempts the
+//! merge in scratch space ([`merge_blocks`] clones the function, merges,
+//! optionally optimizes, and checks the structural constraints), and commits
+//! only successful merges — "by testing the merge in scratch space before
+//! transforming the CFG, the implementation avoids a more complicated undo
+//! step."
+//!
+//! [`form_hyperblocks`] drives `ExpandBlock` over the whole function in
+//! descending frequency order, so hot loop bodies unroll before colder
+//! code competes for their blocks.
+
+use crate::constraints::BlockConstraints;
+use crate::duplication::{classify, duplicate_for_merge, DuplicationKind};
+use crate::ifconvert::combine_with;
+use crate::policy::{Candidate, Policy};
+use chf_ir::block::ExitTarget;
+use chf_ir::function::Function;
+use chf_ir::ids::BlockId;
+use chf_ir::loops::LoopForest;
+use chf_ir::profile::ProfileData;
+
+/// Configuration of the formation loop.
+#[derive(Clone, Debug)]
+pub struct FormationConfig {
+    /// Structural constraints every formed block must satisfy.
+    pub constraints: BlockConstraints,
+    /// Allow unroll/peel merges (head duplication). Off for the classical
+    /// phase orderings that run a discrete unroll pass instead.
+    pub head_duplication: bool,
+    /// Allow tail duplication. (Always on in the paper; exposed for
+    /// ablation.)
+    pub tail_duplication: bool,
+    /// Run scalar optimizations on the merged block before the legality
+    /// check — the difference between `(IUP)O` and `(IUPO)`.
+    pub iterative_opt: bool,
+    /// Limit unrolling by the loop's expected trip count, estimated from
+    /// the profiled back-edge probability (§5: the peeling/unrolling policy
+    /// should consult trip counts, not just fill blocks). Unrolling a loop
+    /// beyond its typical iteration count only adds nullified instructions
+    /// and unpredictable exits.
+    pub trip_aware_unroll: bool,
+    /// Execute merged instructions speculatively where safe (predicate
+    /// promotion). Always on in real hyperblock compilers; exposed for the
+    /// ablation study.
+    pub speculation: bool,
+    /// Refuse tail duplication of blocks larger than this many slots
+    /// (§5, "Limiting tail duplication": duplicating a large merge point
+    /// bloats code and makes its contents data-dependent on the exit test).
+    pub max_tail_dup_size: usize,
+    /// Safety cap on merges per seed block.
+    pub max_merges_per_block: usize,
+}
+
+impl Default for FormationConfig {
+    fn default() -> Self {
+        FormationConfig {
+            constraints: BlockConstraints::trips(),
+            head_duplication: true,
+            tail_duplication: true,
+            iterative_opt: true,
+            trip_aware_unroll: true,
+            speculation: true,
+            max_tail_dup_size: 24,
+            max_merges_per_block: 64,
+        }
+    }
+}
+
+/// Static transformation counts — the paper's `m/t/u/p` columns.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FormationStats {
+    /// Blocks merged (`m`).
+    pub merges: usize,
+    /// Tail-duplicated blocks (`t`).
+    pub tail_dups: usize,
+    /// Unrolled iterations (`u`).
+    pub unrolls: usize,
+    /// Peeled iterations (`p`).
+    pub peels: usize,
+    /// Merge attempts rejected by the constraints or combine hazards.
+    pub failures: usize,
+}
+
+impl FormationStats {
+    /// Accumulate another stats record.
+    pub fn merge(&mut self, other: &FormationStats) {
+        self.merges += other.merges;
+        self.tail_dups += other.tail_dups;
+        self.unrolls += other.unrolls;
+        self.peels += other.peels;
+        self.failures += other.failures;
+    }
+
+    /// Render as the paper's `m/t/u/p` column.
+    pub fn mtup(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            self.merges, self.tail_dups, self.unrolls, self.peels
+        )
+    }
+}
+
+/// Outcome of one [`merge_blocks`] attempt.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MergeOutcome {
+    /// The merge was committed; the kind of duplication it used.
+    Success(DuplicationKind),
+    /// The merged block would violate the constraints, or combining was
+    /// structurally impossible; the function is unchanged.
+    Failure,
+    /// The configuration forbids this kind of merge.
+    Disallowed,
+}
+
+/// Cheap structural pre-checks before attempting a merge.
+fn legal_merge(f: &Function, hb: BlockId, s: BlockId) -> bool {
+    if !f.contains_block(hb) || !f.contains_block(s) || s == f.entry {
+        return false;
+    }
+    // Exactly one exit of hb may target s.
+    f.block(hb)
+        .exits
+        .iter()
+        .filter(|e| e.target == ExitTarget::Block(s))
+        .count()
+        == 1
+}
+
+/// `MergeBlocks` (Figure 5): attempt to merge `s` into `hb`, duplicating
+/// `s` first when it has side entrances, optimizing if configured, and
+/// committing only if the result satisfies the constraints.
+pub fn merge_blocks(
+    f: &mut Function,
+    hb: BlockId,
+    s: BlockId,
+    config: &FormationConfig,
+) -> MergeOutcome {
+    merge_blocks_with_body(f, hb, s, config, None)
+}
+
+/// Instantiate a saved loop body as a fresh block whose back edge targets
+/// `hb`, retargeting `hb`'s self edge to it. Returns `None` (no change) if
+/// any of the saved body's exit targets no longer exists.
+fn append_saved_iteration(
+    f: &mut Function,
+    hb: BlockId,
+    body: &chf_ir::block::Block,
+) -> Option<BlockId> {
+    for e in &body.exits {
+        if let Some(t) = e.target.block() {
+            if t != hb && !f.contains_block(t) {
+                return None;
+            }
+        }
+    }
+    let mut copy = body.clone();
+    // Profile: the appended iteration carries the flow of the back edge.
+    let inflow: f64 = f
+        .block(hb)
+        .exits
+        .iter()
+        .filter(|e| e.target == ExitTarget::Block(hb))
+        .map(|e| e.count)
+        .sum();
+    let scale = if copy.freq > 0.0 { inflow / copy.freq } else { 0.0 };
+    copy.freq = inflow;
+    for e in &mut copy.exits {
+        e.count *= scale;
+    }
+    let new = f.add_block(copy);
+    let n = f.block_mut(hb).retarget_exits(hb, new);
+    debug_assert!(n > 0, "no self edge to retarget");
+    Some(new)
+}
+
+/// [`merge_blocks`] with an optional *saved loop body*: when the merge is an
+/// unroll (`hb == s`), the appended iteration is instantiated from the body
+/// saved before the first unroll, rather than from the current (already
+/// unrolled) block — the paper's "saves the original loop body and appends
+/// one additional iteration at a time", which keeps unroll granularity at
+/// one iteration instead of doubling.
+pub fn merge_blocks_with_body(
+    f: &mut Function,
+    hb: BlockId,
+    s: BlockId,
+    config: &FormationConfig,
+    saved_body: Option<&chf_ir::block::Block>,
+) -> MergeOutcome {
+    if !legal_merge(f, hb, s) {
+        return MergeOutcome::Failure;
+    }
+    let forest = LoopForest::of(f);
+    let kind = classify(f, &forest, hb, s);
+    match kind {
+        DuplicationKind::Tail if !config.tail_duplication => return MergeOutcome::Disallowed,
+        DuplicationKind::Tail if f.block(s).size() > config.max_tail_dup_size => {
+            return MergeOutcome::Disallowed
+        }
+        DuplicationKind::Unroll | DuplicationKind::Peel if !config.head_duplication => {
+            return MergeOutcome::Disallowed
+        }
+        _ => {}
+    }
+
+    // Scratch-space trial: clone, transform, check, then commit or drop.
+    let mut trial = f.clone();
+    let s_eff = match kind {
+        DuplicationKind::None => s,
+        DuplicationKind::Unroll if s == hb && saved_body.is_some() => {
+            match append_saved_iteration(&mut trial, hb, saved_body.expect("checked")) {
+                Some(b) => b,
+                None => duplicate_for_merge(&mut trial, hb, s),
+            }
+        }
+        _ => duplicate_for_merge(&mut trial, hb, s),
+    };
+    if combine_with(&mut trial, hb, s_eff, config.speculation).is_err() {
+        return MergeOutcome::Failure;
+    }
+    // Canonicalize the exit list: merging both arms of a diamond leaves two
+    // exits to the join; collapsing them removes the dead branch and lets
+    // the join itself become a single-predecessor merge candidate.
+    trial.block_mut(hb).dedupe_exits();
+    if config.iterative_opt {
+        chf_opt::optimize_quick(&mut trial);
+        if !trial.contains_block(hb) {
+            // Optimization proved the whole block unreachable; nothing to
+            // commit (cannot happen for reachable seeds, but stay safe).
+            return MergeOutcome::Failure;
+        }
+    }
+    debug_assert!(chf_ir::verify::verify(&trial).is_ok(), "merge broke IR:\n{trial}");
+    if config.constraints.check(&trial, hb).is_err() {
+        return MergeOutcome::Failure;
+    }
+    *f = trial;
+    MergeOutcome::Success(kind)
+}
+
+/// Median header-visit count of the loop headed by `header`, from its
+/// trip-count histogram if the profile recorded one.
+fn median_trips(profile: Option<&ProfileData>, header: BlockId) -> Option<u64> {
+    let h = profile?.trip_histogram(header)?;
+    if h.visits() == 0 {
+        return None;
+    }
+    // Largest k still reached by at least half the loop visits.
+    let mut k = 0;
+    for &t in h.counts.keys() {
+        if h.fraction_at_least(t) >= 0.5 {
+            k = t;
+        }
+    }
+    Some(k)
+}
+
+/// Mean header-visit count of the loop headed by `header`.
+fn mean_trips(profile: Option<&ProfileData>, header: BlockId) -> Option<f64> {
+    let h = profile?.trip_histogram(header)?;
+    if h.visits() == 0 {
+        None
+    } else {
+        Some(h.mean())
+    }
+}
+
+/// How many unrolled iterations are worth appending to self-loop `hb`.
+///
+/// Preferred source: the loop's trip-count *histogram* (§5, "the compiler
+/// can use loop trip count histograms to augment an edge frequency
+/// profile") — the median visit count bounds useful unrolling; high-variance
+/// loops (sieve's marking loop) would fool an average-based estimate.
+/// Fallback: the expected trip count from the profiled back-edge
+/// probability. A loop that iterates `t` times per visit is worth at most
+/// about `t` bodies; beyond that the extra copies are nullified on most
+/// executions and their exits only confuse the next-block predictor.
+fn expected_unroll_budget(
+    f: &Function,
+    hb: BlockId,
+    profile: Option<&ProfileData>,
+    original_header: Option<BlockId>,
+) -> usize {
+    const MAX_UNROLL: usize = 8;
+    if let Some(mean_visits) = mean_trips(profile, original_header.unwrap_or(hb)) {
+        // `mean_visits` counts header executions per loop visit; the last
+        // one exits, so useful extra bodies ≈ visits − 1.
+        return ((mean_visits - 1.0).round().max(0.0) as usize).min(MAX_UNROLL);
+    }
+    let blk = f.block(hb);
+    let total: f64 = blk.exits.iter().map(|e| e.count).sum();
+    if total <= 0.0 {
+        return usize::MAX; // no profile: fall back to constraint-limited
+    }
+    let back: f64 = blk
+        .exits
+        .iter()
+        .filter(|e| e.target == ExitTarget::Block(hb))
+        .map(|e| e.count)
+        .sum();
+    let p = (back / total).min(0.999_999);
+    let expected_trips = 1.0 / (1.0 - p);
+    (expected_trips.ceil() as usize).min(MAX_UNROLL)
+}
+
+/// Whether peeling iterations of the loop headed by `header` into a
+/// predecessor is worthwhile: only for loops with reliably low trip counts
+/// (§5, "a loop peeling policy can then evaluate the benefit ... using a
+/// threshold function to pick an appropriate peeling factor").
+fn peel_budget(profile: Option<&ProfileData>, header: BlockId) -> usize {
+    match median_trips(profile, header) {
+        Some(v) if v <= 5 => v as usize,
+        Some(_) => 0,
+        None => 1, // no histogram: allow a single speculative peel
+    }
+}
+
+/// The original innermost loop header containing each block, snapshotted
+/// before formation rewrites the CFG — trip histograms are keyed by these.
+fn original_headers(f: &Function) -> std::collections::HashMap<BlockId, BlockId> {
+    let forest = LoopForest::of(f);
+    f.block_ids()
+        .filter_map(|b| forest.innermost_containing(b).map(|l| (b, l.header)))
+        .collect()
+}
+
+/// `ExpandBlock` (Figure 5): grow `hb` by merging candidate successors
+/// chosen by `policy` until no candidate fits.
+pub fn expand_block(
+    f: &mut Function,
+    hb: BlockId,
+    policy: &mut dyn Policy,
+    config: &FormationConfig,
+) -> FormationStats {
+    expand_block_with_profile(f, hb, policy, config, None)
+}
+
+/// [`expand_block`] with access to the training profile's trip-count
+/// histograms, which bound unrolling and peeling (§5).
+pub fn expand_block_with_profile(
+    f: &mut Function,
+    hb: BlockId,
+    policy: &mut dyn Policy,
+    config: &FormationConfig,
+    profile: Option<&ProfileData>,
+) -> FormationStats {
+    let original_header = original_headers(f).get(&hb).copied();
+    expand_block_inner(f, hb, policy, config, profile, original_header)
+}
+
+fn expand_block_inner(
+    f: &mut Function,
+    hb: BlockId,
+    policy: &mut dyn Policy,
+    config: &FormationConfig,
+    profile: Option<&ProfileData>,
+    original_header: Option<BlockId>,
+) -> FormationStats {
+    let mut stats = FormationStats::default();
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut order = 0usize;
+    let mut failed: Vec<BlockId> = Vec::new();
+
+    let push_successors = |f: &Function,
+                               candidates: &mut Vec<Candidate>,
+                               order: &mut usize,
+                               depth: usize,
+                               failed: &[BlockId]| {
+        let blk = f.block(hb);
+        for (i, e) in blk.exits.iter().enumerate() {
+            let Some(t) = e.target.block() else { continue };
+            if failed.contains(&t) {
+                continue;
+            }
+            let prob = blk.exit_probability(i);
+            if let Some(c) = candidates.iter_mut().find(|c| c.block == t) {
+                // Rediscovered (e.g., a join reached from both arms): its
+                // reach probability accumulates.
+                c.prob = (c.prob + prob).min(1.0);
+            } else {
+                candidates.push(Candidate {
+                    block: t,
+                    order: *order,
+                    depth,
+                    prob,
+                });
+                *order += 1;
+            }
+        }
+    };
+
+    push_successors(f, &mut candidates, &mut order, 0, &failed);
+
+    let mut merges = 0usize;
+    let mut unrolls_done = 0usize;
+    let mut unroll_budget: Option<usize> = None;
+    let mut peels_done: std::collections::HashMap<BlockId, usize> = std::collections::HashMap::new();
+    // The pristine loop body, captured just before the first unroll so that
+    // later unrolls append single iterations (paper §4.1).
+    let mut saved_body: Option<chf_ir::block::Block> = None;
+    while merges < config.max_merges_per_block {
+        let Some(idx) = policy.select(f, hb, &candidates) else {
+            break;
+        };
+        let cand = candidates.remove(idx);
+        if !f.contains_block(cand.block) {
+            continue; // merged into another block meanwhile
+        }
+        if cand.block == hb {
+            if saved_body.is_none() {
+                let forest = LoopForest::of(f);
+                if classify(f, &forest, hb, hb) == DuplicationKind::Unroll {
+                    saved_body = Some(f.block(hb).clone());
+                }
+            }
+            let budget = *unroll_budget.get_or_insert_with(|| {
+                expected_unroll_budget(f, hb, profile, original_header)
+            });
+            if config.trip_aware_unroll && unrolls_done >= budget {
+                failed.push(cand.block);
+                continue;
+            }
+        } else if config.trip_aware_unroll {
+            // Peeling gate: merging a loop header that is not our own back
+            // edge peels an iteration; only worthwhile for reliably
+            // low-trip loops.
+            let forest = LoopForest::of(f);
+            if classify(f, &forest, hb, cand.block) == DuplicationKind::Peel {
+                let done = *peels_done.get(&cand.block).unwrap_or(&0);
+                if done >= peel_budget(profile, cand.block) {
+                    failed.push(cand.block);
+                    continue;
+                }
+            }
+        }
+        match merge_blocks_with_body(f, hb, cand.block, config, saved_body.as_ref()) {
+            MergeOutcome::Success(kind) => {
+                stats.merges += 1;
+                match kind {
+                    DuplicationKind::Tail => stats.tail_dups += 1,
+                    DuplicationKind::Unroll => {
+                        stats.unrolls += 1;
+                        unrolls_done += 1;
+                    }
+                    DuplicationKind::Peel => {
+                        stats.peels += 1;
+                        *peels_done.entry(cand.block).or_insert(0) += 1;
+                    }
+                    DuplicationKind::None => {}
+                }
+                merges += 1;
+                // A successful merge changes the block's shape (and
+                // canonicalizes its exits), so previously failed candidates
+                // may have become mergeable — retry them.
+                failed.clear();
+                push_successors(f, &mut candidates, &mut order, cand.depth + 1, &failed);
+            }
+            MergeOutcome::Failure => {
+                stats.failures += 1;
+                failed.push(cand.block);
+            }
+            MergeOutcome::Disallowed => {
+                failed.push(cand.block);
+            }
+        }
+    }
+    stats
+}
+
+/// Run convergent hyperblock formation over the whole function.
+///
+/// Seeds are processed in descending profile-frequency order (hot loop
+/// bodies first). Afterwards unreachable blocks are removed.
+pub fn form_hyperblocks(
+    f: &mut Function,
+    policy: &mut dyn Policy,
+    config: &FormationConfig,
+) -> FormationStats {
+    form_hyperblocks_with_profile(f, policy, config, None)
+}
+
+/// [`form_hyperblocks`] with trip-count histograms available for the
+/// unroll/peel budgets.
+pub fn form_hyperblocks_with_profile(
+    f: &mut Function,
+    policy: &mut dyn Policy,
+    config: &FormationConfig,
+    profile: Option<&ProfileData>,
+) -> FormationStats {
+    policy.prepare(f);
+    let headers = original_headers(f);
+    let mut seeds: Vec<(BlockId, f64)> = f.blocks().map(|(b, blk)| (b, blk.freq)).collect();
+    seeds.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+
+    let mut stats = FormationStats::default();
+    for (b, _) in seeds {
+        if !f.contains_block(b) {
+            continue;
+        }
+        let s = expand_block_inner(f, b, policy, config, profile, headers.get(&b).copied());
+        stats.merge(&s);
+    }
+    chf_ir::cfg::remove_unreachable(f);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::BreadthFirst;
+    use chf_ir::builder::FunctionBuilder;
+    use chf_ir::instr::Operand;
+    use chf_ir::verify::verify;
+    use chf_sim::functional::{profile_run, run, RunConfig};
+
+    fn reg(r: chf_ir::ids::Reg) -> Operand {
+        Operand::Reg(r)
+    }
+
+    fn digest(f: &Function, args: &[i64]) -> (Option<i64>, Vec<(i64, i64)>) {
+        run(f, args, &[], &RunConfig::default()).unwrap().digest()
+    }
+
+    /// Stamp a self-profile onto `f` using the given training input.
+    fn with_profile(f: &mut Function, args: &[i64]) {
+        let p = profile_run(f, args, &[]).unwrap();
+        p.apply(f);
+    }
+
+    fn diamond() -> Function {
+        let mut fb = FunctionBuilder::new("diamond", 1);
+        let e = fb.create_block();
+        let t = fb.create_block();
+        let z = fb.create_block();
+        let j = fb.create_block();
+        fb.switch_to(e);
+        let out = fb.fresh_reg();
+        let c = fb.cmp_lt(reg(fb.param(0)), Operand::Imm(10));
+        fb.branch(c, t, z);
+        fb.switch_to(t);
+        fb.mov_to(out, Operand::Imm(1));
+        fb.jump(j);
+        fb.switch_to(z);
+        fb.mov_to(out, Operand::Imm(2));
+        fb.jump(j);
+        fb.switch_to(j);
+        let y = fb.mul(reg(out), Operand::Imm(10));
+        fb.ret(Some(reg(y)));
+        fb.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_collapses_to_one_block() {
+        let mut f = diamond();
+        with_profile(&mut f, &[5]);
+        let orig = f.clone();
+        let stats = form_hyperblocks(&mut f, &mut BreadthFirst, &FormationConfig::default());
+        verify(&f).unwrap();
+        assert_eq!(f.block_count(), 1, "{f}");
+        assert_eq!(stats.merges, 3);
+        // Breadth-first merges both arms before the join; exit
+        // deduplication then leaves the join with a single predecessor, so
+        // no tail duplication is needed at all.
+        assert_eq!(stats.tail_dups, 0);
+        for a in [0, 9, 10, 20] {
+            assert_eq!(digest(&f, &[a]), digest(&orig, &[a]), "arg {a}");
+        }
+    }
+
+    #[test]
+    fn self_loop_unrolls_until_full() {
+        // A tiny self-loop: formation should unroll it several times.
+        let mut fb = FunctionBuilder::new("loop", 1);
+        let e = fb.create_block();
+        let b = fb.create_block();
+        let x = fb.create_block();
+        fb.switch_to(e);
+        let i = fb.mov(Operand::Imm(0));
+        let acc = fb.mov(Operand::Imm(0));
+        fb.jump(b);
+        fb.switch_to(b);
+        let acc2 = fb.add(reg(acc), reg(i));
+        fb.mov_to(acc, reg(acc2));
+        let i2 = fb.add(reg(i), Operand::Imm(1));
+        fb.mov_to(i, reg(i2));
+        let c = fb.cmp_lt(reg(i), reg(fb.param(0)));
+        fb.branch(c, b, x);
+        fb.switch_to(x);
+        fb.ret(Some(reg(acc)));
+        let mut f = fb.build().unwrap();
+        with_profile(&mut f, &[40]);
+        let orig = f.clone();
+        let stats = form_hyperblocks(&mut f, &mut BreadthFirst, &FormationConfig::default());
+        verify(&f).unwrap();
+        assert!(stats.unrolls >= 2, "expected unrolling, got {stats:?}");
+        for a in [0, 1, 3, 17, 40] {
+            assert_eq!(digest(&f, &[a]), digest(&orig, &[a]), "arg {a}");
+        }
+        // Dynamic block count must drop.
+        let before = run(&orig, &[40], &[], &RunConfig::default()).unwrap();
+        let after = run(&f, &[40], &[], &RunConfig::default()).unwrap();
+        assert!(
+            after.blocks_executed < before.blocks_executed / 2,
+            "{} !< {}",
+            after.blocks_executed,
+            before.blocks_executed / 2
+        );
+    }
+
+    #[test]
+    fn loop_header_peeled_into_preheader() {
+        // entry -> header loop: entry should peel an iteration when merging
+        // the header.
+        let mut fb = FunctionBuilder::new("peel", 1);
+        let e = fb.create_block();
+        let h = fb.create_block();
+        let x = fb.create_block();
+        fb.switch_to(e);
+        let i = fb.mov(Operand::Imm(0));
+        fb.jump(h);
+        fb.switch_to(h);
+        let i2 = fb.add(reg(i), Operand::Imm(1));
+        fb.mov_to(i, reg(i2));
+        let c = fb.cmp_lt(reg(i), reg(fb.param(0)));
+        fb.branch(c, h, x);
+        fb.switch_to(x);
+        fb.ret(Some(reg(i)));
+        let mut f = fb.build().unwrap();
+        with_profile(&mut f, &[3]);
+        let orig = f.clone();
+        let stats = form_hyperblocks(&mut f, &mut BreadthFirst, &FormationConfig::default());
+        verify(&f).unwrap();
+        assert!(
+            stats.peels + stats.unrolls >= 1,
+            "expected loop work: {stats:?}"
+        );
+        for a in [0, 1, 3, 8] {
+            assert_eq!(digest(&f, &[a]), digest(&orig, &[a]), "arg {a}");
+        }
+    }
+
+    #[test]
+    fn constraints_bound_block_growth() {
+        // With tight constraints the loop must stop unrolling early.
+        let mut fb = FunctionBuilder::new("tight", 1);
+        let e = fb.create_block();
+        let b = fb.create_block();
+        let x = fb.create_block();
+        fb.switch_to(e);
+        let i = fb.mov(Operand::Imm(0));
+        fb.jump(b);
+        fb.switch_to(b);
+        let i2 = fb.add(reg(i), Operand::Imm(1));
+        fb.mov_to(i, reg(i2));
+        let c = fb.cmp_lt(reg(i), reg(fb.param(0)));
+        fb.branch(c, b, x);
+        fb.switch_to(x);
+        fb.ret(Some(reg(i)));
+        let mut f = fb.build().unwrap();
+        with_profile(&mut f, &[100]);
+        let config = FormationConfig {
+            constraints: BlockConstraints {
+                max_insts: 24,
+                headroom_percent: 0,
+                ..BlockConstraints::trips()
+            },
+            ..FormationConfig::default()
+        };
+        let orig = f.clone();
+        form_hyperblocks(&mut f, &mut BreadthFirst, &config);
+        verify(&f).unwrap();
+        for (b, blk) in f.blocks() {
+            assert!(blk.size() <= 24, "block {b} too big: {}", blk.size());
+        }
+        assert_eq!(digest(&f, &[100]), digest(&orig, &[100]));
+    }
+
+    #[test]
+    fn head_duplication_can_be_disabled() {
+        let mut fb = FunctionBuilder::new("nohead", 1);
+        let e = fb.create_block();
+        let b = fb.create_block();
+        let x = fb.create_block();
+        fb.switch_to(e);
+        let i = fb.mov(Operand::Imm(0));
+        fb.jump(b);
+        fb.switch_to(b);
+        let i2 = fb.add(reg(i), Operand::Imm(1));
+        fb.mov_to(i, reg(i2));
+        let c = fb.cmp_lt(reg(i), reg(fb.param(0)));
+        fb.branch(c, b, x);
+        fb.switch_to(x);
+        fb.ret(Some(reg(i)));
+        let mut f = fb.build().unwrap();
+        with_profile(&mut f, &[10]);
+        let config = FormationConfig {
+            head_duplication: false,
+            ..FormationConfig::default()
+        };
+        let stats = form_hyperblocks(&mut f, &mut BreadthFirst, &config);
+        assert_eq!(stats.unrolls, 0);
+        assert_eq!(stats.peels, 0);
+    }
+
+    #[test]
+    fn formation_preserves_behaviour_on_random_programs() {
+        use chf_ir::testgen::{generate, GenConfig};
+        let gen_cfg = GenConfig::default();
+        for seed in 0..40 {
+            let mut f = generate(seed, &gen_cfg);
+            // Self-profile on one input, then form.
+            let p = profile_run(&f, &[3, 7], &[]).unwrap();
+            p.apply(&mut f);
+            let orig = f.clone();
+            let cfg = FormationConfig::default();
+            form_hyperblocks(&mut f, &mut BreadthFirst, &cfg);
+            verify(&f).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{f}"));
+            for args in [[3, 7], [0, 0], [9, 2], [-5, 11]] {
+                let a = run(&orig, &args, &[], &RunConfig::default()).unwrap();
+                let b = run(&f, &args, &[], &RunConfig::default()).unwrap();
+                assert_eq!(
+                    a.digest(),
+                    b.digest(),
+                    "seed {seed} args {args:?}\nBEFORE:\n{orig}\nAFTER:\n{f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn formation_reduces_dynamic_blocks_on_random_programs() {
+        use chf_ir::testgen::{generate, GenConfig};
+        let gen_cfg = GenConfig::default();
+        let (mut before_total, mut after_total) = (0u64, 0u64);
+        for seed in 0..25 {
+            let mut f = generate(seed, &gen_cfg);
+            let p = profile_run(&f, &[3, 7], &[]).unwrap();
+            p.apply(&mut f);
+            let orig = f.clone();
+            form_hyperblocks(&mut f, &mut BreadthFirst, &FormationConfig::default());
+            let a = run(&orig, &[3, 7], &[], &RunConfig::default()).unwrap();
+            let b = run(&f, &[3, 7], &[], &RunConfig::default()).unwrap();
+            before_total += a.blocks_executed;
+            after_total += b.blocks_executed;
+        }
+        assert!(
+            after_total * 2 <= before_total,
+            "formation should at least halve dynamic blocks: {after_total} vs {before_total}"
+        );
+    }
+}

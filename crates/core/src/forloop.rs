@@ -1,0 +1,392 @@
+//! For-loop recognition and test-removing unrolling.
+//!
+//! The Scale compiler performs *for-loop* unrolling in its front end
+//! (paper §6, Figure 6): when the trip count is governed by an affine
+//! induction variable with loop-invariant bounds, intermediate exit tests
+//! can be removed outright — unlike while-loop unrolling, which "requires
+//! hyperblock formation to predicate each iteration" (§3). The paper's §9
+//! lists moving this into the back end as future work; this module provides
+//! the mechanism at the IR level so pipelines can model the front-end
+//! phase.
+//!
+//! Recognized shape (what [`crate::unroll`] and the builder produce):
+//!
+//! ```text
+//! header:  c = lt i, <invariant>     body:   ...
+//!          [c] -> body                       i = i + <const>   (last update)
+//!          -> exit                           -> header
+//! ```
+//!
+//! [`unroll_for_loop`] peels the test structure apart: a *main* unrolled
+//! loop runs `factor` bodies per test (the test is hoisted: `i + (factor-1)*step < bound`),
+//! and the original loop remains as the remainder loop.
+
+use chf_ir::block::ExitTarget;
+use chf_ir::function::Function;
+use chf_ir::ids::{BlockId, Reg};
+use chf_ir::instr::{Instr, Opcode, Operand};
+use chf_ir::loops::LoopForest;
+
+/// A recognized counted (for-) loop.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ForLoop {
+    /// The loop header holding the exit test.
+    pub header: BlockId,
+    /// The single body block.
+    pub body: BlockId,
+    /// Induction register.
+    pub induction: Reg,
+    /// Loop-invariant bound operand of the `lt` test.
+    pub bound: Operand,
+    /// Constant per-iteration increment.
+    pub step: i64,
+}
+
+/// Recognize the counted-loop shape around `header`.
+///
+/// Requirements (conservative, matching what the front end would know):
+/// the header's only instruction chain ends in `c = lt i, bound` with the
+/// predicated exit into a single-block body; the body's *last* write to `i`
+/// is `i = i + #step` (via an `add` to a temporary then `mov`, or a direct
+/// add), the body jumps back to the header unconditionally, and neither
+/// block otherwise writes `i` or the bound.
+pub fn recognize(f: &Function, header: BlockId) -> Option<ForLoop> {
+    let forest = LoopForest::of(f);
+    let l = forest.loop_of_header(header)?;
+    if l.body.len() != 2 {
+        return None; // header + single body block
+    }
+    let body = *l.body.iter().find(|b| **b != header)?;
+
+    // Header: exactly `c = lt i, bound` + exits `[c] -> body, -> exit`.
+    let hb = f.block(header);
+    if hb.insts.len() != 1 || hb.exits.len() != 2 {
+        return None;
+    }
+    let test = &hb.insts[0];
+    if test.op != Opcode::CmpLt || test.pred.is_some() {
+        return None;
+    }
+    let induction = test.a?.as_reg()?;
+    let bound = test.b?;
+    // Bound must be invariant: an immediate, or a register neither block
+    // writes.
+    if let Operand::Reg(r) = bound {
+        let writes = |b: BlockId| f.block(b).insts.iter().any(|i| i.def() == Some(r));
+        if writes(header) || writes(body) {
+            return None;
+        }
+    }
+    let c = test.dst?;
+    let e0 = &hb.exits[0];
+    let e1 = &hb.exits[1];
+    if e0.pred.map(|p| p.reg != c || !p.if_true).unwrap_or(true) {
+        return None;
+    }
+    if e0.target != ExitTarget::Block(body) || e1.pred.is_some() {
+        return None;
+    }
+
+    // Body: unconditional back edge, unpredicated, with a final
+    // `i = i + #step` update (possibly through a temporary).
+    let bb = f.block(body);
+    if bb.exits.len() != 1 || bb.exits[0].target != ExitTarget::Block(header) {
+        return None;
+    }
+    if bb.insts.iter().any(|i| i.pred.is_some()) {
+        return None;
+    }
+    let step = induction_step(bb, induction)?;
+    Some(ForLoop {
+        header,
+        body,
+        induction,
+        bound,
+        step,
+    })
+}
+
+/// The constant step if the block's writes to `i` amount to exactly one
+/// `i += #step` at the end (directly or via `t = add i, #s; i = mov t`).
+fn induction_step(blk: &chf_ir::block::Block, i: Reg) -> Option<i64> {
+    let defs: Vec<usize> = blk
+        .insts
+        .iter()
+        .enumerate()
+        .filter(|(_, inst)| inst.def() == Some(i))
+        .map(|(k, _)| k)
+        .collect();
+    let [k] = defs.as_slice() else { return None };
+    let upd = &blk.insts[*k];
+    match (upd.op, upd.a, upd.b) {
+        (Opcode::Add, Some(Operand::Reg(r)), Some(Operand::Imm(s))) if r == i => Some(s),
+        (Opcode::Mov, Some(Operand::Reg(t)), None) => {
+            // t must be `add i, #s` with no redefinition of i/t in between.
+            let def_t = blk.insts[..*k]
+                .iter()
+                .rev()
+                .find(|inst| inst.def() == Some(t))?;
+            match (def_t.op, def_t.a, def_t.b) {
+                (Opcode::Add, Some(Operand::Reg(r)), Some(Operand::Imm(s))) if r == i => Some(s),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Statistics from [`unroll_for_loops`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ForLoopStats {
+    /// Loops recognized as counted.
+    pub recognized: usize,
+    /// Loops unrolled (main-loop copies created = factor − 1 each).
+    pub unrolled: usize,
+}
+
+/// Unroll a recognized for-loop by `factor`, removing intermediate tests.
+///
+/// Structure produced:
+///
+/// ```text
+/// header':  c' = lt i + (factor-1)*step, bound   // all f iterations fit?
+///           [c'] -> big_body
+///           -> header                            // remainder loop (original)
+/// big_body: body ; body ; ... (factor copies, no tests)
+///           -> header'
+/// ```
+///
+/// Entry edges are redirected to `header'`. Returns `false` (no change)
+/// when `factor < 2` or the shape no longer matches.
+pub fn unroll_for_loop(f: &mut Function, fl: &ForLoop, factor: usize) -> bool {
+    if factor < 2 || recognize(f, fl.header) != Some(fl.clone()) {
+        return false;
+    }
+
+    // Guard header: i + (factor-1)*step < bound  (for positive step; the
+    // recognizer only accepts `lt`, and a non-positive step would loop
+    // forever anyway, so require step > 0).
+    if fl.step <= 0 {
+        return false;
+    }
+    let lookahead = (factor as i64 - 1) * fl.step;
+
+    let mut guard = chf_ir::block::Block::new();
+    let probe = f.new_reg();
+    let cond = f.new_reg();
+    guard
+        .insts
+        .push(Instr::add(probe, Operand::Reg(fl.induction), Operand::Imm(lookahead)));
+    guard
+        .insts
+        .push(Instr::binary(Opcode::CmpLt, cond, Operand::Reg(probe), fl.bound));
+    guard.name = Some("for.guard".into());
+
+    // Big body: factor copies of the body's instructions.
+    let mut big = chf_ir::block::Block::new();
+    for _ in 0..factor {
+        big.insts.extend(f.block(fl.body).insts.iter().cloned());
+    }
+    big.name = Some("for.unrolled".into());
+
+    let guard_id = f.add_block(guard);
+    let big_id = f.add_block(big);
+    {
+        let g = f.block_mut(guard_id);
+        g.exits.push(chf_ir::block::Exit::when(
+            chf_ir::instr::Pred::on_true(cond),
+            big_id,
+        ));
+        g.exits.push(chf_ir::block::Exit::jump(fl.header));
+    }
+    f.block_mut(big_id)
+        .exits
+        .push(chf_ir::block::Exit::jump(guard_id));
+
+    // Redirect loop-entry edges (all predecessors of header except the
+    // body's back edge) to the guard.
+    let preds: Vec<BlockId> = f
+        .block_ids()
+        .filter(|&p| p != fl.body && p != guard_id)
+        .filter(|&p| f.block(p).successors().any(|s| s == fl.header))
+        .collect();
+    for p in preds {
+        f.block_mut(p).retarget_exits(fl.header, guard_id);
+    }
+    true
+}
+
+/// Recognize and unroll every counted loop in `f` by `factor`.
+pub fn unroll_for_loops(f: &mut Function, factor: usize) -> ForLoopStats {
+    let mut stats = ForLoopStats::default();
+    let headers: Vec<BlockId> = {
+        let forest = LoopForest::of(f);
+        forest.loops.iter().map(|l| l.header).collect()
+    };
+    for h in headers {
+        if !f.contains_block(h) {
+            continue;
+        }
+        if let Some(fl) = recognize(f, h) {
+            stats.recognized += 1;
+            if unroll_for_loop(f, &fl, factor) {
+                stats.unrolled += 1;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chf_ir::builder::FunctionBuilder;
+    use chf_ir::verify::verify;
+    use chf_sim::functional::{run, RunConfig};
+
+    fn reg(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+
+    /// sum 0..n as a canonical counted loop.
+    fn counted(n_param: bool) -> Function {
+        let mut fb = FunctionBuilder::new("c", 1);
+        let e = fb.create_block();
+        let h = fb.create_block();
+        let b = fb.create_block();
+        let x = fb.create_block();
+        fb.switch_to(e);
+        let i = fb.mov(Operand::Imm(0));
+        let acc = fb.mov(Operand::Imm(0));
+        fb.jump(h);
+        fb.switch_to(h);
+        let bound = if n_param { reg(fb.param(0)) } else { Operand::Imm(17) };
+        let c = fb.cmp_lt(reg(i), bound);
+        fb.branch(c, b, x);
+        fb.switch_to(b);
+        let a2 = fb.add(reg(acc), reg(i));
+        fb.mov_to(acc, reg(a2));
+        let i2 = fb.add(reg(i), Operand::Imm(1));
+        fb.mov_to(i, reg(i2));
+        fb.jump(h);
+        fb.switch_to(x);
+        fb.ret(Some(reg(acc)));
+        fb.build().unwrap()
+    }
+
+    #[test]
+    fn recognizes_counted_loop() {
+        let f = counted(true);
+        let fl = recognize(&f, BlockId(1)).expect("should recognize");
+        assert_eq!(fl.step, 1);
+        assert_eq!(fl.body, BlockId(2));
+        assert_eq!(fl.bound, Operand::Reg(Reg(0)));
+    }
+
+    #[test]
+    fn rejects_non_counted_shapes() {
+        // A data-dependent while loop must not be recognized.
+        let mut fb = FunctionBuilder::new("w", 1);
+        let e = fb.create_block();
+        let h = fb.create_block();
+        let b = fb.create_block();
+        let x = fb.create_block();
+        fb.switch_to(e);
+        let v = fb.mov(reg(fb.param(0)));
+        fb.jump(h);
+        fb.switch_to(h);
+        let c = fb.cmp_lt(reg(v), Operand::Imm(100));
+        fb.branch(c, b, x);
+        fb.switch_to(b);
+        let v2 = fb.mul(reg(v), Operand::Imm(3)); // multiplicative: not affine step
+        fb.mov_to(v, reg(v2));
+        fb.jump(h);
+        fb.switch_to(x);
+        fb.ret(Some(reg(v)));
+        let f = fb.build().unwrap();
+        assert_eq!(recognize(&f, BlockId(1)), None);
+    }
+
+    #[test]
+    fn unroll_removes_intermediate_tests() {
+        let mut f = counted(true);
+        let orig = f.clone();
+        let fl = recognize(&f, BlockId(1)).unwrap();
+        assert!(unroll_for_loop(&mut f, &fl, 4));
+        verify(&f).unwrap();
+        for n in [0, 1, 3, 4, 7, 8, 16, 17] {
+            let a = run(&orig, &[n], &[], &RunConfig::default()).unwrap();
+            let b = run(&f, &[n], &[], &RunConfig::default()).unwrap();
+            assert_eq!(a.digest(), b.digest(), "n = {n}");
+        }
+        // The unrolled loop executes far fewer blocks for large n: each
+        // guarded round covers 4 iterations with ONE test.
+        let a = run(&orig, &[100], &[], &RunConfig::default()).unwrap();
+        let b = run(&f, &[100], &[], &RunConfig::default()).unwrap();
+        assert!(
+            b.blocks_executed * 2 < a.blocks_executed,
+            "{} !< {}/2",
+            b.blocks_executed,
+            a.blocks_executed
+        );
+        // And, unlike while-loop unrolling, fewer *executed* instructions
+        // (intermediate tests gone, nothing predicated).
+        assert!(b.insts_executed < a.insts_executed);
+    }
+
+    #[test]
+    fn unroll_handles_immediate_bounds_and_bigger_steps() {
+        let mut fb = FunctionBuilder::new("s2", 0);
+        let e = fb.create_block();
+        let h = fb.create_block();
+        let b = fb.create_block();
+        let x = fb.create_block();
+        fb.switch_to(e);
+        let i = fb.mov(Operand::Imm(0));
+        let acc = fb.mov(Operand::Imm(0));
+        fb.jump(h);
+        fb.switch_to(h);
+        let c = fb.cmp_lt(reg(i), Operand::Imm(25));
+        fb.branch(c, b, x);
+        fb.switch_to(b);
+        let a2 = fb.xor(reg(acc), reg(i));
+        fb.mov_to(acc, reg(a2));
+        let i2 = fb.add(reg(i), Operand::Imm(3));
+        fb.mov_to(i, reg(i2));
+        fb.jump(h);
+        fb.switch_to(x);
+        fb.ret(Some(reg(acc)));
+        let mut f = fb.build().unwrap();
+        let orig = f.clone();
+        let stats = unroll_for_loops(&mut f, 3);
+        assert_eq!(stats.recognized, 1);
+        assert_eq!(stats.unrolled, 1);
+        verify(&f).unwrap();
+        let a = run(&orig, &[], &[], &RunConfig::default()).unwrap();
+        let b = run(&f, &[], &[], &RunConfig::default()).unwrap();
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn unrolled_for_loop_feeds_formation() {
+        // Front-end for-loop unrolling followed by convergent formation:
+        // the big body merges with its guard into one hyperblock.
+        use crate::convergent::{form_hyperblocks, FormationConfig};
+        use crate::policy::PolicyKind;
+        use chf_sim::functional::profile_run;
+        let mut f = counted(true);
+        let fl = recognize(&f, BlockId(1)).unwrap();
+        assert!(unroll_for_loop(&mut f, &fl, 4));
+        let profile = profile_run(&f, &[40], &[]).unwrap();
+        profile.apply(&mut f);
+        let orig = f.clone();
+        let mut p = PolicyKind::BreadthFirst.instantiate();
+        form_hyperblocks(&mut f, p.as_mut(), &FormationConfig::default());
+        verify(&f).unwrap();
+        for n in [0, 3, 40] {
+            let a = run(&orig, &[n], &[], &RunConfig::default()).unwrap();
+            let b = run(&f, &[n], &[], &RunConfig::default()).unwrap();
+            assert_eq!(a.digest(), b.digest(), "n = {n}");
+        }
+    }
+}

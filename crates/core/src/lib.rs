@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! # chf-core — convergent hyperblock formation
+//!
+//! The primary contribution of *"Merging Head and Tail Duplication for
+//! Convergent Hyperblock Formation"* (Maher, Smith, Burger, McKinley —
+//! MICRO 2006): an algorithm that iteratively applies if-conversion,
+//! peeling, unrolling, and scalar optimizations until hyperblocks converge
+//! on the structural constraints of an EDGE (TRIPS) ISA.
+//!
+//! Module map (paper section in parentheses):
+//!
+//! * [`constraints`] — the TRIPS structural block constraints (§2);
+//! * [`ifconvert`] — `Combine`: predicates a successor into a hyperblock (§4.1);
+//! * [`duplication`] — the unified duplication step behind tail duplication,
+//!   peeling, and unrolling (§4.1, Figures 2–4);
+//! * [`convergent`] — `ExpandBlock` / `MergeBlocks` (§4.2, Figure 5);
+//! * [`policy`] — breadth-first, depth-first, and VLIW block selection (§5);
+//! * [`unroll`] — discrete profile-driven loop unrolling/peeling used by the
+//!   classical phase-ordering baselines (§3, §7.1);
+//! * [`reverse`] — reverse if-conversion / block splitting (§6);
+//! * [`pipeline`] — the compiler configurations of Tables 1–3: `BB`, `UPIO`,
+//!   `IUPO`, `(IUP)O`, `(IUPO)`.
+
+pub mod constraints;
+pub mod convergent;
+pub mod duplication;
+pub mod fanout;
+pub mod forloop;
+pub mod ifconvert;
+pub mod pipeline;
+pub mod policy;
+pub mod regalloc;
+pub mod reverse;
+pub mod unroll;
+
+pub use constraints::BlockConstraints;
+pub use convergent::{form_hyperblocks, form_hyperblocks_with_profile, FormationConfig, FormationStats};
+pub use pipeline::{compile, CompileConfig, Compiled, PhaseOrdering};
+pub use policy::PolicyKind;

@@ -1,0 +1,388 @@
+//! Compiler pipelines: the phase orderings of Tables 1 and 3.
+//!
+//! | Label    | Phases                                                        |
+//! |----------|---------------------------------------------------------------|
+//! | `BB`     | basic blocks as TRIPS blocks (scalar opts only)               |
+//! | `UPIO`   | discrete CFG unroll/peel → incremental if-conversion → opts   |
+//! | `IUPO`   | incremental if-conversion → hyperblock unroll/peel → opts     |
+//! | `(IUP)O` | convergent formation with head duplication, opts once at end  |
+//! | `(IUPO)` | full convergent formation with iterative scalar optimization  |
+//!
+//! Incremental if-conversion (the `I` phase) always uses tail duplication
+//! and respects the structural constraints; only the grouped orderings may
+//! use head duplication (unrolling/peeling *during* formation), and only
+//! `(IUPO)` optimizes inside the formation loop.
+
+use crate::constraints::BlockConstraints;
+use crate::convergent::{form_hyperblocks_with_profile, FormationConfig, FormationStats};
+use crate::fanout::insert_fanout;
+use crate::policy::PolicyKind;
+use crate::regalloc::{allocate_registers, RegFileSpec};
+use crate::reverse::split_oversized;
+use crate::unroll::{cfg_unroll_and_peel, hyperblock_unroll_peel, UnrollParams};
+use chf_ir::function::Function;
+use chf_ir::profile::ProfileData;
+
+/// The five configurations of Table 1 / Table 3.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PhaseOrdering {
+    /// Basic blocks only (the baseline column `BB`).
+    BasicBlocks,
+    /// Unroll/peel, then if-convert, then optimize.
+    Upio,
+    /// If-convert, then unroll/peel, then optimize.
+    Iupo,
+    /// Convergent `(IUP)` with optimization once at the end.
+    IupThenO,
+    /// Fully convergent `(IUPO)`.
+    Iupo_,
+}
+
+impl PhaseOrdering {
+    /// Column label used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PhaseOrdering::BasicBlocks => "BB",
+            PhaseOrdering::Upio => "UPIO",
+            PhaseOrdering::Iupo => "IUPO",
+            PhaseOrdering::IupThenO => "(IUP)O",
+            PhaseOrdering::Iupo_ => "(IUPO)",
+        }
+    }
+
+    /// The four hyperblock-forming orderings compared against `BB`.
+    pub fn table1() -> [PhaseOrdering; 4] {
+        [
+            PhaseOrdering::Upio,
+            PhaseOrdering::Iupo,
+            PhaseOrdering::IupThenO,
+            PhaseOrdering::Iupo_,
+        ]
+    }
+}
+
+/// Full compiler configuration.
+#[derive(Clone, Debug)]
+pub struct CompileConfig {
+    /// Which phase ordering to run.
+    pub ordering: PhaseOrdering,
+    /// Block-selection policy for the formation phases.
+    pub policy: PolicyKind,
+    /// Structural constraints of the target.
+    pub constraints: BlockConstraints,
+    /// Parameters of the discrete unroll/peel phases.
+    pub unroll: UnrollParams,
+    /// Run the §6 backend stages (register allocation with spilling, and
+    /// fanout insertion) after formation. On by default; the TRIPS register
+    /// file is large enough that spills are rare, and fanout fits in the
+    /// constraints' headroom.
+    pub backend: bool,
+    /// Maximum consumers one instruction may feed before fanout movs are
+    /// inserted (TRIPS encodes a small fixed number of targets).
+    pub fanout_targets: usize,
+}
+
+impl CompileConfig {
+    /// The paper's best configuration: `(IUPO)` with the breadth-first
+    /// policy.
+    pub fn convergent() -> Self {
+        CompileConfig {
+            ordering: PhaseOrdering::Iupo_,
+            policy: PolicyKind::BreadthFirst,
+            constraints: BlockConstraints::trips(),
+            unroll: UnrollParams::default(),
+            backend: true,
+            fanout_targets: 4,
+        }
+    }
+
+    /// A named ordering with the breadth-first policy.
+    pub fn with_ordering(ordering: PhaseOrdering) -> Self {
+        CompileConfig {
+            ordering,
+            ..Self::convergent()
+        }
+    }
+
+    /// A policy variant of the convergent configuration (Table 2).
+    pub fn with_policy(policy: PolicyKind, iterative_opt: bool) -> Self {
+        let ordering = if iterative_opt {
+            PhaseOrdering::Iupo_
+        } else {
+            PhaseOrdering::IupThenO
+        };
+        CompileConfig {
+            ordering,
+            policy,
+            ..Self::convergent()
+        }
+    }
+}
+
+impl Default for CompileConfig {
+    fn default() -> Self {
+        Self::convergent()
+    }
+}
+
+/// Result of compilation.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The compiled function.
+    pub function: Function,
+    /// Static transformation counts (the paper's `m/t/u/p`).
+    pub stats: FormationStats,
+}
+
+fn formation_config(
+    constraints: &BlockConstraints,
+    head: bool,
+    iterative_opt: bool,
+) -> FormationConfig {
+    FormationConfig {
+        constraints: constraints.clone(),
+        head_duplication: head,
+        tail_duplication: true,
+        iterative_opt,
+        trip_aware_unroll: true,
+        speculation: true,
+        max_tail_dup_size: 24,
+        max_merges_per_block: 64,
+    }
+}
+
+/// Compile `f` under `config`, using `profile` for frequencies and trip
+/// histograms (gathered from a training run of the basic-block form).
+pub fn compile(f: &Function, profile: &ProfileData, config: &CompileConfig) -> Compiled {
+    let mut f = f.clone();
+    profile.apply(&mut f);
+    let mut stats = FormationStats::default();
+    let mut policy = config.policy.instantiate();
+
+    match config.ordering {
+        PhaseOrdering::BasicBlocks => {
+            chf_opt::optimize(&mut f);
+        }
+        PhaseOrdering::Upio => {
+            // U, P on the basic-block CFG (inaccurate size estimates).
+            let up = cfg_unroll_and_peel(&mut f, profile, &config.unroll);
+            stats.unrolls += up.unrolls;
+            stats.peels += up.peels;
+            // I: incremental if-conversion with tail duplication only.
+            let fs = form_hyperblocks_with_profile(
+                &mut f,
+                policy.as_mut(),
+                &formation_config(&config.constraints, false, false),
+                Some(profile),
+            );
+            stats.merge(&fs);
+            // O.
+            chf_opt::optimize(&mut f);
+        }
+        PhaseOrdering::Iupo => {
+            // I.
+            let fs = form_hyperblocks_with_profile(
+                &mut f,
+                policy.as_mut(),
+                &formation_config(&config.constraints, false, false),
+                Some(profile),
+            );
+            stats.merge(&fs);
+            // U, P at hyperblock granularity (accurate size estimates).
+            let up =
+                hyperblock_unroll_peel(&mut f, profile, &config.constraints, &config.unroll);
+            stats.unrolls += up.unrolls;
+            stats.peels += up.peels;
+            // O.
+            chf_opt::optimize(&mut f);
+        }
+        PhaseOrdering::IupThenO => {
+            let fs = form_hyperblocks_with_profile(
+                &mut f,
+                policy.as_mut(),
+                &formation_config(&config.constraints, true, false),
+                Some(profile),
+            );
+            stats.merge(&fs);
+            chf_opt::optimize(&mut f);
+        }
+        PhaseOrdering::Iupo_ => {
+            let fs = form_hyperblocks_with_profile(
+                &mut f,
+                policy.as_mut(),
+                &formation_config(&config.constraints, true, true),
+                Some(profile),
+            );
+            stats.merge(&fs);
+            chf_opt::optimize(&mut f);
+        }
+    }
+
+    // Backend (§6): register allocation (spilling on pressure), fanout
+    // insertion, then reverse if-conversion for any block the insertions
+    // pushed over the constraints.
+    if config.backend {
+        allocate_registers(&mut f, &RegFileSpec::trips());
+        insert_fanout(&mut f, config.fanout_targets);
+    }
+    split_oversized(&mut f, &config.constraints);
+    chf_ir::cfg::remove_unreachable(&mut f);
+    debug_assert!(chf_ir::verify::verify(&f).is_ok());
+
+    Compiled { function: f, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chf_ir::builder::FunctionBuilder;
+    use chf_ir::instr::Operand;
+    use chf_ir::verify::verify;
+    use chf_sim::functional::{profile_run, run, RunConfig};
+
+    fn reg(r: chf_ir::ids::Reg) -> Operand {
+        Operand::Reg(r)
+    }
+
+    /// A small nested-loop program exercising every phase.
+    fn workload() -> (Function, Vec<i64>) {
+        let mut fb = FunctionBuilder::new("w", 1);
+        let e = fb.create_block();
+        let h = fb.create_block();
+        let inner_h = fb.create_block();
+        let inner_b = fb.create_block();
+        let latch = fb.create_block();
+        let exit = fb.create_block();
+        fb.switch_to(e);
+        let i = fb.mov(Operand::Imm(0));
+        let acc = fb.mov(Operand::Imm(0));
+        fb.jump(h);
+        fb.switch_to(h);
+        let c = fb.cmp_lt(reg(i), reg(fb.param(0)));
+        fb.branch(c, inner_h, exit);
+        fb.switch_to(inner_h);
+        let j = fb.mov(Operand::Imm(0));
+        fb.jump(inner_b);
+        fb.switch_to(inner_b);
+        let a2 = fb.add(reg(acc), reg(j));
+        fb.mov_to(acc, reg(a2));
+        let j2 = fb.add(reg(j), Operand::Imm(1));
+        fb.mov_to(j, reg(j2));
+        let c2 = fb.cmp_lt(reg(j), Operand::Imm(3));
+        fb.branch(c2, inner_b, latch);
+        fb.switch_to(latch);
+        let i2 = fb.add(reg(i), Operand::Imm(1));
+        fb.mov_to(i, reg(i2));
+        fb.jump(h);
+        fb.switch_to(exit);
+        fb.ret(Some(reg(acc)));
+        (fb.build().unwrap(), vec![12])
+    }
+
+    #[test]
+    fn all_orderings_preserve_behaviour() {
+        let (f, args) = workload();
+        let profile = profile_run(&f, &args, &[]).unwrap();
+        let base = run(&f, &args, &[], &RunConfig::default()).unwrap();
+        for ordering in [
+            PhaseOrdering::BasicBlocks,
+            PhaseOrdering::Upio,
+            PhaseOrdering::Iupo,
+            PhaseOrdering::IupThenO,
+            PhaseOrdering::Iupo_,
+        ] {
+            let c = compile(&f, &profile, &CompileConfig::with_ordering(ordering));
+            verify(&c.function).unwrap();
+            let r = run(&c.function, &args, &[], &RunConfig::default()).unwrap();
+            assert_eq!(
+                r.digest(),
+                base.digest(),
+                "{} changed behaviour",
+                ordering.label()
+            );
+        }
+    }
+
+    #[test]
+    fn hyperblock_orderings_reduce_block_counts() {
+        let (f, args) = workload();
+        let profile = profile_run(&f, &args, &[]).unwrap();
+        let base = run(&f, &args, &[], &RunConfig::default()).unwrap();
+        for ordering in PhaseOrdering::table1() {
+            let c = compile(&f, &profile, &CompileConfig::with_ordering(ordering));
+            let r = run(&c.function, &args, &[], &RunConfig::default()).unwrap();
+            assert!(
+                r.blocks_executed < base.blocks_executed,
+                "{}: {} !< {}",
+                ordering.label(),
+                r.blocks_executed,
+                base.blocks_executed
+            );
+        }
+    }
+
+    #[test]
+    fn convergent_at_least_matches_discrete_on_block_counts() {
+        let (f, args) = workload();
+        let profile = profile_run(&f, &args, &[]).unwrap();
+        let count = |o: PhaseOrdering| {
+            let c = compile(&f, &profile, &CompileConfig::with_ordering(o));
+            run(&c.function, &args, &[], &RunConfig::default())
+                .unwrap()
+                .blocks_executed
+        };
+        let upio = count(PhaseOrdering::Upio);
+        let convergent = count(PhaseOrdering::Iupo_);
+        assert!(
+            convergent <= upio,
+            "convergent {convergent} should not exceed UPIO {upio}"
+        );
+    }
+
+    #[test]
+    fn compiled_blocks_respect_constraints() {
+        let (f, args) = workload();
+        let profile = profile_run(&f, &args, &[]).unwrap();
+        let c = compile(&f, &profile, &CompileConfig::convergent());
+        // Size/memory constraints must hold post-compilation.
+        for (b, blk) in c.function.blocks() {
+            assert!(
+                blk.size() <= BlockConstraints::trips().effective_max_insts(),
+                "block {b} oversized"
+            );
+            assert!(blk.memory_ops() <= 32);
+        }
+    }
+
+    #[test]
+    fn stats_populated_for_convergent() {
+        let (f, args) = workload();
+        let profile = profile_run(&f, &args, &[]).unwrap();
+        let c = compile(&f, &profile, &CompileConfig::convergent());
+        assert!(c.stats.merges > 0);
+        assert!(!c.stats.mtup().is_empty());
+    }
+
+    #[test]
+    fn policies_all_compile_correctly() {
+        let (f, args) = workload();
+        let profile = profile_run(&f, &args, &[]).unwrap();
+        let base = run(&f, &args, &[], &RunConfig::default()).unwrap();
+        for policy in [
+            PolicyKind::BreadthFirst,
+            PolicyKind::DepthFirst,
+            PolicyKind::Vliw,
+        ] {
+            for iter_opt in [false, true] {
+                let c = compile(&f, &profile, &CompileConfig::with_policy(policy, iter_opt));
+                let r = run(&c.function, &args, &[], &RunConfig::default()).unwrap();
+                assert_eq!(
+                    r.digest(),
+                    base.digest(),
+                    "{:?}/{iter_opt} changed behaviour",
+                    policy
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,458 @@
+//! Block-selection policies (paper §5).
+//!
+//! `ExpandBlock` asks a [`Policy`] which candidate successor to try merging
+//! next. Three policies from the paper:
+//!
+//! * **Breadth-first** (the best EDGE heuristic in Table 2): merge
+//!   candidates in discovery order, so both arms of a branch are merged
+//!   before anything deeper. This removes conditional branches (better
+//!   next-block prediction) and limits tail duplication, at the cost of
+//!   including some useless instructions.
+//! * **Depth-first**: follow the most frequent path as deep as possible
+//!   first, then come back for the rest if space remains. Includes more
+//!   useful instructions but risks mispredictions and extra tail
+//!   duplication.
+//! * **VLIW** (Mahlke et al.): a prepass computes per-block dependence
+//!   heights; selection prioritizes frequent, short-dependence-height
+//!   blocks and *excludes* rarely-taken or high-dependence-height blocks —
+//!   correct for a statically-scheduled VLIW, but on an EDGE machine the
+//!   exclusions force tail duplication and predicated induction-variable
+//!   updates (the bzip2_3 and parser_1 pathologies of §7.2).
+
+use chf_ir::function::Function;
+use chf_ir::ids::BlockId;
+use chf_ir::instr::Operand;
+use std::collections::HashMap;
+
+/// A candidate successor for merging, annotated by the driver.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// The block to merge.
+    pub block: BlockId,
+    /// Discovery sequence number (0 = first discovered).
+    pub order: usize,
+    /// Number of merges that had happened when this was discovered — a
+    /// proxy for path depth from the seed block.
+    pub depth: usize,
+    /// Estimated probability that a dynamic execution of the hyperblock
+    /// reaches this candidate.
+    pub prob: f64,
+}
+
+/// A block-selection heuristic.
+pub trait Policy {
+    /// Diagnostic name.
+    fn name(&self) -> &'static str;
+
+    /// Prepass analysis over the original CFG (before any merging).
+    fn prepare(&mut self, _f: &Function) {}
+
+    /// Index of the candidate to try next, or `None` to stop expanding.
+    fn select(&mut self, f: &Function, hb: BlockId, candidates: &[Candidate]) -> Option<usize>;
+}
+
+/// Breadth-first selection: strict discovery order.
+#[derive(Debug, Default)]
+pub struct BreadthFirst;
+
+impl Policy for BreadthFirst {
+    fn name(&self) -> &'static str {
+        "breadth-first"
+    }
+
+    fn select(&mut self, _f: &Function, _hb: BlockId, candidates: &[Candidate]) -> Option<usize> {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| (c.depth, c.order))
+            .map(|(i, _)| i)
+    }
+}
+
+/// Depth-first selection: deepest first, hottest arm first.
+#[derive(Debug, Default)]
+pub struct DepthFirst;
+
+impl Policy for DepthFirst {
+    fn name(&self) -> &'static str {
+        "depth-first"
+    }
+
+    fn select(&mut self, _f: &Function, _hb: BlockId, candidates: &[Candidate]) -> Option<usize> {
+        candidates
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                (a.depth, a.prob, a.order)
+                    .partial_cmp(&(b.depth, b.prob, b.order))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+/// Breadth-first selection with lookahead (§5, "Local and global
+/// heuristics"): like [`BreadthFirst`], but candidates that *reconverge*
+/// with another candidate's region within a small horizon are preferred —
+/// merging them closes the current diamond and yields a larger single-exit
+/// hyperblock, which improves next-block predictability.
+#[derive(Debug)]
+pub struct BreadthFirstLookahead {
+    /// How many CFG steps to scan for reconvergence.
+    pub horizon: usize,
+}
+
+impl Default for BreadthFirstLookahead {
+    fn default() -> Self {
+        BreadthFirstLookahead { horizon: 3 }
+    }
+}
+
+impl BreadthFirstLookahead {
+    /// Blocks reachable from `start` within `horizon` steps.
+    fn reachable_within(
+        &self,
+        f: &Function,
+        start: BlockId,
+        horizon: usize,
+    ) -> std::collections::HashSet<BlockId> {
+        let mut seen = std::collections::HashSet::from([start]);
+        let mut frontier = vec![start];
+        for _ in 0..horizon {
+            let mut next = Vec::new();
+            for b in frontier {
+                if !f.contains_block(b) {
+                    continue;
+                }
+                for s in f.block(b).successors() {
+                    if f.contains_block(s) && seen.insert(s) {
+                        next.push(s);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        seen
+    }
+}
+
+impl Policy for BreadthFirstLookahead {
+    fn name(&self) -> &'static str {
+        "breadth-first+lookahead"
+    }
+
+    fn select(&mut self, f: &Function, _hb: BlockId, candidates: &[Candidate]) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        // A candidate reconverges if some *other* candidate reaches it (or
+        // its near successors) within the horizon.
+        let regions: Vec<std::collections::HashSet<BlockId>> = candidates
+            .iter()
+            .map(|c| {
+                if f.contains_block(c.block) {
+                    self.reachable_within(f, c.block, self.horizon)
+                } else {
+                    std::collections::HashSet::new()
+                }
+            })
+            .collect();
+        let reconverges = |i: usize| -> bool {
+            regions.iter().enumerate().any(|(j, r)| {
+                j != i && !r.is_disjoint(&regions[i])
+            })
+        };
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, c)| (!reconverges(*i) as u8, c.depth, c.order))
+            .map(|(i, _)| i)
+    }
+}
+
+/// Parameters of the VLIW path-based heuristic.
+#[derive(Clone, Debug)]
+pub struct VliwParams {
+    /// Candidates below this reach-probability are excluded outright.
+    pub min_prob: f64,
+    /// Candidates below this probability are also excluded when their
+    /// dependence height exceeds `height_ratio` × the mean height.
+    pub cold_prob: f64,
+    /// Height-exclusion ratio for cold blocks.
+    pub height_ratio: f64,
+}
+
+impl Default for VliwParams {
+    fn default() -> Self {
+        VliwParams {
+            min_prob: 0.08,
+            cold_prob: 0.5,
+            height_ratio: 2.0,
+        }
+    }
+}
+
+/// The VLIW (Mahlke-style) path-based heuristic.
+#[derive(Debug, Default)]
+pub struct Vliw {
+    params: VliwParams,
+    heights: HashMap<BlockId, u64>,
+    mean_height: f64,
+}
+
+impl Vliw {
+    /// A VLIW policy with custom parameters.
+    pub fn with_params(params: VliwParams) -> Self {
+        Vliw {
+            params,
+            ..Vliw::default()
+        }
+    }
+
+    fn height(&self, b: BlockId) -> f64 {
+        self.heights
+            .get(&b)
+            .copied()
+            .map(|h| h as f64)
+            .unwrap_or(self.mean_height)
+    }
+}
+
+/// Dependence height of a block: the longest latency-weighted chain through
+/// its instructions under sequential register dependences.
+pub fn dependence_height(f: &Function, b: BlockId) -> u64 {
+    let mut done: HashMap<chf_ir::ids::Reg, u64> = HashMap::new();
+    let mut height = 0u64;
+    for inst in &f.block(b).insts {
+        let mut ready = 0u64;
+        for o in [inst.a, inst.b].into_iter().flatten() {
+            if let Operand::Reg(r) = o {
+                ready = ready.max(done.get(&r).copied().unwrap_or(0));
+            }
+        }
+        if let Some(p) = inst.pred {
+            ready = ready.max(done.get(&p.reg).copied().unwrap_or(0));
+        }
+        let t = ready + inst.op.latency();
+        if let Some(d) = inst.def() {
+            done.insert(d, t);
+        }
+        height = height.max(t);
+    }
+    height
+}
+
+impl Policy for Vliw {
+    fn name(&self) -> &'static str {
+        "vliw"
+    }
+
+    fn prepare(&mut self, f: &Function) {
+        self.heights.clear();
+        for (b, _) in f.blocks() {
+            self.heights.insert(b, dependence_height(f, b));
+        }
+        let n = self.heights.len().max(1);
+        self.mean_height =
+            self.heights.values().sum::<u64>() as f64 / n as f64;
+    }
+
+    fn select(&mut self, _f: &Function, _hb: BlockId, candidates: &[Candidate]) -> Option<usize> {
+        let mean = self.mean_height.max(1.0);
+        candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                if c.prob < self.params.min_prob {
+                    return false;
+                }
+                if c.prob < self.params.cold_prob
+                    && self.height(c.block) > self.params.height_ratio * mean
+                {
+                    return false;
+                }
+                true
+            })
+            .max_by(|(_, a), (_, b)| {
+                let score = |c: &Candidate| c.prob * mean / (mean + self.height(c.block));
+                score(a)
+                    .partial_cmp(&score(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.order.cmp(&a.order))
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+/// Which policy to instantiate, for configuration tables.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PolicyKind {
+    /// [`BreadthFirst`].
+    BreadthFirst,
+    /// [`BreadthFirstLookahead`] with the default horizon.
+    BreadthFirstLookahead,
+    /// [`DepthFirst`].
+    DepthFirst,
+    /// [`Vliw`] with default parameters.
+    Vliw,
+}
+
+impl PolicyKind {
+    /// Create the policy object.
+    pub fn instantiate(self) -> Box<dyn Policy> {
+        match self {
+            PolicyKind::BreadthFirst => Box::new(BreadthFirst),
+            PolicyKind::BreadthFirstLookahead => Box::new(BreadthFirstLookahead::default()),
+            PolicyKind::DepthFirst => Box::new(DepthFirst),
+            PolicyKind::Vliw => Box::new(Vliw::default()),
+        }
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::BreadthFirst => "BF",
+            PolicyKind::BreadthFirstLookahead => "BF+look",
+            PolicyKind::DepthFirst => "DF",
+            PolicyKind::Vliw => "VLIW",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chf_ir::builder::FunctionBuilder;
+
+    fn cand(block: u32, order: usize, depth: usize, prob: f64) -> Candidate {
+        Candidate {
+            block: BlockId(block),
+            order,
+            depth,
+            prob,
+        }
+    }
+
+    fn dummy_fn() -> Function {
+        let mut fb = FunctionBuilder::new("d", 0);
+        let e = fb.create_block();
+        fb.switch_to(e);
+        fb.ret(None);
+        fb.build().unwrap()
+    }
+
+    #[test]
+    fn breadth_first_is_fifo() {
+        let f = dummy_fn();
+        let cs = vec![cand(1, 2, 1, 0.9), cand(2, 0, 0, 0.1), cand(3, 1, 0, 0.8)];
+        assert_eq!(BreadthFirst.select(&f, BlockId(0), &cs), Some(1));
+    }
+
+    #[test]
+    fn depth_first_prefers_deep_then_hot() {
+        let f = dummy_fn();
+        let cs = vec![cand(1, 0, 0, 0.9), cand(2, 1, 2, 0.3), cand(3, 2, 2, 0.6)];
+        assert_eq!(DepthFirst.select(&f, BlockId(0), &cs), Some(2));
+    }
+
+    #[test]
+    fn vliw_excludes_cold_paths() {
+        let f = dummy_fn();
+        let mut v = Vliw::default();
+        v.prepare(&f);
+        let cs = vec![cand(1, 0, 0, 0.02), cand(2, 1, 0, 0.9)];
+        assert_eq!(v.select(&f, BlockId(0), &cs), Some(1));
+        let only_cold = vec![cand(1, 0, 0, 0.02)];
+        assert_eq!(v.select(&f, BlockId(0), &only_cold), None);
+    }
+
+    #[test]
+    fn vliw_excludes_tall_cold_blocks() {
+        // Two candidate blocks: one short, one with a long dependence chain,
+        // both moderately cold.
+        let mut fb = FunctionBuilder::new("f", 1);
+        let e = fb.create_block();
+        let short = fb.create_block();
+        let tall = fb.create_block();
+        fb.switch_to(e);
+        let c = fb.cmp_lt(Operand::Reg(fb.param(0)), Operand::Imm(0));
+        fb.branch(c, short, tall);
+        fb.switch_to(short);
+        fb.ret(None);
+        fb.switch_to(tall);
+        let mut x = fb.param(0);
+        for _ in 0..30 {
+            x = fb.mul(Operand::Reg(x), Operand::Imm(3));
+        }
+        fb.ret(Some(Operand::Reg(x)));
+        let f = fb.build().unwrap();
+        let mut v = Vliw::default();
+        v.prepare(&f);
+        let cs = vec![cand(2, 0, 0, 0.3), cand(1, 1, 0, 0.3)];
+        // The tall block (id 2) is excluded; the short one picked.
+        assert_eq!(v.select(&f, f.entry, &cs), Some(1));
+    }
+
+    #[test]
+    fn dependence_height_tracks_chains() {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let e = fb.create_block();
+        fb.switch_to(e);
+        let mut x = fb.param(0);
+        for _ in 0..4 {
+            x = fb.add(Operand::Reg(x), Operand::Imm(1));
+        }
+        // An independent instruction does not add height.
+        let _y = fb.add(Operand::Imm(1), Operand::Imm(2));
+        fb.ret(Some(Operand::Reg(x)));
+        let f = fb.build().unwrap();
+        assert_eq!(dependence_height(&f, f.entry), 4);
+    }
+
+    #[test]
+    fn lookahead_prefers_reconverging_candidates() {
+        // entry branches to a and b; both reach join j. Candidates a, b, j:
+        // a and b reconverge (both reach j within horizon) and are chosen
+        // before a stray cold block c that goes nowhere shared.
+        let mut fb = FunctionBuilder::new("f", 1);
+        let e = fb.create_block();
+        let a = fb.create_block();
+        let b = fb.create_block();
+        let j = fb.create_block();
+        let stray = fb.create_block();
+        fb.switch_to(e);
+        let c = fb.cmp_lt(Operand::Reg(fb.param(0)), Operand::Imm(0));
+        fb.branch(c, a, b);
+        fb.switch_to(a);
+        fb.jump(j);
+        fb.switch_to(b);
+        fb.jump(j);
+        fb.switch_to(j);
+        fb.ret(None);
+        fb.switch_to(stray);
+        fb.ret(None);
+        let f = fb.build_unverified();
+        let mut p = BreadthFirstLookahead::default();
+        // stray discovered first (order 0) but does not reconverge.
+        let cs = vec![
+            cand(stray.0, 0, 0, 0.5),
+            cand(a.0, 1, 0, 0.25),
+            cand(b.0, 2, 0, 0.25),
+        ];
+        assert_eq!(p.select(&f, e, &cs), Some(1), "prefer reconverging arm");
+    }
+
+    #[test]
+    fn policy_kind_instantiates() {
+        for kind in [
+            PolicyKind::BreadthFirst,
+            PolicyKind::BreadthFirstLookahead,
+            PolicyKind::DepthFirst,
+            PolicyKind::Vliw,
+        ] {
+            let p = kind.instantiate();
+            assert!(!p.name().is_empty());
+            assert!(!kind.label().is_empty());
+        }
+    }
+}

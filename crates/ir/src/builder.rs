@@ -1,0 +1,332 @@
+//! Ergonomic construction of IR functions.
+//!
+//! Workloads and tests build CFGs through [`FunctionBuilder`], which tracks a
+//! current block, allocates destination registers automatically, and installs
+//! terminators as exits.
+
+use crate::block::{Block, Exit, ExitTarget};
+use crate::function::Function;
+use crate::ids::{BlockId, Reg};
+use crate::instr::{Instr, Opcode, Operand, Pred};
+use crate::verify::{verify, VerifyError};
+
+/// Builder for a [`Function`].
+///
+/// # Example
+///
+/// ```
+/// use chf_ir::builder::FunctionBuilder;
+/// use chf_ir::instr::Operand;
+///
+/// // return p0 < 10 ? 1 : 0, via a diamond
+/// let mut b = FunctionBuilder::new("diamond", 1);
+/// let (entry, then_, else_, join) =
+///     (b.create_block(), b.create_block(), b.create_block(), b.create_block());
+/// b.switch_to(entry);
+/// let out = b.fresh_reg();
+/// let c = b.cmp_lt(Operand::Reg(b.param(0)), Operand::Imm(10));
+/// b.branch(c, then_, else_);
+/// b.switch_to(then_);
+/// b.mov_to(out, Operand::Imm(1));
+/// b.jump(join);
+/// b.switch_to(else_);
+/// b.mov_to(out, Operand::Imm(0));
+/// b.jump(join);
+/// b.switch_to(join);
+/// b.ret(Some(Operand::Reg(out)));
+/// let f = b.build().unwrap();
+/// assert_eq!(f.block_count(), 4);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    f: Function,
+    cur: Option<BlockId>,
+    first_created: bool,
+}
+
+impl FunctionBuilder {
+    /// Start building a function with `params` parameters.
+    pub fn new(name: impl Into<String>, params: u32) -> Self {
+        FunctionBuilder {
+            f: Function::new(name, params),
+            cur: None,
+            first_created: false,
+        }
+    }
+
+    /// Register holding parameter `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn param(&self, i: u32) -> Reg {
+        assert!(i < self.f.params, "parameter index out of range");
+        Reg(i)
+    }
+
+    /// Allocate a fresh register without emitting an instruction.
+    pub fn fresh_reg(&mut self) -> Reg {
+        self.f.new_reg()
+    }
+
+    /// Create a new empty block. The first call returns the entry block.
+    pub fn create_block(&mut self) -> BlockId {
+        if !self.first_created {
+            self.first_created = true;
+            self.f.entry
+        } else {
+            self.f.add_block(Block::new())
+        }
+    }
+
+    /// Create a new empty block with a debug label.
+    pub fn create_named_block(&mut self, name: &str) -> BlockId {
+        let id = self.create_block();
+        self.f.block_mut(id).name = Some(name.to_string());
+        id
+    }
+
+    /// Make `block` the insertion point for subsequent instructions.
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert!(self.f.contains_block(block));
+        self.cur = Some(block);
+    }
+
+    fn cur_block(&mut self) -> &mut Block {
+        let cur = self.cur.expect("no current block; call switch_to first");
+        self.f.block_mut(cur)
+    }
+
+    /// Append a pre-built instruction to the current block.
+    pub fn push(&mut self, inst: Instr) {
+        self.cur_block().insts.push(inst);
+    }
+
+    /// Emit a binary operation into a fresh register and return it.
+    pub fn emit(&mut self, op: Opcode, a: Operand, b: Operand) -> Reg {
+        let dst = self.f.new_reg();
+        self.push(Instr::binary(op, dst, a, b));
+        dst
+    }
+
+    /// Emit a unary operation into a fresh register and return it.
+    pub fn emit_unary(&mut self, op: Opcode, a: Operand) -> Reg {
+        let dst = self.f.new_reg();
+        self.push(Instr::unary(op, dst, a));
+        dst
+    }
+
+    /// `fresh = a + b`
+    pub fn add(&mut self, a: Operand, b: Operand) -> Reg {
+        self.emit(Opcode::Add, a, b)
+    }
+
+    /// `fresh = a - b`
+    pub fn sub(&mut self, a: Operand, b: Operand) -> Reg {
+        self.emit(Opcode::Sub, a, b)
+    }
+
+    /// `fresh = a * b`
+    pub fn mul(&mut self, a: Operand, b: Operand) -> Reg {
+        self.emit(Opcode::Mul, a, b)
+    }
+
+    /// `fresh = a / b`
+    pub fn div(&mut self, a: Operand, b: Operand) -> Reg {
+        self.emit(Opcode::Div, a, b)
+    }
+
+    /// `fresh = a % b`
+    pub fn rem(&mut self, a: Operand, b: Operand) -> Reg {
+        self.emit(Opcode::Rem, a, b)
+    }
+
+    /// `fresh = a & b`
+    pub fn and(&mut self, a: Operand, b: Operand) -> Reg {
+        self.emit(Opcode::And, a, b)
+    }
+
+    /// `fresh = a | b`
+    pub fn or(&mut self, a: Operand, b: Operand) -> Reg {
+        self.emit(Opcode::Or, a, b)
+    }
+
+    /// `fresh = a ^ b`
+    pub fn xor(&mut self, a: Operand, b: Operand) -> Reg {
+        self.emit(Opcode::Xor, a, b)
+    }
+
+    /// `fresh = a << b`
+    pub fn shl(&mut self, a: Operand, b: Operand) -> Reg {
+        self.emit(Opcode::Shl, a, b)
+    }
+
+    /// `fresh = a >> b`
+    pub fn shr(&mut self, a: Operand, b: Operand) -> Reg {
+        self.emit(Opcode::Shr, a, b)
+    }
+
+    /// `fresh = (a == b)`
+    pub fn cmp_eq(&mut self, a: Operand, b: Operand) -> Reg {
+        self.emit(Opcode::CmpEq, a, b)
+    }
+
+    /// `fresh = (a != b)`
+    pub fn cmp_ne(&mut self, a: Operand, b: Operand) -> Reg {
+        self.emit(Opcode::CmpNe, a, b)
+    }
+
+    /// `fresh = (a < b)`
+    pub fn cmp_lt(&mut self, a: Operand, b: Operand) -> Reg {
+        self.emit(Opcode::CmpLt, a, b)
+    }
+
+    /// `fresh = (a <= b)`
+    pub fn cmp_le(&mut self, a: Operand, b: Operand) -> Reg {
+        self.emit(Opcode::CmpLe, a, b)
+    }
+
+    /// `fresh = (a > b)`
+    pub fn cmp_gt(&mut self, a: Operand, b: Operand) -> Reg {
+        self.emit(Opcode::CmpGt, a, b)
+    }
+
+    /// `fresh = (a >= b)`
+    pub fn cmp_ge(&mut self, a: Operand, b: Operand) -> Reg {
+        self.emit(Opcode::CmpGe, a, b)
+    }
+
+    /// `fresh = a`
+    pub fn mov(&mut self, a: Operand) -> Reg {
+        self.emit_unary(Opcode::Mov, a)
+    }
+
+    /// `dst = a` into an existing register (for cross-block variables).
+    pub fn mov_to(&mut self, dst: Reg, a: Operand) {
+        self.push(Instr::mov(dst, a));
+    }
+
+    /// `fresh = mem[addr]`
+    pub fn load(&mut self, addr: Operand) -> Reg {
+        self.emit_unary(Opcode::Load, addr)
+    }
+
+    /// `mem[addr] = value`
+    pub fn store(&mut self, addr: Operand, value: Operand) {
+        self.push(Instr::store(addr, value));
+    }
+
+    /// Terminate the current block with an unconditional jump.
+    ///
+    /// # Panics
+    /// Panics if the block already has exits.
+    pub fn jump(&mut self, target: BlockId) {
+        let b = self.cur_block();
+        assert!(b.exits.is_empty(), "block already terminated");
+        b.exits.push(Exit::jump(target));
+    }
+
+    /// Terminate with a conditional branch: `cond != 0` goes to `on_true`,
+    /// otherwise `on_false`.
+    ///
+    /// # Panics
+    /// Panics if the block already has exits.
+    pub fn branch(&mut self, cond: Reg, on_true: BlockId, on_false: BlockId) {
+        let b = self.cur_block();
+        assert!(b.exits.is_empty(), "block already terminated");
+        b.exits.push(Exit::when(Pred::on_true(cond), on_true));
+        b.exits.push(Exit::jump(on_false));
+    }
+
+    /// Terminate with a return.
+    ///
+    /// # Panics
+    /// Panics if the block already has exits.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        let b = self.cur_block();
+        assert!(b.exits.is_empty(), "block already terminated");
+        b.exits.push(Exit {
+            pred: None,
+            target: ExitTarget::Return(value),
+            count: 0.0,
+        });
+    }
+
+    /// Finish, verify, and return the function.
+    ///
+    /// # Errors
+    /// Returns the first structural invariant violation found.
+    pub fn build(self) -> Result<Function, VerifyError> {
+        verify(&self.f)?;
+        Ok(self.f)
+    }
+
+    /// Finish without verification (for tests that deliberately build
+    /// ill-formed IR).
+    pub fn build_unverified(self) -> Function {
+        self.f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_build() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let e = b.create_block();
+        b.switch_to(e);
+        let x = b.add(Operand::Reg(b.param(0)), Operand::Imm(1));
+        b.ret(Some(Operand::Reg(x)));
+        let f = b.build().unwrap();
+        assert_eq!(f.block(f.entry).insts.len(), 1);
+        assert_eq!(f.block(f.entry).exits.len(), 1);
+    }
+
+    #[test]
+    fn branch_creates_two_exits() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let e = b.create_block();
+        let t = b.create_block();
+        let z = b.create_block();
+        b.switch_to(e);
+        let c = b.cmp_lt(Operand::Reg(b.param(0)), Operand::Imm(5));
+        b.branch(c, t, z);
+        b.switch_to(t);
+        b.ret(Some(Operand::Imm(1)));
+        b.switch_to(z);
+        b.ret(Some(Operand::Imm(0)));
+        let f = b.build().unwrap();
+        assert_eq!(f.block(f.entry).exits.len(), 2);
+        assert!(f.block(f.entry).exits[0].pred.is_some());
+        assert!(f.block(f.entry).exits[1].pred.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "block already terminated")]
+    fn double_terminator_panics() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let e = b.create_block();
+        b.switch_to(e);
+        b.ret(None);
+        b.ret(None);
+    }
+
+    #[test]
+    fn build_rejects_unterminated_block() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let e = b.create_block();
+        b.switch_to(e);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn named_blocks_keep_labels() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let e = b.create_named_block("entry");
+        b.switch_to(e);
+        b.ret(None);
+        let f = b.build().unwrap();
+        assert_eq!(f.block(f.entry).name.as_deref(), Some("entry"));
+    }
+}

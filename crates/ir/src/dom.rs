@@ -1,0 +1,212 @@
+//! Dominator tree (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::cfg::{predecessors, reverse_postorder};
+use crate::function::Function;
+use crate::ids::BlockId;
+use std::collections::HashMap;
+
+/// Immediate-dominator tree of the reachable CFG.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    idom: HashMap<BlockId, BlockId>,
+    rpo_index: HashMap<BlockId, usize>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Compute dominators for the reachable portion of `f`.
+    pub fn compute(f: &Function) -> DomTree {
+        let rpo = reverse_postorder(f);
+        let rpo_index: HashMap<BlockId, usize> =
+            rpo.iter().enumerate().map(|(i, b)| (*b, i)).collect();
+        let preds = predecessors(f);
+        let mut idom: HashMap<BlockId, BlockId> = HashMap::new();
+        idom.insert(f.entry, f.entry);
+
+        let intersect = |idom: &HashMap<BlockId, BlockId>,
+                         rpo_index: &HashMap<BlockId, usize>,
+                         mut a: BlockId,
+                         mut b: BlockId| {
+            while a != b {
+                while rpo_index[&a] > rpo_index[&b] {
+                    a = idom[&a];
+                }
+                while rpo_index[&b] > rpo_index[&a] {
+                    b = idom[&b];
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in preds.get(&b).into_iter().flatten() {
+                    // Only consider reachable, already-processed preds.
+                    if !rpo_index.contains_key(&p) || !idom.contains_key(&p) {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom.get(&b) != Some(&ni) {
+                        idom.insert(b, ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        DomTree {
+            idom,
+            rpo_index,
+            entry: f.entry,
+        }
+    }
+
+    /// Immediate dominator of `b` (the entry's idom is itself).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom.get(&b).copied()
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.idom.contains_key(&b) || !self.idom.contains_key(&a) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            cur = self.idom[&cur];
+        }
+    }
+
+    /// Whether `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Whether `b` was reachable when the tree was computed.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index.contains_key(&b)
+    }
+
+    /// Blocks in reverse postorder (the order used during computation).
+    pub fn rpo(&self) -> Vec<BlockId> {
+        let mut v: Vec<(usize, BlockId)> =
+            self.rpo_index.iter().map(|(b, i)| (*i, *b)).collect();
+        v.sort_unstable();
+        v.into_iter().map(|(_, b)| b).collect()
+    }
+
+    /// Children of `b` in the dominator tree.
+    pub fn children(&self, b: BlockId) -> Vec<BlockId> {
+        let mut cs: Vec<BlockId> = self
+            .idom
+            .iter()
+            .filter(|(c, p)| **p == b && **c != b)
+            .map(|(c, _)| *c)
+            .collect();
+        cs.sort_unstable();
+        cs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::Operand;
+
+    /// Classic diamond: e -> {a, b} -> j
+    fn diamond() -> Function {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let e = fb.create_block();
+        let a = fb.create_block();
+        let b = fb.create_block();
+        let j = fb.create_block();
+        fb.switch_to(e);
+        let c = fb.cmp_lt(Operand::Reg(fb.param(0)), Operand::Imm(0));
+        fb.branch(c, a, b);
+        fb.switch_to(a);
+        fb.jump(j);
+        fb.switch_to(b);
+        fb.jump(j);
+        fb.switch_to(j);
+        fb.ret(None);
+        fb.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        let f = diamond();
+        let d = DomTree::compute(&f);
+        let (e, a, b, j) = (BlockId(0), BlockId(1), BlockId(2), BlockId(3));
+        assert_eq!(d.idom(a), Some(e));
+        assert_eq!(d.idom(b), Some(e));
+        assert_eq!(d.idom(j), Some(e));
+        assert!(d.dominates(e, j));
+        assert!(!d.dominates(a, j));
+        assert!(d.dominates(j, j));
+        assert!(!d.strictly_dominates(j, j));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        // e -> h; h -> body | exit; body -> h
+        let mut fb = FunctionBuilder::new("f", 1);
+        let e = fb.create_block();
+        let h = fb.create_block();
+        let body = fb.create_block();
+        let exit = fb.create_block();
+        fb.switch_to(e);
+        fb.jump(h);
+        fb.switch_to(h);
+        let c = fb.cmp_lt(Operand::Reg(fb.param(0)), Operand::Imm(10));
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        fb.jump(h);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let f = fb.build().unwrap();
+        let d = DomTree::compute(&f);
+        assert!(d.dominates(h, body));
+        assert!(d.dominates(h, exit));
+        assert_eq!(d.idom(body), Some(h));
+        assert_eq!(d.children(h), vec![body, exit]);
+    }
+
+    #[test]
+    fn unreachable_blocks_not_in_tree() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        let e = fb.create_block();
+        let dead = fb.create_block();
+        fb.switch_to(e);
+        fb.ret(None);
+        fb.switch_to(dead);
+        fb.ret(None);
+        let f = fb.build().unwrap();
+        let d = DomTree::compute(&f);
+        assert!(!d.is_reachable(dead));
+        assert!(!d.dominates(e, dead));
+    }
+
+    #[test]
+    fn rpo_roundtrip() {
+        let f = diamond();
+        let d = DomTree::compute(&f);
+        let rpo = d.rpo();
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], f.entry);
+    }
+}

@@ -1,0 +1,219 @@
+//! Functions: the unit of compilation and simulation.
+
+use crate::block::Block;
+use crate::ids::{BlockId, Reg};
+
+/// A function: a control-flow graph of [`Block`]s with a distinguished entry.
+///
+/// Registers `r0..r{params}` hold the arguments on entry. Blocks are stored
+/// in a slot vector so [`BlockId`]s remain stable when blocks are removed.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Function name (used in diagnostics and workload tables).
+    pub name: String,
+    blocks: Vec<Option<Block>>,
+    /// Entry block.
+    pub entry: BlockId,
+    /// Number of parameters (passed in `r0..params`).
+    pub params: u32,
+    nregs: u32,
+}
+
+impl Function {
+    /// Create an empty function with `params` parameters and a fresh, empty
+    /// entry block.
+    pub fn new(name: impl Into<String>, params: u32) -> Self {
+        let mut f = Function {
+            name: name.into(),
+            blocks: Vec::new(),
+            entry: BlockId(0),
+            params,
+            nregs: params,
+        };
+        let entry = f.add_block(Block::new());
+        f.entry = entry;
+        f
+    }
+
+    /// Allocate a fresh virtual register.
+    pub fn new_reg(&mut self) -> Reg {
+        let r = Reg(self.nregs);
+        self.nregs += 1;
+        r
+    }
+
+    /// Number of virtual registers allocated so far.
+    pub fn reg_count(&self) -> u32 {
+        self.nregs
+    }
+
+    /// Record that registers up to `n` exist (used when splicing in code
+    /// that was built against a larger register space).
+    pub fn ensure_regs(&mut self, n: u32) {
+        self.nregs = self.nregs.max(n);
+    }
+
+    /// Add a block, returning its id.
+    pub fn add_block(&mut self, block: Block) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Some(block));
+        id
+    }
+
+    /// Remove a block. Its id becomes a hole; edges into it become dangling
+    /// (the caller must have retargeted them).
+    ///
+    /// # Panics
+    /// Panics if `id` is the entry block or already removed.
+    pub fn remove_block(&mut self, id: BlockId) {
+        assert_ne!(id, self.entry, "cannot remove the entry block");
+        let slot = &mut self.blocks[id.index()];
+        assert!(slot.is_some(), "block {id} already removed");
+        *slot = None;
+    }
+
+    /// Whether `id` refers to a live (not removed) block.
+    pub fn contains_block(&self, id: BlockId) -> bool {
+        self.blocks
+            .get(id.index())
+            .map(|s| s.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Borrow a block.
+    ///
+    /// # Panics
+    /// Panics if the block was removed or never existed.
+    pub fn block(&self, id: BlockId) -> &Block {
+        self.blocks[id.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("block {id} does not exist"))
+    }
+
+    /// Mutably borrow a block.
+    ///
+    /// # Panics
+    /// Panics if the block was removed or never existed.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        self.blocks[id.index()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("block {id} does not exist"))
+    }
+
+    /// Borrow a block if it exists.
+    pub fn try_block(&self, id: BlockId) -> Option<&Block> {
+        self.blocks.get(id.index()).and_then(|s| s.as_ref())
+    }
+
+    /// Iterate over live block ids in id order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| BlockId(i as u32))
+    }
+
+    /// Iterate over `(id, block)` pairs in id order.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> + '_ {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|b| (BlockId(i as u32), b)))
+    }
+
+    /// Number of live blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Total static instruction count (including exits, which occupy branch
+    /// slots on TRIPS).
+    pub fn static_size(&self) -> usize {
+        self.blocks().map(|(_, b)| b.size()).sum()
+    }
+
+    /// Duplicate block `id`, returning the id of the copy. The copy shares
+    /// registers with the original (no SSA); callers performing tail or head
+    /// duplication rely on only one copy executing per dynamic path, or on
+    /// sequential in-block ordering for unrolled copies.
+    pub fn duplicate_block(&mut self, id: BlockId) -> BlockId {
+        let mut copy = self.block(id).clone();
+        if let Some(n) = &copy.name {
+            copy.name = Some(format!("{n}'"));
+        }
+        copy.freq = 0.0;
+        self.add_block(copy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Exit;
+    use crate::instr::{Instr, Operand};
+
+    #[test]
+    fn new_function_has_entry() {
+        let f = Function::new("f", 2);
+        assert_eq!(f.block_count(), 1);
+        assert!(f.contains_block(f.entry));
+        assert_eq!(f.reg_count(), 2);
+    }
+
+    #[test]
+    fn register_allocation_is_monotonic() {
+        let mut f = Function::new("f", 1);
+        let a = f.new_reg();
+        let b = f.new_reg();
+        assert!(a < b);
+        assert_eq!(f.reg_count(), 3);
+        f.ensure_regs(10);
+        assert_eq!(f.reg_count(), 10);
+        f.ensure_regs(5);
+        assert_eq!(f.reg_count(), 10);
+    }
+
+    #[test]
+    fn remove_leaves_stable_ids() {
+        let mut f = Function::new("f", 0);
+        let b1 = f.add_block(Block::new());
+        let b2 = f.add_block(Block::new());
+        f.remove_block(b1);
+        assert!(!f.contains_block(b1));
+        assert!(f.contains_block(b2));
+        assert_eq!(f.block_ids().collect::<Vec<_>>(), vec![f.entry, b2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove the entry block")]
+    fn removing_entry_panics() {
+        let mut f = Function::new("f", 0);
+        let entry = f.entry;
+        f.remove_block(entry);
+    }
+
+    #[test]
+    fn duplicate_block_copies_contents() {
+        let mut f = Function::new("f", 0);
+        let r = f.new_reg();
+        let b = f.add_block(Block::new());
+        f.block_mut(b).name = Some("L".into());
+        f.block_mut(b).insts.push(Instr::mov(r, Operand::Imm(3)));
+        f.block_mut(b).exits.push(Exit::ret(None));
+        let c = f.duplicate_block(b);
+        assert_eq!(f.block(c).insts, f.block(b).insts);
+        assert_eq!(f.block(c).name.as_deref(), Some("L'"));
+        assert_eq!(f.block(c).freq, 0.0);
+    }
+
+    #[test]
+    fn static_size_sums_blocks() {
+        let mut f = Function::new("f", 0);
+        let e = f.entry;
+        f.block_mut(e).exits.push(Exit::ret(None));
+        let r = f.new_reg();
+        f.block_mut(e).insts.push(Instr::mov(r, Operand::Imm(1)));
+        assert_eq!(f.static_size(), 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Newtype identifiers for IR entities.
+
+use std::fmt;
+
+/// A virtual register.
+///
+/// Registers are function-scoped. By convention, registers `r0..r{params}`
+/// hold the function arguments on entry. The TRIPS constraint model assigns
+/// register `r` to bank `r % 4` (see `chf-core`).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+impl Reg {
+    /// Index of this register as `usize`, for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The TRIPS register bank this register maps to.
+    pub fn bank(self) -> u32 {
+        self.0 % 4
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Identifier of a block within a [`crate::Function`].
+///
+/// Block ids are stable across block removal: removing a block leaves a hole
+/// rather than shifting other ids, so analyses can cache ids safely within a
+/// transformation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Index of this block id as `usize`, for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_display_and_bank() {
+        assert_eq!(Reg(7).to_string(), "r7");
+        assert_eq!(Reg(7).bank(), 3);
+        assert_eq!(Reg(8).bank(), 0);
+        assert_eq!(Reg(3).index(), 3);
+    }
+
+    #[test]
+    fn block_display() {
+        assert_eq!(BlockId(12).to_string(), "B12");
+        assert_eq!(BlockId(12).index(), 12);
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(Reg(1) < Reg(2));
+        assert!(BlockId(0) < BlockId(1));
+    }
+}

@@ -1,0 +1,244 @@
+//! Liveness analysis.
+//!
+//! Used for two purposes: dead-code elimination (`chf-opt`) and computing the
+//! TRIPS block register-interface counts — how many registers a block reads
+//! from the register file (live-in uses) and writes to it (defs that are
+//! live-out), which the structural constraints bound per bank (paper §2).
+//!
+//! Predicated definitions are *may*-defs: they do not kill liveness, because
+//! on a falsely-predicated path the previous value remains live.
+
+use crate::block::ExitTarget;
+use crate::function::Function;
+use crate::ids::{BlockId, Reg};
+use std::collections::{HashMap, HashSet};
+
+/// Per-block liveness sets.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    live_in: HashMap<BlockId, HashSet<Reg>>,
+    live_out: HashMap<BlockId, HashSet<Reg>>,
+    upward_exposed: HashMap<BlockId, HashSet<Reg>>,
+    defs: HashMap<BlockId, HashSet<Reg>>,
+}
+
+/// `(upward-exposed uses, unconditional kills, all defs)` of a block.
+fn block_summary(f: &Function, b: BlockId) -> (HashSet<Reg>, HashSet<Reg>, HashSet<Reg>) {
+    let blk = f.block(b);
+    let mut gen: HashSet<Reg> = HashSet::new();
+    let mut kill: HashSet<Reg> = HashSet::new();
+    let mut defs: HashSet<Reg> = HashSet::new();
+    for i in &blk.insts {
+        for u in i.uses() {
+            if !kill.contains(&u) {
+                gen.insert(u);
+            }
+        }
+        if let Some(d) = i.def() {
+            defs.insert(d);
+            if i.pred.is_none() {
+                kill.insert(d);
+            }
+        }
+    }
+    for e in &blk.exits {
+        if let Some(p) = e.pred {
+            if !kill.contains(&p.reg) {
+                gen.insert(p.reg);
+            }
+        }
+        if let ExitTarget::Return(Some(op)) = e.target {
+            if let Some(r) = op.as_reg() {
+                if !kill.contains(&r) {
+                    gen.insert(r);
+                }
+            }
+        }
+    }
+    (gen, kill, defs)
+}
+
+impl Liveness {
+    /// Compute liveness for all live blocks of `f`.
+    pub fn compute(f: &Function) -> Liveness {
+        let ids: Vec<BlockId> = f.block_ids().collect();
+        let mut gens = HashMap::new();
+        let mut kills = HashMap::new();
+        let mut defs_map = HashMap::new();
+        for &b in &ids {
+            let (g, k, d) = block_summary(f, b);
+            gens.insert(b, g);
+            kills.insert(b, k);
+            defs_map.insert(b, d);
+        }
+        let mut live_in: HashMap<BlockId, HashSet<Reg>> =
+            ids.iter().map(|b| (*b, HashSet::new())).collect();
+        let mut live_out: HashMap<BlockId, HashSet<Reg>> =
+            ids.iter().map(|b| (*b, HashSet::new())).collect();
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Backward problem: iterate in reverse id order as a heuristic.
+            for &b in ids.iter().rev() {
+                let mut out: HashSet<Reg> = HashSet::new();
+                for s in f.block(b).successors() {
+                    if let Some(li) = live_in.get(&s) {
+                        out.extend(li.iter().copied());
+                    }
+                }
+                let mut inn: HashSet<Reg> = gens[&b].clone();
+                for r in out.iter() {
+                    if !kills[&b].contains(r) {
+                        inn.insert(*r);
+                    }
+                }
+                if out != live_out[&b] {
+                    live_out.insert(b, out);
+                    changed = true;
+                }
+                if inn != live_in[&b] {
+                    live_in.insert(b, inn);
+                    changed = true;
+                }
+            }
+        }
+
+        Liveness {
+            live_in,
+            live_out,
+            upward_exposed: gens,
+            defs: defs_map,
+        }
+    }
+
+    /// Registers live on entry to `b`.
+    pub fn live_in(&self, b: BlockId) -> &HashSet<Reg> {
+        &self.live_in[&b]
+    }
+
+    /// Registers live on exit from `b`.
+    pub fn live_out(&self, b: BlockId) -> &HashSet<Reg> {
+        &self.live_out[&b]
+    }
+
+    /// Register-file *reads* of block `b`: upward-exposed register uses.
+    /// These are the values the block must fetch through TRIPS read
+    /// instructions.
+    pub fn register_reads(&self, b: BlockId) -> HashSet<Reg> {
+        self.upward_exposed[&b]
+            .intersection(&self.live_in[&b])
+            .copied()
+            .collect()
+    }
+
+    /// Register-file *writes* of block `b`: defs that are live past the
+    /// block. These are the values the block must commit through TRIPS write
+    /// instructions.
+    pub fn register_writes(&self, b: BlockId) -> HashSet<Reg> {
+        self.defs[&b]
+            .intersection(&self.live_out[&b])
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::{Instr, Operand, Pred};
+
+    #[test]
+    fn straight_line_reads_and_writes() {
+        // entry: x = p0 + 1; jump b. b: return x
+        let mut fb = FunctionBuilder::new("f", 1);
+        let e = fb.create_block();
+        let b = fb.create_block();
+        fb.switch_to(e);
+        let x = fb.add(Operand::Reg(fb.param(0)), Operand::Imm(1));
+        fb.jump(b);
+        fb.switch_to(b);
+        fb.ret(Some(Operand::Reg(x)));
+        let f = fb.build().unwrap();
+        let lv = Liveness::compute(&f);
+        assert!(lv.live_in(e).contains(&Reg(0)));
+        assert!(lv.live_out(e).contains(&x));
+        assert_eq!(lv.register_reads(e), HashSet::from([Reg(0)]));
+        assert_eq!(lv.register_writes(e), HashSet::from([x]));
+        assert_eq!(lv.register_reads(b), HashSet::from([x]));
+        assert!(lv.register_writes(b).is_empty());
+    }
+
+    #[test]
+    fn loop_carried_value_is_live_around() {
+        // e: i=0; jump h. h: i=i+1; c = i<10; branch c h x. x: ret i
+        let mut fb = FunctionBuilder::new("f", 0);
+        let e = fb.create_block();
+        let h = fb.create_block();
+        let x = fb.create_block();
+        fb.switch_to(e);
+        let i = fb.mov(Operand::Imm(0));
+        fb.jump(h);
+        fb.switch_to(h);
+        fb.mov_to(i, Operand::Imm(1)); // placeholder, replaced after build
+        let c = fb.cmp_lt(Operand::Reg(i), Operand::Imm(10));
+        fb.branch(c, h, x);
+        fb.switch_to(x);
+        fb.ret(Some(Operand::Reg(i)));
+        let mut f = fb.build().unwrap();
+        // Rewrite h's first instruction to a real increment.
+        f.block_mut(h).insts[0] = Instr::add(i, Operand::Reg(i), Operand::Imm(1));
+        let lv = Liveness::compute(&f);
+        assert!(lv.live_in(h).contains(&i));
+        assert!(lv.live_out(h).contains(&i));
+        assert!(lv.register_reads(h).contains(&i));
+        assert!(lv.register_writes(h).contains(&i));
+    }
+
+    #[test]
+    fn predicated_def_does_not_kill() {
+        // entry: [p] x = 1; return x  — x is still live-in (may read old x)
+        let mut fb = FunctionBuilder::new("f", 2);
+        let e = fb.create_block();
+        fb.switch_to(e);
+        let x = fb.param(0);
+        let p = fb.param(1);
+        fb.push(Instr::mov(x, Operand::Imm(1)).predicated(Pred::on_true(p)));
+        fb.ret(Some(Operand::Reg(x)));
+        let f = fb.build().unwrap();
+        let lv = Liveness::compute(&f);
+        assert!(lv.live_in(e).contains(&x));
+        assert!(lv.live_in(e).contains(&p));
+    }
+
+    #[test]
+    fn unconditional_def_kills() {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let e = fb.create_block();
+        fb.switch_to(e);
+        let x = fb.param(0);
+        fb.mov_to(x, Operand::Imm(1));
+        fb.ret(Some(Operand::Reg(x)));
+        let f = fb.build().unwrap();
+        let lv = Liveness::compute(&f);
+        assert!(!lv.live_in(e).contains(&x));
+    }
+
+    #[test]
+    fn exit_predicate_is_a_use() {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let e = fb.create_block();
+        let a = fb.create_block();
+        let b = fb.create_block();
+        fb.switch_to(e);
+        fb.branch(fb.param(0), a, b);
+        fb.switch_to(a);
+        fb.ret(None);
+        fb.switch_to(b);
+        fb.ret(None);
+        let f = fb.build().unwrap();
+        let lv = Liveness::compute(&f);
+        assert!(lv.live_in(e).contains(&Reg(0)));
+    }
+}

@@ -1,0 +1,126 @@
+//! Textual rendering of IR, used by diagnostics, examples, and tests.
+//!
+//! Output format:
+//!
+//! ```text
+//! fn gcd(params: 2, regs: 7)
+//! B0 "entry" (freq 1):
+//!     r2 = ne r0, #0
+//!   exits:
+//!     [r2] -> B1
+//!     -> ret r1
+//! ```
+
+use crate::block::ExitTarget;
+use crate::function::Function;
+use crate::instr::{Instr, Opcode};
+use std::fmt;
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(p) = self.pred {
+            write!(f, "{p} ")?;
+        }
+        match self.op {
+            Opcode::Store => write!(
+                f,
+                "store {}, {}",
+                self.a.expect("store addr"),
+                self.b.expect("store value")
+            ),
+            op => {
+                write!(f, "{} = {}", self.dst.expect("dst"), op.mnemonic())?;
+                if let Some(a) = self.a {
+                    write!(f, " {a}")?;
+                }
+                if let Some(b) = self.b {
+                    write!(f, ", {b}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fn {}(params: {}, regs: {})",
+            self.name,
+            self.params,
+            self.reg_count()
+        )?;
+        for (id, blk) in self.blocks() {
+            write!(f, "{id}")?;
+            if let Some(n) = &blk.name {
+                write!(f, " {n:?}")?;
+            }
+            if blk.freq > 0.0 {
+                write!(f, " (freq {})", blk.freq)?;
+            }
+            writeln!(f, ":")?;
+            for i in &blk.insts {
+                writeln!(f, "    {i}")?;
+            }
+            writeln!(f, "  exits:")?;
+            for e in &blk.exits {
+                write!(f, "    ")?;
+                if let Some(p) = e.pred {
+                    write!(f, "{p} ")?;
+                }
+                match e.target {
+                    ExitTarget::Block(t) => write!(f, "-> {t}")?,
+                    ExitTarget::Return(None) => write!(f, "-> ret")?,
+                    ExitTarget::Return(Some(v)) => write!(f, "-> ret {v}")?,
+                }
+                if e.count > 0.0 {
+                    write!(f, "  (count {})", e.count)?;
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FunctionBuilder;
+    use crate::ids::Reg;
+    use crate::instr::{Instr, Operand, Pred};
+
+    #[test]
+    fn instr_display_forms() {
+        let i = Instr::add(Reg(3), Operand::Reg(Reg(1)), Operand::Imm(4));
+        assert_eq!(i.to_string(), "r3 = add r1, #4");
+        let s = Instr::store(Operand::Reg(Reg(0)), Operand::Imm(7))
+            .predicated(Pred::on_false(Reg(2)));
+        assert_eq!(s.to_string(), "[!r2] store r0, #7");
+        let m = Instr::mov(Reg(1), Operand::Imm(0));
+        assert_eq!(m.to_string(), "r1 = mov #0");
+    }
+
+    #[test]
+    fn function_display_contains_blocks_and_exits() {
+        let mut fb = FunctionBuilder::new("demo", 1);
+        let e = fb.create_named_block("entry");
+        let t = fb.create_block();
+        let z = fb.create_block();
+        fb.switch_to(e);
+        let c = fb.cmp_lt(Operand::Reg(fb.param(0)), Operand::Imm(2));
+        fb.branch(c, t, z);
+        fb.switch_to(t);
+        fb.ret(Some(Operand::Imm(1)));
+        fb.switch_to(z);
+        fb.ret(Some(Operand::Reg(fb.param(0))));
+        let f = fb.build().unwrap();
+        let s = f.to_string();
+        assert!(s.contains("fn demo"));
+        assert!(s.contains("\"entry\""));
+        assert!(s.contains("r1 = lt r0, #2"));
+        assert!(s.contains("[r1] -> B1"));
+        assert!(s.contains("-> ret r0"));
+        assert!(s.contains("-> ret #1"));
+    }
+}

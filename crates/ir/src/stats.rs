@@ -1,0 +1,146 @@
+//! Static shape statistics of a function — block sizes, predication, exit
+//! fan-out. Used by the evaluation harness to report how "converged" the
+//! formed hyperblocks are relative to the structural constraints.
+
+use crate::function::Function;
+
+/// Summary of a function's static shape.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FunctionStats {
+    /// Number of live blocks.
+    pub blocks: usize,
+    /// Total instruction slots (instructions + exits).
+    pub total_slots: usize,
+    /// Size of the largest block in slots.
+    pub max_block_slots: usize,
+    /// Mean block size in slots.
+    pub mean_block_slots: f64,
+    /// Fraction of instructions that are predicated, in `[0, 1]`.
+    pub predicated_fraction: f64,
+    /// Total memory operations.
+    pub memory_ops: usize,
+    /// Maximum exits on one block.
+    pub max_exits: usize,
+    /// Blocks with a single exit (perfectly predictable).
+    pub single_exit_blocks: usize,
+}
+
+impl FunctionStats {
+    /// Measure `f`.
+    pub fn of(f: &Function) -> FunctionStats {
+        let mut blocks = 0usize;
+        let mut total_slots = 0usize;
+        let mut max_block_slots = 0usize;
+        let mut insts = 0usize;
+        let mut predicated = 0usize;
+        let mut memory_ops = 0usize;
+        let mut max_exits = 0usize;
+        let mut single_exit_blocks = 0usize;
+        for (_, blk) in f.blocks() {
+            blocks += 1;
+            let size = blk.size();
+            total_slots += size;
+            max_block_slots = max_block_slots.max(size);
+            insts += blk.insts.len();
+            predicated += blk.insts.iter().filter(|i| i.pred.is_some()).count();
+            memory_ops += blk.memory_ops();
+            max_exits = max_exits.max(blk.exits.len());
+            if blk.exits.len() == 1 {
+                single_exit_blocks += 1;
+            }
+        }
+        FunctionStats {
+            blocks,
+            total_slots,
+            max_block_slots,
+            mean_block_slots: if blocks == 0 {
+                0.0
+            } else {
+                total_slots as f64 / blocks as f64
+            },
+            predicated_fraction: if insts == 0 {
+                0.0
+            } else {
+                predicated as f64 / insts as f64
+            },
+            memory_ops,
+            max_exits,
+            single_exit_blocks,
+        }
+    }
+
+    /// How full the average block is relative to a slot budget, in `[0, 1]`.
+    pub fn fill_ratio(&self, budget: usize) -> f64 {
+        if budget == 0 {
+            0.0
+        } else {
+            self.mean_block_slots / budget as f64
+        }
+    }
+}
+
+impl std::fmt::Display for FunctionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} blocks, {} slots (max {}, mean {:.1}), {:.0}% predicated, {} mem ops, max {} exits, {} single-exit",
+            self.blocks,
+            self.total_slots,
+            self.max_block_slots,
+            self.mean_block_slots,
+            self.predicated_fraction * 100.0,
+            self.memory_ops,
+            self.max_exits,
+            self.single_exit_blocks,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::{Instr, Operand, Pred};
+
+    #[test]
+    fn measures_shape() {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let e = fb.create_block();
+        let t = fb.create_block();
+        fb.switch_to(e);
+        let p = fb.cmp_gt(Operand::Reg(fb.param(0)), Operand::Imm(0));
+        let x = fb.fresh_reg();
+        fb.push(Instr::mov(x, Operand::Imm(1)).predicated(Pred::on_true(p)));
+        fb.store(Operand::Imm(0), Operand::Reg(x));
+        fb.branch(p, t, t);
+        fb.switch_to(t);
+        fb.ret(Some(Operand::Reg(x)));
+        let f = fb.build().unwrap();
+        let s = FunctionStats::of(&f);
+        assert_eq!(s.blocks, 2);
+        assert_eq!(s.memory_ops, 1);
+        assert_eq!(s.max_exits, 2);
+        assert_eq!(s.single_exit_blocks, 1);
+        assert!((s.predicated_fraction - 1.0 / 3.0).abs() < 1e-9);
+        assert!(s.max_block_slots >= 5);
+        let shown = s.to_string();
+        assert!(shown.contains("2 blocks"));
+    }
+
+    #[test]
+    fn fill_ratio() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        let e = fb.create_block();
+        fb.switch_to(e);
+        for _ in 0..9 {
+            let r = fb.mov(Operand::Imm(1));
+            let _ = r;
+        }
+        fb.ret(None);
+        let f = fb.build().unwrap();
+        let s = FunctionStats::of(&f);
+        assert_eq!(s.total_slots, 10);
+        assert!((s.fill_ratio(20) - 0.5).abs() < 1e-9);
+        assert_eq!(s.fill_ratio(0), 0.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Random structured-program generation for property-based testing.
+//!
+//! Every compiler transformation in this workspace is tested for *observable
+//! equivalence*: a generated program must return the same value and produce
+//! the same memory image before and after the transformation. This module
+//! generates arbitrarily-shaped but always-terminating programs: nested
+//! bounded loops, branches on computed values, arithmetic over a small
+//! variable pool, and memory traffic in a small address window.
+//!
+//! The generator is deterministic in its seed and dependency-free (it embeds
+//! a SplitMix64 PRNG) so failures shrink to a reproducible seed.
+
+use crate::builder::FunctionBuilder;
+use crate::function::Function;
+use crate::ids::Reg;
+use crate::instr::{Opcode, Operand};
+
+/// Tunable knobs for [`generate`].
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Maximum nesting depth of loops/branches.
+    pub max_depth: u32,
+    /// Maximum statements per sequence.
+    pub max_stmts: u32,
+    /// Maximum loop trip count (loops always terminate).
+    pub max_trips: u64,
+    /// Number of mutable variables in the pool.
+    pub num_vars: u32,
+    /// Whether to emit loads/stores.
+    pub memory_ops: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_depth: 3,
+            max_stmts: 6,
+            max_trips: 5,
+            num_vars: 6,
+            memory_ops: true,
+        }
+    }
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next() % n
+        }
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+struct Gen<'a> {
+    rng: Rng,
+    cfg: &'a GenConfig,
+    vars: Vec<Reg>,
+}
+
+impl Gen<'_> {
+    fn var(&mut self) -> Reg {
+        self.vars[self.rng.below(self.vars.len() as u64) as usize]
+    }
+
+    fn operand(&mut self) -> Operand {
+        if self.rng.chance(30) {
+            Operand::Imm(self.rng.below(21) as i64 - 10)
+        } else {
+            Operand::Reg(self.var())
+        }
+    }
+
+    fn binop(&mut self) -> Opcode {
+        const OPS: &[Opcode] = &[
+            Opcode::Add,
+            Opcode::Sub,
+            Opcode::Mul,
+            Opcode::Div,
+            Opcode::Rem,
+            Opcode::And,
+            Opcode::Or,
+            Opcode::Xor,
+            Opcode::CmpEq,
+            Opcode::CmpNe,
+            Opcode::CmpLt,
+            Opcode::CmpLe,
+            Opcode::CmpGt,
+            Opcode::CmpGe,
+        ];
+        OPS[self.rng.below(OPS.len() as u64) as usize]
+    }
+
+    /// Emit a sequence of statements into the current block; returns with
+    /// the builder positioned in the block where control continues.
+    fn sequence(&mut self, b: &mut FunctionBuilder, depth: u32) {
+        let n = 1 + self.rng.below(self.cfg.max_stmts as u64) as u32;
+        for _ in 0..n {
+            let choice = self.rng.below(100);
+            if depth < self.cfg.max_depth && choice < 18 {
+                self.if_else(b, depth + 1);
+            } else if depth < self.cfg.max_depth && choice < 30 {
+                self.bounded_loop(b, depth + 1);
+            } else if self.cfg.memory_ops && choice < 45 {
+                self.memory_stmt(b);
+            } else {
+                self.arith_stmt(b);
+            }
+        }
+    }
+
+    fn arith_stmt(&mut self, b: &mut FunctionBuilder) {
+        let op = self.binop();
+        let a = self.operand();
+        let c = self.operand();
+        let tmp = b.emit(op, a, c);
+        let dst = self.var();
+        b.mov_to(dst, Operand::Reg(tmp));
+    }
+
+    fn memory_stmt(&mut self, b: &mut FunctionBuilder) {
+        // Keep addresses in a small window so loads observe stores.
+        let v = self.var();
+        let masked = b.and(Operand::Reg(v), Operand::Imm(15));
+        if self.rng.chance(50) {
+            let val = self.operand();
+            b.store(Operand::Reg(masked), val);
+        } else {
+            let x = b.load(Operand::Reg(masked));
+            let dst = self.var();
+            b.mov_to(dst, Operand::Reg(x));
+        }
+    }
+
+    fn if_else(&mut self, b: &mut FunctionBuilder, depth: u32) {
+        let cond_src = self.operand();
+        let cond = b.cmp_ne(cond_src, Operand::Imm(0));
+        let then_b = b.create_block();
+        let else_b = b.create_block();
+        let join = b.create_block();
+        b.branch(cond, then_b, else_b);
+        b.switch_to(then_b);
+        self.sequence(b, depth);
+        b.jump(join);
+        b.switch_to(else_b);
+        if self.rng.chance(70) {
+            self.sequence(b, depth);
+        }
+        b.jump(join);
+        b.switch_to(join);
+    }
+
+    fn bounded_loop(&mut self, b: &mut FunctionBuilder, depth: u32) {
+        let trips = self.rng.below(self.cfg.max_trips + 1) as i64;
+        let i = b.mov(Operand::Imm(0));
+        let header = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.cmp_lt(Operand::Reg(i), Operand::Imm(trips));
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        self.sequence(b, depth);
+        let i2 = b.add(Operand::Reg(i), Operand::Imm(1));
+        b.mov_to(i, Operand::Reg(i2));
+        b.jump(header);
+        b.switch_to(exit);
+    }
+}
+
+/// Generate a random, always-terminating function with 2 parameters.
+///
+/// The same `(seed, config)` pair always yields the same program. The
+/// function returns a hash of the variable pool, so optimizations that
+/// corrupt any variable change the observable result.
+pub fn generate(seed: u64, config: &GenConfig) -> Function {
+    let mut b = FunctionBuilder::new(format!("gen_{seed:016x}"), 2);
+    let entry = b.create_block();
+    b.switch_to(entry);
+
+    let mut g = Gen {
+        rng: Rng(seed),
+        cfg: config,
+        vars: Vec::new(),
+    };
+
+    // Initialize the variable pool from parameters and constants.
+    for k in 0..config.num_vars {
+        let init = match k % 3 {
+            0 => Operand::Reg(b.param(0)),
+            1 => Operand::Reg(b.param(1)),
+            _ => Operand::Imm(g.rng.below(100) as i64),
+        };
+        let v = b.mov(init);
+        g.vars.push(v);
+    }
+
+    g.sequence(&mut b, 0);
+
+    // Fold all variables (and a memory probe) into one return value.
+    let mut acc = b.mov(Operand::Imm(0));
+    let vars = g.vars.clone();
+    for v in vars {
+        let x = b.mul(Operand::Reg(acc), Operand::Imm(31));
+        let y = b.add(Operand::Reg(x), Operand::Reg(v));
+        acc = y;
+    }
+    b.ret(Some(Operand::Reg(acc)));
+    b.build().expect("generated program must verify")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = GenConfig::default();
+        let a = generate(42, &cfg);
+        let b = generate(42, &cfg);
+        assert_eq!(a.to_string(), b.to_string());
+        let c = generate(43, &cfg);
+        assert_ne!(a.to_string(), c.to_string());
+    }
+
+    #[test]
+    fn generated_programs_verify() {
+        let cfg = GenConfig::default();
+        for seed in 0..50 {
+            let f = generate(seed, &cfg);
+            assert_eq!(verify(&f), Ok(()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generates_interesting_shapes() {
+        let cfg = GenConfig {
+            max_depth: 3,
+            max_stmts: 8,
+            ..GenConfig::default()
+        };
+        let mut saw_multi_block = false;
+        let mut saw_loop = false;
+        for seed in 0..30 {
+            let f = generate(seed, &cfg);
+            if f.block_count() > 3 {
+                saw_multi_block = true;
+            }
+            if !crate::loops::LoopForest::of(&f).loops.is_empty() {
+                saw_loop = true;
+            }
+        }
+        assert!(saw_multi_block);
+        assert!(saw_loop);
+    }
+}

@@ -1,0 +1,200 @@
+//! Structural IR verifier.
+//!
+//! Run after every transformation in debug builds and throughout the test
+//! suite. Catches dangling edges, malformed exit sets, and register-space
+//! violations — the classes of bugs CFG surgery (tail/head duplication) is
+//! most prone to.
+
+use crate::block::ExitTarget;
+use crate::function::Function;
+use crate::ids::BlockId;
+use std::fmt;
+
+/// A structural invariant violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A block has no exits at all.
+    NoExits(BlockId),
+    /// The final exit of a block is predicated, so the exit set may not be
+    /// total.
+    NoDefaultExit(BlockId),
+    /// A predicated exit appears after the unpredicated default.
+    ExitAfterDefault(BlockId),
+    /// An exit targets a removed or never-created block.
+    DanglingEdge(BlockId, BlockId),
+    /// An instruction or exit references a register beyond the function's
+    /// allocated register space.
+    RegisterOutOfRange(BlockId, u32),
+    /// The entry block has been removed.
+    MissingEntry,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::NoExits(b) => write!(f, "block {b} has no exits"),
+            VerifyError::NoDefaultExit(b) => {
+                write!(f, "block {b} has no unpredicated default exit")
+            }
+            VerifyError::ExitAfterDefault(b) => {
+                write!(f, "block {b} has exits after the default exit")
+            }
+            VerifyError::DanglingEdge(b, t) => {
+                write!(f, "block {b} targets nonexistent block {t}")
+            }
+            VerifyError::RegisterOutOfRange(b, r) => {
+                write!(f, "block {b} references unallocated register r{r}")
+            }
+            VerifyError::MissingEntry => write!(f, "entry block does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Check all structural invariants of `f`.
+///
+/// # Errors
+/// Returns the first violation found, in block-id order.
+pub fn verify(f: &Function) -> Result<(), VerifyError> {
+    if !f.contains_block(f.entry) {
+        return Err(VerifyError::MissingEntry);
+    }
+    let nregs = f.reg_count();
+    for (id, blk) in f.blocks() {
+        if blk.exits.is_empty() {
+            return Err(VerifyError::NoExits(id));
+        }
+        let last = blk.exits.len() - 1;
+        if blk.exits[last].pred.is_some() {
+            return Err(VerifyError::NoDefaultExit(id));
+        }
+        for (i, e) in blk.exits.iter().enumerate() {
+            if e.pred.is_none() && i != last {
+                return Err(VerifyError::ExitAfterDefault(id));
+            }
+            if let ExitTarget::Block(t) = e.target {
+                if !f.contains_block(t) {
+                    return Err(VerifyError::DanglingEdge(id, t));
+                }
+            }
+            if let Some(p) = e.pred {
+                if p.reg.0 >= nregs {
+                    return Err(VerifyError::RegisterOutOfRange(id, p.reg.0));
+                }
+            }
+            if let ExitTarget::Return(Some(op)) = e.target {
+                if let Some(r) = op.as_reg() {
+                    if r.0 >= nregs {
+                        return Err(VerifyError::RegisterOutOfRange(id, r.0));
+                    }
+                }
+            }
+        }
+        for inst in &blk.insts {
+            for r in inst.uses().chain(inst.def()) {
+                if r.0 >= nregs {
+                    return Err(VerifyError::RegisterOutOfRange(id, r.0));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Panic with a readable message if `f` fails verification. Intended for
+/// `debug_assert!`-style use inside transformation passes.
+///
+/// # Panics
+/// Panics if verification fails.
+#[track_caller]
+pub fn assert_valid(f: &Function, context: &str) {
+    if let Err(e) = verify(f) {
+        panic!("IR verification failed after {context}: {e}\n{f}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, Exit};
+    use crate::builder::FunctionBuilder;
+    use crate::ids::Reg;
+    use crate::instr::{Instr, Operand, Pred};
+
+    fn valid_fn() -> Function {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let e = fb.create_block();
+        let x = fb.create_block();
+        fb.switch_to(e);
+        fb.jump(x);
+        fb.switch_to(x);
+        fb.ret(Some(Operand::Reg(fb.param(0))));
+        fb.build_unverified()
+    }
+
+    #[test]
+    fn accepts_valid_function() {
+        assert_eq!(verify(&valid_fn()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_empty_exits() {
+        let mut f = valid_fn();
+        let b = f.add_block(Block::new());
+        // make reachable not required by verifier; unreachable blocks are
+        // still checked
+        assert_eq!(verify(&f), Err(VerifyError::NoExits(b)));
+    }
+
+    #[test]
+    fn rejects_missing_default() {
+        let mut f = valid_fn();
+        let e = f.entry;
+        let t = f.block(e).exits[0].target;
+        f.block_mut(e).exits[0] = Exit {
+            pred: Some(Pred::on_true(Reg(0))),
+            target: t,
+            count: 0.0,
+        };
+        assert_eq!(verify(&f), Err(VerifyError::NoDefaultExit(e)));
+    }
+
+    #[test]
+    fn rejects_exit_after_default() {
+        let mut f = valid_fn();
+        let e = f.entry;
+        let existing = f.block(e).exits[0];
+        f.block_mut(e).exits.push(existing);
+        assert_eq!(verify(&f), Err(VerifyError::ExitAfterDefault(e)));
+    }
+
+    #[test]
+    fn rejects_dangling_edge() {
+        let mut f = valid_fn();
+        let ghost = BlockId(99);
+        f.block_mut(f.entry).retarget_exits(BlockId(1), ghost);
+        let entry = f.entry;
+        assert_eq!(verify(&f), Err(VerifyError::DanglingEdge(entry, ghost)));
+    }
+
+    #[test]
+    fn rejects_out_of_range_register() {
+        let mut f = valid_fn();
+        let entry = f.entry;
+        f.block_mut(entry)
+            .insts
+            .push(Instr::mov(Reg(500), Operand::Imm(1)));
+        assert_eq!(
+            verify(&f),
+            Err(VerifyError::RegisterOutOfRange(entry, 500))
+        );
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = VerifyError::DanglingEdge(BlockId(1), BlockId(9));
+        assert!(e.to_string().contains("B1"));
+        assert!(e.to_string().contains("B9"));
+    }
+}

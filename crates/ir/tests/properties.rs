@@ -1,0 +1,157 @@
+//! Property-based tests over the IR's core data structures and analyses.
+
+use chf_ir::cfg::{predecessors, reachable, reverse_postorder};
+use chf_ir::dom::DomTree;
+use chf_ir::liveness::Liveness;
+use chf_ir::loops::LoopForest;
+use chf_ir::parse::parse_function;
+use chf_ir::testgen::{generate, GenConfig};
+use chf_ir::verify::verify;
+use chf_sim::functional::{run, RunConfig};
+use proptest::prelude::*;
+
+fn gen_config() -> impl Strategy<Value = GenConfig> {
+    (1u32..4, 2u32..8, 0u64..6, 3u32..8, any::<bool>()).prop_map(
+        |(max_depth, max_stmts, max_trips, num_vars, memory_ops)| GenConfig {
+            max_depth,
+            max_stmts,
+            max_trips,
+            num_vars,
+            memory_ops,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated program satisfies the structural invariants.
+    #[test]
+    fn generated_programs_verify(seed in any::<u64>(), cfg in gen_config()) {
+        let f = generate(seed, &cfg);
+        prop_assert!(verify(&f).is_ok());
+    }
+
+    /// Reverse postorder visits exactly the reachable blocks, starting at
+    /// the entry, and predecessors/successors agree.
+    #[test]
+    fn rpo_and_reachability_agree(seed in any::<u64>(), cfg in gen_config()) {
+        let f = generate(seed, &cfg);
+        let rpo = reverse_postorder(&f);
+        let reach = reachable(&f);
+        prop_assert_eq!(rpo.len(), reach.len());
+        prop_assert_eq!(rpo[0], f.entry);
+        for b in &rpo {
+            prop_assert!(reach.contains(b));
+        }
+        let preds = predecessors(&f);
+        for (b, ps) in &preds {
+            for p in ps {
+                prop_assert!(
+                    f.block(*p).successors().any(|s| s == *b),
+                    "pred edge {p} -> {b} has no matching successor"
+                );
+            }
+        }
+    }
+
+    /// Dominator-tree sanity: the entry dominates every reachable block,
+    /// immediate dominators strictly dominate their children, and
+    /// domination is consistent with reachability.
+    #[test]
+    fn dominator_invariants(seed in any::<u64>(), cfg in gen_config()) {
+        let f = generate(seed, &cfg);
+        let dom = DomTree::compute(&f);
+        for b in reachable(&f) {
+            prop_assert!(dom.dominates(f.entry, b), "entry must dominate {b}");
+            prop_assert!(dom.dominates(b, b), "domination is reflexive");
+            if b != f.entry {
+                let idom = dom.idom(b).expect("reachable blocks have idoms");
+                prop_assert!(dom.strictly_dominates(idom, b));
+            }
+        }
+    }
+
+    /// Natural-loop invariants: the header is in the body, dominates every
+    /// body block, and every back-edge source is in the body.
+    #[test]
+    fn loop_invariants(seed in any::<u64>(), cfg in gen_config()) {
+        let f = generate(seed, &cfg);
+        let dom = DomTree::compute(&f);
+        let forest = LoopForest::compute(&f, &dom);
+        for l in &forest.loops {
+            prop_assert!(l.body.contains(&l.header));
+            for b in &l.body {
+                prop_assert!(dom.dominates(l.header, *b), "header must dominate {b}");
+            }
+            for (u, v) in &l.back_edges {
+                prop_assert_eq!(*v, l.header);
+                prop_assert!(l.body.contains(u));
+            }
+        }
+    }
+
+    /// Liveness consistency: register reads are live-in; a block's live-out
+    /// is the union of its successors' live-ins.
+    #[test]
+    fn liveness_invariants(seed in any::<u64>(), cfg in gen_config()) {
+        let f = generate(seed, &cfg);
+        let lv = Liveness::compute(&f);
+        for (b, blk) in f.blocks() {
+            for r in lv.register_reads(b) {
+                prop_assert!(lv.live_in(b).contains(&r));
+            }
+            let mut union = std::collections::HashSet::new();
+            for s in blk.successors() {
+                union.extend(lv.live_in(s).iter().copied());
+            }
+            prop_assert_eq!(lv.live_out(b), &union, "live-out of {} mismatch", b);
+        }
+    }
+
+    /// The printer and parser are inverse: print → parse → print is a
+    /// fixpoint for freshly built functions.
+    #[test]
+    fn print_parse_round_trip(seed in any::<u64>(), cfg in gen_config()) {
+        let f = generate(seed, &cfg);
+        let text = f.to_string();
+        let parsed = parse_function(&text).expect("printer output must parse");
+        prop_assert_eq!(parsed.to_string(), text);
+        // And the reparsed function behaves identically.
+        let a = run(&f, &[3, 4], &[], &RunConfig::default()).unwrap();
+        let b = run(&parsed, &[3, 4], &[], &RunConfig::default()).unwrap();
+        prop_assert_eq!(a.digest(), b.digest());
+    }
+
+    /// Exit deduplication preserves observable behaviour.
+    #[test]
+    fn dedupe_exits_preserves_behaviour(
+        seed in any::<u64>(),
+        cfg in gen_config(),
+        a in -50i64..50,
+        b in -50i64..50,
+    ) {
+        let f0 = generate(seed, &cfg);
+        let mut f1 = f0.clone();
+        let ids: Vec<_> = f1.block_ids().collect();
+        for id in ids {
+            f1.block_mut(id).dedupe_exits();
+        }
+        prop_assert!(verify(&f1).is_ok());
+        let r0 = run(&f0, &[a, b], &[], &RunConfig::default()).unwrap();
+        let r1 = run(&f1, &[a, b], &[], &RunConfig::default()).unwrap();
+        prop_assert_eq!(r0.digest(), r1.digest());
+    }
+
+    /// Execution is deterministic: the same program and inputs always give
+    /// the same outcome and counters.
+    #[test]
+    fn execution_is_deterministic(seed in any::<u64>(), a in -100i64..100) {
+        let f = generate(seed, &GenConfig::default());
+        let r0 = run(&f, &[a, 1], &[], &RunConfig::default()).unwrap();
+        let r1 = run(&f, &[a, 1], &[], &RunConfig::default()).unwrap();
+        prop_assert_eq!(r0.digest(), r1.digest());
+        prop_assert_eq!(r0.blocks_executed, r1.blocks_executed);
+        prop_assert_eq!(r0.insts_executed, r1.insts_executed);
+    }
+}

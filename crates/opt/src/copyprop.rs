@@ -1,0 +1,217 @@
+//! Predicate-aware copy propagation (within blocks).
+//!
+//! Forwards the source of `mov` instructions into later uses. A copy made
+//! under a predicate may only feed instructions guarded by the *same*
+//! predicate (they execute together or not at all); unpredicated copies feed
+//! anything. Entries are invalidated when their destination, source, or
+//! predicate register is redefined.
+
+use crate::Pass;
+use chf_ir::function::Function;
+use chf_ir::ids::Reg;
+use chf_ir::instr::{Opcode, Operand, Pred};
+use std::collections::HashMap;
+
+#[derive(Copy, Clone, Debug)]
+struct CopyInfo {
+    src: Operand,
+    pred: Option<Pred>,
+}
+
+/// The copy-propagation pass.
+#[derive(Debug, Default)]
+pub struct CopyProp;
+
+fn usable(info: &CopyInfo, use_pred: Option<Pred>) -> bool {
+    match info.pred {
+        None => true,
+        Some(p) => use_pred == Some(p),
+    }
+}
+
+fn invalidate(copies: &mut HashMap<Reg, CopyInfo>, defined: Reg) {
+    copies.retain(|dst, info| {
+        *dst != defined
+            && info.src != Operand::Reg(defined)
+            && info.pred.map(|p| p.reg) != Some(defined)
+    });
+}
+
+fn run_block(blk: &mut chf_ir::block::Block) -> bool {
+    let mut copies: HashMap<Reg, CopyInfo> = HashMap::new();
+    let mut changed = false;
+
+    for inst in &mut blk.insts {
+        // 1. Rewrite source operands.
+        let use_pred = inst.pred;
+        for o in [inst.a.as_mut(), inst.b.as_mut()].into_iter().flatten() {
+            if let Operand::Reg(r) = *o {
+                if let Some(info) = copies.get(&r) {
+                    if usable(info, use_pred) {
+                        *o = info.src;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // Rewrite the predicate register through unpredicated reg-to-reg
+        // copies only (a predicate operand must stay a register and must be
+        // valid whenever the instruction is evaluated).
+        if let Some(p) = inst.pred.as_mut() {
+            if let Some(info) = copies.get(&p.reg) {
+                if info.pred.is_none() {
+                    if let Operand::Reg(src) = info.src {
+                        p.reg = src;
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // 2. Process the definition.
+        if let Some(d) = inst.def() {
+            invalidate(&mut copies, d);
+            if inst.op == Opcode::Mov {
+                let src = inst.a.expect("mov has a source");
+                // Self-copies carry no information.
+                if src != Operand::Reg(d) {
+                    copies.insert(
+                        d,
+                        CopyInfo {
+                            src,
+                            pred: inst.pred,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    // 3. Rewrite exits through unpredicated copies.
+    for e in &mut blk.exits {
+        if let Some(p) = e.pred.as_mut() {
+            if let Some(info) = copies.get(&p.reg) {
+                if info.pred.is_none() {
+                    if let Operand::Reg(src) = info.src {
+                        p.reg = src;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if let chf_ir::block::ExitTarget::Return(Some(op)) = &mut e.target {
+            if let Operand::Reg(r) = *op {
+                if let Some(info) = copies.get(&r) {
+                    if info.pred.is_none() {
+                        *op = info.src;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    changed
+}
+
+impl Pass for CopyProp {
+    fn name(&self) -> &'static str {
+        "copyprop"
+    }
+
+    fn run(&mut self, f: &mut Function) -> bool {
+        let mut changed = false;
+        let ids: Vec<_> = f.block_ids().collect();
+        for b in ids {
+            changed |= run_block(f.block_mut(b));
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chf_ir::builder::FunctionBuilder;
+    use chf_ir::instr::Instr;
+
+    #[test]
+    fn propagates_simple_copy() {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let e = fb.create_block();
+        fb.switch_to(e);
+        let x = fb.mov(Operand::Reg(fb.param(0)));
+        let y = fb.add(Operand::Reg(x), Operand::Imm(1));
+        fb.ret(Some(Operand::Reg(y)));
+        let mut f = fb.build().unwrap();
+        assert!(CopyProp.run(&mut f));
+        // The add now reads the parameter directly.
+        assert_eq!(f.block(f.entry).insts[1].a, Some(Operand::Reg(Reg(0))));
+    }
+
+    #[test]
+    fn redefinition_invalidates() {
+        let mut fb = FunctionBuilder::new("f", 2);
+        let e = fb.create_block();
+        fb.switch_to(e);
+        let p0 = fb.param(0);
+        let x = fb.mov(Operand::Reg(p0)); // x = p0
+        fb.mov_to(p0, Operand::Imm(99)); // p0 redefined: copy is stale
+        let y = fb.add(Operand::Reg(x), Operand::Imm(1));
+        fb.ret(Some(Operand::Reg(y)));
+        let mut f = fb.build().unwrap();
+        CopyProp.run(&mut f);
+        // y must still read x, not p0.
+        assert_eq!(f.block(f.entry).insts[2].a, Some(Operand::Reg(x)));
+    }
+
+    #[test]
+    fn predicated_copy_feeds_same_predicate_only() {
+        let mut fb = FunctionBuilder::new("f", 2);
+        let e = fb.create_block();
+        fb.switch_to(e);
+        let p = fb.cmp_ne(Operand::Reg(fb.param(1)), Operand::Imm(0));
+        let x = fb.fresh_reg();
+        let src = fb.param(0);
+        fb.push(Instr::mov(x, Operand::Reg(src)).predicated(Pred::on_true(p)));
+        // Same predicate: may forward.
+        let y = fb.fresh_reg();
+        fb.push(Instr::add(y, Operand::Reg(x), Operand::Imm(1)).predicated(Pred::on_true(p)));
+        // Different predicate: must not forward.
+        let z = fb.fresh_reg();
+        fb.push(Instr::add(z, Operand::Reg(x), Operand::Imm(2)).predicated(Pred::on_false(p)));
+        let s = fb.add(Operand::Reg(y), Operand::Reg(z));
+        fb.ret(Some(Operand::Reg(s)));
+        let mut f = fb.build().unwrap();
+        CopyProp.run(&mut f);
+        let insts = &f.block(f.entry).insts;
+        assert_eq!(insts[2].a, Some(Operand::Reg(src)), "same-pred use forwarded");
+        assert_eq!(insts[3].a, Some(Operand::Reg(x)), "other-pred use untouched");
+    }
+
+    #[test]
+    fn return_operand_rewritten() {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let e = fb.create_block();
+        fb.switch_to(e);
+        let x = fb.mov(Operand::Imm(42));
+        fb.ret(Some(Operand::Reg(x)));
+        let mut f = fb.build().unwrap();
+        CopyProp.run(&mut f);
+        let last = &f.block(f.entry).exits[0];
+        assert_eq!(
+            last.target,
+            chf_ir::block::ExitTarget::Return(Some(Operand::Imm(42)))
+        );
+    }
+
+    #[test]
+    fn behaviour_preserved_on_random_programs() {
+        crate::testutil::assert_preserves_behaviour(
+            |f| {
+                CopyProp.run(f);
+            },
+            0..40,
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests: every scalar optimization preserves observable
+//! behaviour on arbitrary generated programs and inputs, and the pipeline
+//! is a proper fixpoint.
+
+use chf_ir::testgen::{generate, GenConfig};
+use chf_ir::verify::verify;
+use chf_opt::{constfold, copyprop, dce, gvn, predopt, optimize, Pass};
+use chf_sim::functional::{run, RunConfig};
+use proptest::prelude::*;
+
+fn digest(
+    f: &chf_ir::function::Function,
+    args: [i64; 2],
+) -> (Option<i64>, Vec<(i64, i64)>) {
+    run(f, &args, &[], &RunConfig::default()).unwrap().digest()
+}
+
+fn pass_by_index(i: usize) -> Box<dyn Pass> {
+    match i {
+        0 => Box::new(constfold::ConstFold),
+        1 => Box::new(copyprop::CopyProp),
+        2 => Box::new(gvn::Gvn),
+        3 => Box::new(predopt::PredOpt),
+        _ => Box::new(dce::Dce),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any single pass preserves behaviour.
+    #[test]
+    fn each_pass_preserves_behaviour(
+        seed in any::<u64>(),
+        pass_idx in 0usize..5,
+        a in -100i64..100,
+        b in -100i64..100,
+    ) {
+        let f0 = generate(seed, &GenConfig::default());
+        let mut f1 = f0.clone();
+        pass_by_index(pass_idx).run(&mut f1);
+        prop_assert!(verify(&f1).is_ok(), "pass {pass_idx} broke the IR");
+        prop_assert_eq!(digest(&f0, [a, b]), digest(&f1, [a, b]));
+    }
+
+    /// Any *sequence* of passes preserves behaviour (passes compose).
+    #[test]
+    fn pass_sequences_preserve_behaviour(
+        seed in any::<u64>(),
+        sequence in proptest::collection::vec(0usize..5, 1..8),
+        a in -100i64..100,
+    ) {
+        let f0 = generate(seed, &GenConfig::default());
+        let mut f1 = f0.clone();
+        for i in sequence {
+            pass_by_index(i).run(&mut f1);
+        }
+        prop_assert!(verify(&f1).is_ok());
+        prop_assert_eq!(digest(&f0, [a, 7]), digest(&f1, [a, 7]));
+    }
+
+    /// The full pipeline converges to a fixpoint: optimizing twice equals
+    /// optimizing once.
+    #[test]
+    fn optimize_is_idempotent(seed in any::<u64>()) {
+        let mut f = generate(seed, &GenConfig::default());
+        optimize(&mut f);
+        let once = f.to_string();
+        optimize(&mut f);
+        prop_assert_eq!(once, f.to_string());
+    }
+
+    /// Optimization never grows the program.
+    #[test]
+    fn optimize_never_grows_code(seed in any::<u64>()) {
+        let mut f = generate(seed, &GenConfig::default());
+        let before = f.static_size();
+        optimize(&mut f);
+        prop_assert!(
+            f.static_size() <= before,
+            "optimize grew {} -> {}",
+            before,
+            f.static_size()
+        );
+    }
+
+    /// DCE after the pipeline leaves no instruction whose destination is
+    /// never read and has no side effect.
+    #[test]
+    fn no_trivially_dead_code_after_optimize(seed in any::<u64>()) {
+        let mut f = generate(seed, &GenConfig::default());
+        optimize(&mut f);
+        let mut d = dce::Dce;
+        prop_assert!(!d.run(&mut f), "DCE still found dead code after optimize");
+    }
+}

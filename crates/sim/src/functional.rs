@@ -1,0 +1,547 @@
+//! Functional simulator: executes IR, profiles it, and checks invariants.
+//!
+//! Semantics:
+//!
+//! * Registers are 64-bit signed integers; `r0..params` hold the arguments,
+//!   all other registers start at 0 (reads of never-written registers can be
+//!   flagged with [`RunConfig::check_uninit`]).
+//! * Memory is a sparse word-addressed array of `i64`.
+//! * Within a block, instructions execute in program order; a predicated
+//!   instruction executes only if its predicate register's truth value
+//!   matches the required polarity *at that point*.
+//! * After the instructions, the exits are evaluated in order; the first
+//!   whose predicate holds fires. The verifier guarantees the last exit is
+//!   unpredicated, so some exit always fires.
+//!
+//! Division and remainder by zero produce 0, and all arithmetic wraps, so
+//! execution is total: the only runtime errors are resource exhaustion and
+//! (optionally) uninitialized reads.
+
+use chf_ir::block::ExitTarget;
+use chf_ir::function::Function;
+use chf_ir::ids::{BlockId, Reg};
+use chf_ir::instr::{Instr, Opcode, Operand};
+use chf_ir::loops::LoopForest;
+use chf_ir::profile::ProfileData;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Configuration for a functional run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Maximum number of blocks to execute before aborting.
+    pub max_blocks: u64,
+    /// Error on reads of registers that were never written (and are not
+    /// parameters). Catches compiler bugs that reorder defs past uses.
+    pub check_uninit: bool,
+    /// Collect loop trip-count histograms (requires a loop analysis pass on
+    /// entry, so slightly slower).
+    pub collect_trip_counts: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            max_blocks: 20_000_000,
+            check_uninit: false,
+            collect_trip_counts: true,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Strict configuration used by the test suite: uninitialized reads are
+    /// errors.
+    pub fn strict() -> Self {
+        RunConfig {
+            check_uninit: true,
+            ..RunConfig::default()
+        }
+    }
+}
+
+/// Runtime error during functional execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The block budget was exhausted (probable infinite loop).
+    OutOfFuel {
+        /// Number of blocks that had executed when the budget ran out.
+        executed: u64,
+    },
+    /// A register was read before any write (only with
+    /// [`RunConfig::check_uninit`]).
+    UninitializedRead {
+        /// The block in which the read occurred.
+        block: BlockId,
+        /// The offending register.
+        reg: Reg,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfFuel { executed } => {
+                write!(f, "out of fuel after executing {executed} blocks")
+            }
+            ExecError::UninitializedRead { block, reg } => {
+                write!(f, "uninitialized read of {reg} in block {block}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The observable outcome and metrics of one functional run.
+#[derive(Clone, Debug)]
+pub struct FuncResult {
+    /// Value returned by the fired `Return` exit, if it carried one.
+    pub ret: Option<i64>,
+    /// Number of dynamic block executions (the paper's Table 3 metric).
+    pub blocks_executed: u64,
+    /// Instructions whose predicate held and that therefore executed.
+    pub insts_executed: u64,
+    /// All instruction slots fetched, including falsely-predicated ones and
+    /// exits (branch slots).
+    pub insts_fetched: u64,
+    /// Final memory image (sparse).
+    pub memory: HashMap<i64, i64>,
+    /// Profile gathered during the run.
+    pub profile: ProfileData,
+}
+
+impl FuncResult {
+    /// A digest of observable behaviour: return value plus sorted non-zero
+    /// memory. Two runs are *observably equivalent* iff their digests match.
+    pub fn digest(&self) -> (Option<i64>, Vec<(i64, i64)>) {
+        let mut mem: Vec<(i64, i64)> = self
+            .memory
+            .iter()
+            .filter(|(_, v)| **v != 0)
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        mem.sort_unstable();
+        (self.ret, mem)
+    }
+}
+
+fn eval(op: Opcode, a: i64, b: i64) -> i64 {
+    match op {
+        Opcode::Add => a.wrapping_add(b),
+        Opcode::Sub => a.wrapping_sub(b),
+        Opcode::Mul => a.wrapping_mul(b),
+        Opcode::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        Opcode::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        Opcode::And => a & b,
+        Opcode::Or => a | b,
+        Opcode::Xor => a ^ b,
+        Opcode::Shl => a.wrapping_shl((b & 63) as u32),
+        Opcode::Shr => a.wrapping_shr((b & 63) as u32),
+        Opcode::Not => !a,
+        Opcode::Neg => a.wrapping_neg(),
+        Opcode::Mov => a,
+        Opcode::CmpEq => (a == b) as i64,
+        Opcode::CmpNe => (a != b) as i64,
+        Opcode::CmpLt => (a < b) as i64,
+        Opcode::CmpLe => (a <= b) as i64,
+        Opcode::CmpGt => (a > b) as i64,
+        Opcode::CmpGe => (a >= b) as i64,
+        Opcode::Load | Opcode::Store => unreachable!("memory ops handled separately"),
+    }
+}
+
+pub(crate) struct Machine {
+    pub(crate) regs: Vec<i64>,
+    written: Vec<bool>,
+    pub(crate) mem: HashMap<i64, i64>,
+}
+
+impl Machine {
+    pub(crate) fn new(f: &Function, args: &[i64], mem_init: &[(i64, i64)]) -> Machine {
+        let n = f.reg_count() as usize;
+        let mut regs = vec![0i64; n];
+        let mut written = vec![false; n];
+        for (i, a) in args.iter().enumerate().take(f.params as usize) {
+            regs[i] = *a;
+            written[i] = true;
+        }
+        let mem = mem_init.iter().copied().collect();
+        Machine { regs, written, mem }
+    }
+
+    pub(crate) fn read(&self, r: Reg, block: BlockId, check: bool) -> Result<i64, ExecError> {
+        if check && !self.written[r.index()] {
+            return Err(ExecError::UninitializedRead { block, reg: r });
+        }
+        Ok(self.regs[r.index()])
+    }
+
+    pub(crate) fn operand(
+        &self,
+        o: Operand,
+        block: BlockId,
+        check: bool,
+    ) -> Result<i64, ExecError> {
+        match o {
+            Operand::Reg(r) => self.read(r, block, check),
+            Operand::Imm(v) => Ok(v),
+        }
+    }
+
+    pub(crate) fn write(&mut self, r: Reg, v: i64) {
+        self.regs[r.index()] = v;
+        self.written[r.index()] = true;
+    }
+}
+
+/// Tracks trip counts of active loop visits during execution.
+struct TripTracker {
+    forest: LoopForest,
+    /// `loop index → current consecutive iteration count`, absent = inactive.
+    active: HashMap<usize, u64>,
+}
+
+impl TripTracker {
+    fn new(f: &Function) -> TripTracker {
+        TripTracker {
+            forest: LoopForest::of(f),
+            active: HashMap::new(),
+        }
+    }
+
+    fn on_block(&mut self, b: BlockId, profile: &mut ProfileData) {
+        // Close visits of loops we've left.
+        let mut finished: Vec<usize> = Vec::new();
+        for (&li, _) in self.active.iter() {
+            if !self.forest.loops[li].body.contains(&b) {
+                finished.push(li);
+            }
+        }
+        for li in finished {
+            let trips = self.active.remove(&li).unwrap();
+            profile
+                .trip_histograms
+                .entry(self.forest.loops[li].header)
+                .or_default()
+                .record(trips);
+        }
+        // Count an iteration when control reaches a header.
+        for (li, l) in self.forest.loops.iter().enumerate() {
+            if l.header == b {
+                *self.active.entry(li).or_insert(0) += 1;
+            }
+        }
+    }
+
+    fn finish(&mut self, profile: &mut ProfileData) {
+        for (li, trips) in self.active.drain() {
+            profile
+                .trip_histograms
+                .entry(self.forest.loops[li].header)
+                .or_default()
+                .record(trips);
+        }
+    }
+}
+
+/// Execute `f` with the given arguments and initial memory.
+///
+/// # Errors
+/// Returns [`ExecError::OutOfFuel`] if `config.max_blocks` dynamic blocks
+/// execute without returning, or [`ExecError::UninitializedRead`] in strict
+/// mode.
+pub fn run(
+    f: &Function,
+    args: &[i64],
+    mem_init: &[(i64, i64)],
+    config: &RunConfig,
+) -> Result<FuncResult, ExecError> {
+    let mut m = Machine::new(f, args, mem_init);
+    let mut profile = ProfileData::default();
+    let mut trips = if config.collect_trip_counts {
+        Some(TripTracker::new(f))
+    } else {
+        None
+    };
+
+    let mut blocks_executed = 0u64;
+    let mut insts_executed = 0u64;
+    let mut insts_fetched = 0u64;
+    let check = config.check_uninit;
+
+    let mut cur = f.entry;
+    let ret = 'outer: loop {
+        if blocks_executed >= config.max_blocks {
+            return Err(ExecError::OutOfFuel {
+                executed: blocks_executed,
+            });
+        }
+        blocks_executed += 1;
+        *profile.block_counts.entry(cur).or_insert(0) += 1;
+        if let Some(t) = trips.as_mut() {
+            t.on_block(cur, &mut profile);
+        }
+
+        let blk = f.block(cur);
+        insts_fetched += blk.size() as u64;
+
+        for inst in &blk.insts {
+            if let Some(p) = inst.pred {
+                let v = m.read(p.reg, cur, check)?;
+                if (v != 0) != p.if_true {
+                    continue;
+                }
+            }
+            insts_executed += 1;
+            exec_inst(&mut m, inst, cur, check)?;
+        }
+
+        for (i, e) in blk.exits.iter().enumerate() {
+            let fires = match e.pred {
+                None => true,
+                Some(p) => {
+                    let v = m.read(p.reg, cur, check)?;
+                    (v != 0) == p.if_true
+                }
+            };
+            if !fires {
+                continue;
+            }
+            *profile.exit_counts.entry((cur, i)).or_insert(0) += 1;
+            match e.target {
+                ExitTarget::Block(next) => {
+                    cur = next;
+                    continue 'outer;
+                }
+                ExitTarget::Return(v) => {
+                    let ret = match v {
+                        None => None,
+                        Some(op) => Some(m.operand(op, cur, check)?),
+                    };
+                    break 'outer ret;
+                }
+            }
+        }
+        unreachable!("verifier guarantees a default exit");
+    };
+
+    if let Some(t) = trips.as_mut() {
+        t.finish(&mut profile);
+    }
+
+    Ok(FuncResult {
+        ret,
+        blocks_executed,
+        insts_executed,
+        insts_fetched,
+        memory: m.mem,
+        profile,
+    })
+}
+
+pub(crate) fn exec_inst(
+    m: &mut Machine,
+    inst: &Instr,
+    cur: BlockId,
+    check: bool,
+) -> Result<(), ExecError> {
+    match inst.op {
+        Opcode::Load => {
+            let addr = m.operand(inst.a.unwrap(), cur, check)?;
+            let v = m.mem.get(&addr).copied().unwrap_or(0);
+            m.write(inst.dst.unwrap(), v);
+        }
+        Opcode::Store => {
+            let addr = m.operand(inst.a.unwrap(), cur, check)?;
+            let v = m.operand(inst.b.unwrap(), cur, check)?;
+            m.mem.insert(addr, v);
+        }
+        op => {
+            let a = m.operand(inst.a.unwrap(), cur, check)?;
+            let b = match inst.b {
+                Some(o) => m.operand(o, cur, check)?,
+                None => 0,
+            };
+            m.write(inst.dst.unwrap(), eval(op, a, b));
+        }
+    }
+    Ok(())
+}
+
+/// Run `f` on the given inputs and return its profile, for stamping onto the
+/// function with [`ProfileData::apply`]. Convenience wrapper used by
+/// workload constructors.
+///
+/// # Errors
+/// Propagates any [`ExecError`] from the underlying run.
+pub fn profile_run(
+    f: &Function,
+    args: &[i64],
+    mem_init: &[(i64, i64)],
+) -> Result<ProfileData, ExecError> {
+    Ok(run(f, args, mem_init, &RunConfig::default())?.profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chf_ir::builder::FunctionBuilder;
+    use chf_ir::instr::{Instr, Operand, Pred};
+
+    fn reg(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+
+    /// sum of 0..n via a while loop
+    fn sum_loop() -> Function {
+        let mut fb = FunctionBuilder::new("sum", 1);
+        let e = fb.create_block();
+        let h = fb.create_block();
+        let body = fb.create_block();
+        let exit = fb.create_block();
+        fb.switch_to(e);
+        let i = fb.mov(Operand::Imm(0));
+        let acc = fb.mov(Operand::Imm(0));
+        fb.jump(h);
+        fb.switch_to(h);
+        let c = fb.cmp_lt(reg(i), reg(Reg(0)));
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        let acc2 = fb.add(reg(acc), reg(i));
+        fb.mov_to(acc, reg(acc2));
+        let i2 = fb.add(reg(i), Operand::Imm(1));
+        fb.mov_to(i, reg(i2));
+        fb.jump(h);
+        fb.switch_to(exit);
+        fb.ret(Some(reg(acc)));
+        fb.build().unwrap()
+    }
+
+    #[test]
+    fn computes_loop_sum() {
+        let f = sum_loop();
+        let r = run(&f, &[10], &[], &RunConfig::strict()).unwrap();
+        assert_eq!(r.ret, Some(45));
+        // entry + 11 header + 10 body + exit
+        assert_eq!(r.blocks_executed, 23);
+    }
+
+    #[test]
+    fn profile_counts_blocks_and_exits() {
+        let f = sum_loop();
+        let r = run(&f, &[4], &[], &RunConfig::default()).unwrap();
+        let h = BlockId(1);
+        assert_eq!(r.profile.block_counts[&h], 5);
+        assert_eq!(r.profile.exit_counts[&(h, 0)], 4); // taken into body
+        assert_eq!(r.profile.exit_counts[&(h, 1)], 1); // loop exit
+    }
+
+    #[test]
+    fn trip_histogram_recorded() {
+        let f = sum_loop();
+        let r = run(&f, &[7], &[], &RunConfig::default()).unwrap();
+        let hist = r.profile.trip_histograms.get(&BlockId(1)).unwrap();
+        // header visited 8 times in one visit (7 body iterations + exit test)
+        assert_eq!(hist.visits(), 1);
+        assert_eq!(hist.mode(), Some(8));
+    }
+
+    #[test]
+    fn memory_semantics() {
+        let mut fb = FunctionBuilder::new("memtest", 0);
+        let e = fb.create_block();
+        fb.switch_to(e);
+        let v = fb.load(Operand::Imm(100));
+        let v2 = fb.add(reg(v), Operand::Imm(5));
+        fb.store(Operand::Imm(101), reg(v2));
+        fb.ret(Some(reg(v2)));
+        let f = fb.build().unwrap();
+        let r = run(&f, &[], &[(100, 37)], &RunConfig::default()).unwrap();
+        assert_eq!(r.ret, Some(42));
+        assert_eq!(r.memory[&101], 42);
+        assert_eq!(r.digest().1, vec![(100, 37), (101, 42)]);
+    }
+
+    #[test]
+    fn predicated_instruction_skipped() {
+        let mut fb = FunctionBuilder::new("predtest", 1);
+        let e = fb.create_block();
+        fb.switch_to(e);
+        let out = fb.mov(Operand::Imm(0));
+        let p = fb.cmp_gt(reg(Reg(0)), Operand::Imm(5));
+        fb.push(Instr::mov(out, Operand::Imm(1)).predicated(Pred::on_true(p)));
+        fb.push(Instr::mov(out, Operand::Imm(2)).predicated(Pred::on_false(p)));
+        fb.ret(Some(reg(out)));
+        let f = fb.build().unwrap();
+        assert_eq!(run(&f, &[9], &[], &RunConfig::strict()).unwrap().ret, Some(1));
+        assert_eq!(run(&f, &[3], &[], &RunConfig::strict()).unwrap().ret, Some(2));
+    }
+
+    #[test]
+    fn out_of_fuel_detected() {
+        let mut fb = FunctionBuilder::new("spin", 0);
+        let e = fb.create_block();
+        fb.switch_to(e);
+        fb.jump(e);
+        let f = fb.build().unwrap();
+        let cfg = RunConfig {
+            max_blocks: 100,
+            ..RunConfig::default()
+        };
+        assert_eq!(
+            run(&f, &[], &[], &cfg).unwrap_err(),
+            ExecError::OutOfFuel { executed: 100 }
+        );
+    }
+
+    #[test]
+    fn uninitialized_read_detected_in_strict_mode() {
+        let mut fb = FunctionBuilder::new("uninit", 0);
+        let e = fb.create_block();
+        fb.switch_to(e);
+        let ghost = fb.fresh_reg();
+        let x = fb.add(reg(ghost), Operand::Imm(1));
+        fb.ret(Some(reg(x)));
+        let f = fb.build().unwrap();
+        assert!(matches!(
+            run(&f, &[], &[], &RunConfig::strict()),
+            Err(ExecError::UninitializedRead { .. })
+        ));
+        // Non-strict mode reads 0.
+        assert_eq!(run(&f, &[], &[], &RunConfig::default()).unwrap().ret, Some(1));
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let mut fb = FunctionBuilder::new("divz", 1);
+        let e = fb.create_block();
+        fb.switch_to(e);
+        let d = fb.div(Operand::Imm(10), reg(Reg(0)));
+        let r = fb.rem(Operand::Imm(10), reg(Reg(0)));
+        let s = fb.add(reg(d), reg(r));
+        fb.ret(Some(reg(s)));
+        let f = fb.build().unwrap();
+        assert_eq!(run(&f, &[0], &[], &RunConfig::default()).unwrap().ret, Some(0));
+        assert_eq!(run(&f, &[3], &[], &RunConfig::default()).unwrap().ret, Some(4));
+    }
+
+    #[test]
+    fn fetched_counts_include_false_predicates_and_exits() {
+        let f = sum_loop();
+        let r = run(&f, &[1], &[], &RunConfig::default()).unwrap();
+        assert!(r.insts_fetched > r.insts_executed);
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # chf-sim — simulators for EDGE hyperblock programs
+//!
+//! Two simulators over the `chf-ir` representation:
+//!
+//! * [`functional`] — a fast interpreter that executes a program, checks
+//!   dynamic invariants, collects execution profiles (block counts, edge
+//!   counts, loop trip-count histograms), and reports the observable outcome
+//!   (return value plus final memory). It is both the *correctness oracle*
+//!   for every compiler transformation and the source of the block-count
+//!   metric used for the paper's SPEC2000 evaluation (Table 3).
+//!
+//! * [`timing`] — a TRIPS-like cycle-level model (paper §7): per-block
+//!   fetch/map overhead, dataflow issue within blocks with issue-width
+//!   contention and operand-network latency, an 8-block in-flight window,
+//!   next-block prediction with misprediction flushes, and in-order block
+//!   commit. It reproduces the first-order effects the paper's analysis
+//!   rests on, not the authors' exact cycle counts (see DESIGN.md,
+//!   substitution 1).
+//!
+//! The [`predictor`] module provides the next-block (exit) predictor shared
+//! by the timing model.
+
+pub mod functional;
+pub mod predictor;
+pub mod timing;
+
+pub use functional::{run, ExecError, FuncResult, RunConfig};
+pub use predictor::{ExitPredictor, PredictorConfig, PredictorKind};
+pub use timing::{simulate_timing, simulate_timing_traced, BlockEvent, MemoryOrdering, TimingConfig, TimingResult, TimingTrace};

@@ -1,0 +1,780 @@
+//! TRIPS-like cycle-level timing model.
+//!
+//! The model executes the program functionally (so it is exact on control
+//! flow and data) while charging cycles for the microarchitectural effects
+//! the paper's evaluation depends on:
+//!
+//! * **Per-block overhead** — each dynamic block pays a fixed map/commit
+//!   cost plus fetch-bandwidth-limited mapping of its instruction slots.
+//!   This is the `blocks × overhead` term of the paper's §7.3 first-order
+//!   model, and the reason block-count reduction correlates with cycle
+//!   reduction (Figure 7).
+//! * **Dataflow issue** — instructions become ready when their operands
+//!   (including the predicate) arrive, contend for a 16-wide issue window,
+//!   and communicate over an operand network with per-hop latency. A long
+//!   falsely-predicated path does *not* delay block completion, matching
+//!   EDGE dynamic issue; but a predicated instruction does wait for its
+//!   predicate, which is exactly the tail-duplication penalty of §5
+//!   ("Limiting tail duplication").
+//! * **Nullification forwarding** — when a predicate is false, the guarded
+//!   definition forwards the *old* value, but not before the predicate
+//!   resolves. A duplicated merge point containing an induction-variable
+//!   update therefore serializes on the exit test (the bzip2_3 effect).
+//! * **Next-block prediction** — a predicted exit lets the next block fetch
+//!   immediately; a misprediction stalls fetch until the exit resolves and
+//!   adds a flush penalty (the parser_1 effect).
+//! * **In-flight window** — at most `window_blocks` blocks in flight; blocks
+//!   commit in order.
+
+use crate::functional::{exec_inst, ExecError, Machine};
+use crate::predictor::{ExitPredictor, PredictorConfig};
+use chf_ir::block::ExitTarget;
+use chf_ir::function::Function;
+use chf_ir::instr::{Opcode, Operand};
+use std::collections::{HashMap, VecDeque};
+
+/// How the load-store queue orders memory operations within a block.
+///
+/// TRIPS assigns every memory instruction a load/store ID and the LSQ
+/// enforces program order between conflicting accesses; the variants model
+/// different amounts of memory-dependence speculation.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum MemoryOrdering {
+    /// Perfect memory-dependence prediction: loads never wait for stores
+    /// (upper bound).
+    Oracle,
+    /// Loads wait only for earlier same-address stores in the block
+    /// (ideal conflict detection; the default).
+    #[default]
+    Exact,
+    /// Loads wait for *all* earlier stores in the block (no speculation).
+    Conservative,
+}
+
+/// Microarchitectural parameters of the timing model.
+#[derive(Clone, Debug)]
+pub struct TimingConfig {
+    /// Instructions that may begin execution per cycle (TRIPS: 16).
+    pub issue_width: u32,
+    /// Maximum blocks in flight (TRIPS: 8).
+    pub window_blocks: usize,
+    /// Instruction slots mapped onto the array per cycle (TRIPS: 16).
+    pub fetch_bandwidth: u32,
+    /// Fixed per-block map/dispatch cost in cycles.
+    pub block_overhead: u64,
+    /// Operand-network hop latency between dependent instructions.
+    pub operand_latency: u64,
+    /// Additional latency for values that cross blocks through the register
+    /// file.
+    pub register_latency: u64,
+    /// Pipeline-flush penalty on a next-block misprediction.
+    pub mispredict_penalty: u64,
+    /// Minimum cycles between consecutive in-order block commits.
+    pub commit_overhead: u64,
+    /// Next-block predictor parameters.
+    pub predictor: PredictorConfig,
+    /// In-block load/store ordering discipline.
+    pub memory_ordering: MemoryOrdering,
+    /// Block budget, as in the functional simulator.
+    pub max_blocks: u64,
+}
+
+impl TimingConfig {
+    /// Parameters approximating the TRIPS prototype (16-wide, 8 blocks in
+    /// flight, 128-instruction blocks).
+    pub fn trips() -> Self {
+        TimingConfig {
+            issue_width: 16,
+            window_blocks: 8,
+            fetch_bandwidth: 16,
+            block_overhead: 2,
+            operand_latency: 0,
+            register_latency: 2,
+            mispredict_penalty: 12,
+            commit_overhead: 1,
+            predictor: PredictorConfig::default(),
+            memory_ordering: MemoryOrdering::default(),
+            max_blocks: 20_000_000,
+        }
+    }
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        Self::trips()
+    }
+}
+
+/// Outcome and metrics of a timing simulation.
+#[derive(Clone, Debug)]
+pub struct TimingResult {
+    /// Total cycles until the final block committed.
+    pub cycles: u64,
+    /// Dynamic block executions.
+    pub blocks_executed: u64,
+    /// Next-block predictions made (one per executed block).
+    pub predictions: u64,
+    /// Mispredictions (each costs a flush).
+    pub mispredictions: u64,
+    /// Instructions that executed (predicate held).
+    pub insts_executed: u64,
+    /// Predicated instructions that were nullified (predicate false).
+    pub insts_nullified: u64,
+    /// Instruction slots fetched (block sizes summed over dynamic blocks).
+    pub insts_fetched: u64,
+    /// Return value of the program.
+    pub ret: Option<i64>,
+    /// Final memory image, for equivalence checking against the functional
+    /// simulator.
+    pub memory: HashMap<i64, i64>,
+}
+
+impl TimingResult {
+    /// Misprediction rate in `[0, 1]`.
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+
+    /// Observable-behaviour digest (return value + sorted non-zero memory),
+    /// comparable with [`crate::functional::FuncResult::digest`].
+    pub fn digest(&self) -> (Option<i64>, Vec<(i64, i64)>) {
+        let mut mem: Vec<(i64, i64)> = self
+            .memory
+            .iter()
+            .filter(|(_, v)| **v != 0)
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        mem.sort_unstable();
+        (self.ret, mem)
+    }
+}
+
+/// Tracks issue-slot occupancy per cycle, pruned as time advances.
+struct IssueSlots {
+    used: HashMap<u64, u32>,
+    width: u32,
+    prune_floor: u64,
+}
+
+impl IssueSlots {
+    fn new(width: u32) -> Self {
+        IssueSlots {
+            used: HashMap::new(),
+            width,
+            prune_floor: 0,
+        }
+    }
+
+    /// First cycle ≥ `ready` with a free slot; claims it.
+    fn issue_at(&mut self, ready: u64) -> u64 {
+        let mut t = ready;
+        loop {
+            let n = self.used.entry(t).or_insert(0);
+            if *n < self.width {
+                *n += 1;
+                return t;
+            }
+            t += 1;
+        }
+    }
+
+    /// Drop bookkeeping for cycles before `floor` (nothing issues in the
+    /// past).
+    fn prune_before(&mut self, floor: u64) {
+        if floor > self.prune_floor + 4096 {
+            self.used.retain(|t, _| *t >= floor);
+            self.prune_floor = floor;
+        }
+    }
+}
+
+/// One dynamic block execution, as recorded by
+/// [`simulate_timing_traced`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BlockEvent {
+    /// Which block executed.
+    pub block: chf_ir::ids::BlockId,
+    /// Cycle at which the block was dispatched onto the array.
+    pub dispatch: u64,
+    /// Cycle at which its branch decision resolved.
+    pub resolve: u64,
+    /// Cycle at which it committed (in order).
+    pub commit: u64,
+    /// Whether the next-block prediction made *from* this block was correct.
+    pub predicted: bool,
+    /// Instructions that executed in this instance.
+    pub executed: u32,
+    /// Instructions nullified in this instance.
+    pub nullified: u32,
+}
+
+/// Per-block event trace of a timing simulation.
+#[derive(Clone, Debug, Default)]
+pub struct TimingTrace {
+    /// Events in execution order.
+    pub events: Vec<BlockEvent>,
+}
+
+impl TimingTrace {
+    /// Check internal consistency: dispatches and commits are monotone, and
+    /// every event has `dispatch ≤ resolve ≤ commit`-compatible ordering.
+    pub fn check(&self) -> Result<(), String> {
+        let mut last_commit = 0;
+        let mut last_dispatch = 0;
+        for (i, e) in self.events.iter().enumerate() {
+            if e.dispatch < last_dispatch {
+                return Err(format!("event {i}: dispatch went backwards"));
+            }
+            if e.commit < last_commit {
+                return Err(format!("event {i}: commit went backwards"));
+            }
+            if e.commit < e.dispatch {
+                return Err(format!("event {i}: committed before dispatch"));
+            }
+            last_commit = e.commit;
+            last_dispatch = e.dispatch;
+        }
+        Ok(())
+    }
+}
+
+/// Simulate `f` on the TRIPS-like timing model.
+///
+/// # Errors
+/// Returns [`ExecError::OutOfFuel`] if the block budget is exhausted.
+pub fn simulate_timing(
+    f: &Function,
+    args: &[i64],
+    mem_init: &[(i64, i64)],
+    config: &TimingConfig,
+) -> Result<TimingResult, ExecError> {
+    simulate_timing_impl(f, args, mem_init, config, None).map(|(r, _)| r)
+}
+
+/// Like [`simulate_timing`], additionally recording a per-block
+/// [`TimingTrace`] (dispatch/resolve/commit cycles, prediction outcomes).
+///
+/// # Errors
+/// Returns [`ExecError::OutOfFuel`] if the block budget is exhausted.
+pub fn simulate_timing_traced(
+    f: &Function,
+    args: &[i64],
+    mem_init: &[(i64, i64)],
+    config: &TimingConfig,
+) -> Result<(TimingResult, TimingTrace), ExecError> {
+    let mut trace = TimingTrace::default();
+    let r = simulate_timing_impl(f, args, mem_init, config, Some(&mut trace))?;
+    Ok((r.0, trace))
+}
+
+fn simulate_timing_impl(
+    f: &Function,
+    args: &[i64],
+    mem_init: &[(i64, i64)],
+    config: &TimingConfig,
+    mut trace: Option<&mut TimingTrace>,
+) -> Result<(TimingResult, ()), ExecError> {
+    let mut m = Machine::new(f, args, mem_init);
+    let nregs = f.reg_count() as usize;
+    // Block outputs: a TRIPS block commits once it has produced its stores,
+    // its (live-out) register writes, and a branch decision — instructions
+    // feeding nothing observable never delay commit (paper §5: EDGE commits
+    // as soon as outputs are produced, so a long falsely-predicated or dead
+    // path does not stretch the schedule).
+    let liveness = chf_ir::liveness::Liveness::compute(f);
+    // Cycle at which each register's current value becomes available.
+    let mut avail: Vec<u64> = vec![0; nregs];
+    let mut predictor = ExitPredictor::new(&config.predictor);
+    let mut slots = IssueSlots::new(config.issue_width);
+
+    // In-order commit times of in-flight blocks.
+    let mut inflight: VecDeque<u64> = VecDeque::new();
+    let mut last_commit: u64 = 0;
+    let mut fetch_ready: u64 = 0;
+
+    let mut blocks_executed = 0u64;
+    let mut insts_executed = 0u64;
+    let mut insts_nullified = 0u64;
+    let mut insts_fetched = 0u64;
+
+    let mut written_this_block: Vec<u32> = Vec::new();
+    let mut cur = f.entry;
+
+    let ret = 'outer: loop {
+        if blocks_executed >= config.max_blocks {
+            return Err(ExecError::OutOfFuel {
+                executed: blocks_executed,
+            });
+        }
+        blocks_executed += 1;
+        let (exec_before, null_before) = (insts_executed, insts_nullified);
+
+        let blk = f.block(cur);
+        let size = blk.size() as u64;
+        insts_fetched += size;
+
+        // --- Dispatch: wait for fetch, and for a window slot. ---
+        let mut dispatch = fetch_ready;
+        if inflight.len() >= config.window_blocks {
+            let oldest = inflight.pop_front().unwrap();
+            dispatch = dispatch.max(oldest);
+        }
+        slots.prune_before(dispatch);
+
+        // Fetch/map of the *next* block is serialized behind this one.
+        let map_cycles = config.block_overhead + size.div_ceil(config.fetch_bandwidth as u64);
+        fetch_ready = dispatch + map_cycles;
+
+        // --- Execute instructions in dataflow order. ---
+        written_this_block.clear();
+        // Executed stores in this block instance: (address, completion).
+        let mut block_stores: Vec<(i64, u64)> = Vec::new();
+        let mut outputs_done = dispatch;
+        for inst in &blk.insts {
+            // Resolve the predicate functionally and find its ready time.
+            let (executes, pred_ready) = match inst.pred {
+                None => (true, dispatch),
+                Some(p) => {
+                    let v = m.read(p.reg, cur, false)?;
+                    let t = avail[p.reg.index()] + config.operand_latency;
+                    (((v != 0) == p.if_true), t.max(dispatch))
+                }
+            };
+
+            if !executes {
+                insts_nullified += 1;
+                // Null token: the old value of dst forwards once the
+                // predicate resolves.
+                if let Some(d) = inst.def() {
+                    if avail[d.index()] < pred_ready {
+                        avail[d.index()] = pred_ready;
+                        written_this_block.push(d.0);
+                    }
+                }
+                continue;
+            }
+
+            insts_executed += 1;
+            let mut ready = pred_ready.max(dispatch + 1);
+            for o in [inst.a, inst.b].into_iter().flatten() {
+                if let Operand::Reg(r) = o {
+                    ready = ready.max(avail[r.index()] + config.operand_latency);
+                }
+            }
+            // In-block memory ordering: a load may have to wait for earlier
+            // stores, per the configured LSQ discipline.
+            if inst.op == Opcode::Load {
+                match config.memory_ordering {
+                    MemoryOrdering::Oracle => {}
+                    MemoryOrdering::Exact => {
+                        let addr = m.operand(inst.a.expect("load addr"), cur, false)?;
+                        for &(sa, st) in &block_stores {
+                            if sa == addr {
+                                ready = ready.max(st);
+                            }
+                        }
+                    }
+                    MemoryOrdering::Conservative => {
+                        for &(_, st) in &block_stores {
+                            ready = ready.max(st);
+                        }
+                    }
+                }
+            }
+            let issue = slots.issue_at(ready);
+            let done = issue + inst.op.latency();
+            if inst.op == Opcode::Store {
+                outputs_done = outputs_done.max(done);
+                let addr = m.operand(inst.a.expect("store addr"), cur, false)?;
+                block_stores.push((addr, done));
+            }
+            if let Some(d) = inst.def() {
+                avail[d.index()] = done;
+                written_this_block.push(d.0);
+            }
+            exec_inst(&mut m, inst, cur, false)?;
+        }
+
+        // --- Resolve exits: find the fired exit and its resolve time. ---
+        let mut resolve = dispatch + 1;
+        let mut fired: Option<(usize, ExitTarget)> = None;
+        for (i, e) in blk.exits.iter().enumerate() {
+            match e.pred {
+                None => {
+                    fired = Some((i, e.target));
+                    break;
+                }
+                Some(p) => {
+                    let t = avail[p.reg.index()] + config.operand_latency;
+                    resolve = resolve.max(t);
+                    let v = m.read(p.reg, cur, false)?;
+                    if (v != 0) == p.if_true {
+                        fired = Some((i, e.target));
+                        break;
+                    }
+                }
+            }
+        }
+        let (exit_idx, target) = fired.expect("verifier guarantees a default exit");
+        // A returned value is a block output.
+        if let ExitTarget::Return(Some(Operand::Reg(r))) = target {
+            outputs_done = outputs_done.max(avail[r.index()]);
+        }
+
+        // --- Prediction: next-block target (static fallback: the first
+        // exit's target, the compiler's most-likely-first ordering). ---
+        let _ = exit_idx;
+        let fallback = blk.exits[0].target;
+        let correct = predictor.update(cur, fallback, target);
+        if !correct {
+            // Flush: the next block cannot even begin fetching until the
+            // exit resolves, plus the flush penalty.
+            fetch_ready = fetch_ready.max(resolve + config.mispredict_penalty);
+        }
+
+        // --- Commit (in order): branch decision, stores, and live-out
+        // register writes must all have resolved. ---
+        let live_out = liveness.live_out(cur);
+        for &r in written_this_block.iter() {
+            if live_out.contains(&chf_ir::ids::Reg(r)) {
+                outputs_done = outputs_done.max(avail[r as usize]);
+            }
+        }
+        let block_done = outputs_done.max(resolve);
+        let commit = block_done.max(last_commit + config.commit_overhead);
+        last_commit = commit;
+        inflight.push_back(commit);
+
+        // Cross-block register communication pays register-file latency.
+        for r in written_this_block.drain(..) {
+            avail[r as usize] += config.register_latency;
+        }
+
+        if let Some(t) = trace.as_deref_mut() {
+            t.events.push(BlockEvent {
+                block: cur,
+                dispatch,
+                resolve,
+                commit,
+                predicted: correct,
+                executed: (insts_executed - exec_before) as u32,
+                nullified: (insts_nullified - null_before) as u32,
+            });
+        }
+
+        match target {
+            ExitTarget::Block(next) => {
+                cur = next;
+            }
+            ExitTarget::Return(v) => {
+                let ret = match v {
+                    None => None,
+                    Some(op) => Some(m.operand(op, cur, false)?),
+                };
+                break 'outer ret;
+            }
+        }
+    };
+
+    Ok((
+        TimingResult {
+            cycles: last_commit,
+            blocks_executed,
+            predictions: predictor.predictions(),
+            mispredictions: predictor.mispredictions(),
+            insts_executed,
+            insts_nullified,
+            insts_fetched,
+            ret,
+            memory: m.mem,
+        },
+        (),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functional::{run, RunConfig};
+    use chf_ir::builder::FunctionBuilder;
+    use chf_ir::ids::Reg;
+    use chf_ir::instr::{Instr, Operand, Pred};
+
+    fn reg(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+
+    fn sum_loop() -> Function {
+        let mut fb = FunctionBuilder::new("sum", 1);
+        let e = fb.create_block();
+        let h = fb.create_block();
+        let body = fb.create_block();
+        let exit = fb.create_block();
+        fb.switch_to(e);
+        let i = fb.mov(Operand::Imm(0));
+        let acc = fb.mov(Operand::Imm(0));
+        fb.jump(h);
+        fb.switch_to(h);
+        let c = fb.cmp_lt(reg(i), reg(Reg(0)));
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        let acc2 = fb.add(reg(acc), reg(i));
+        fb.mov_to(acc, reg(acc2));
+        let i2 = fb.add(reg(i), Operand::Imm(1));
+        fb.mov_to(i, reg(i2));
+        fb.jump(h);
+        fb.switch_to(exit);
+        fb.ret(Some(reg(acc)));
+        fb.build().unwrap()
+    }
+
+    #[test]
+    fn matches_functional_observables() {
+        let f = sum_loop();
+        let fr = run(&f, &[25], &[], &RunConfig::default()).unwrap();
+        let tr = simulate_timing(&f, &[25], &[], &TimingConfig::trips()).unwrap();
+        assert_eq!(fr.digest(), tr.digest());
+        assert_eq!(fr.blocks_executed, tr.blocks_executed);
+        assert_eq!(fr.insts_executed, tr.insts_executed);
+    }
+
+    #[test]
+    fn cycles_grow_with_work() {
+        let f = sum_loop();
+        let short = simulate_timing(&f, &[5], &[], &TimingConfig::trips()).unwrap();
+        let long = simulate_timing(&f, &[50], &[], &TimingConfig::trips()).unwrap();
+        assert!(long.cycles > short.cycles);
+        assert!(short.cycles > 0);
+    }
+
+    #[test]
+    fn fewer_blocks_means_fewer_cycles_for_same_work() {
+        // Same computation as two chained blocks vs one fused block: the
+        // fused version must not be slower (per-block overhead dominates).
+        let mut fb = FunctionBuilder::new("two", 1);
+        let a = fb.create_block();
+        let b = fb.create_block();
+        fb.switch_to(a);
+        let x = fb.add(reg(Reg(0)), Operand::Imm(1));
+        fb.jump(b);
+        fb.switch_to(b);
+        let y = fb.mul(reg(x), Operand::Imm(3));
+        fb.ret(Some(reg(y)));
+        let two = fb.build().unwrap();
+
+        let mut fb = FunctionBuilder::new("one", 1);
+        let a = fb.create_block();
+        fb.switch_to(a);
+        let x = fb.add(reg(Reg(0)), Operand::Imm(1));
+        let y = fb.mul(reg(x), Operand::Imm(3));
+        fb.ret(Some(reg(y)));
+        let one = fb.build().unwrap();
+
+        let t2 = simulate_timing(&two, &[4], &[], &TimingConfig::trips()).unwrap();
+        let t1 = simulate_timing(&one, &[4], &[], &TimingConfig::trips()).unwrap();
+        assert_eq!(t1.ret, t2.ret);
+        assert!(t1.cycles < t2.cycles, "{} !< {}", t1.cycles, t2.cycles);
+    }
+
+    #[test]
+    fn unpredictable_branches_cost_cycles() {
+        // Loop whose branch alternates pseudo-randomly vs one that is
+        // monotone; same block counts, different cycle counts.
+        fn branchy(seed_mul: i64) -> Function {
+            let mut fb = FunctionBuilder::new("branchy", 1);
+            let e = fb.create_block();
+            let h = fb.create_block();
+            let t = fb.create_block();
+            let z = fb.create_block();
+            let latch = fb.create_block();
+            let exit = fb.create_block();
+            fb.switch_to(e);
+            let i = fb.mov(Operand::Imm(0));
+            let acc = fb.mov(Operand::Imm(0));
+            let x = fb.mov(Operand::Imm(12345));
+            fb.jump(h);
+            fb.switch_to(h);
+            // x = x * seed_mul + 1; c = (x >> 4) & 1
+            let x2 = fb.mul(reg(x), Operand::Imm(seed_mul));
+            let x3 = fb.add(reg(x2), Operand::Imm(1));
+            fb.mov_to(x, reg(x3));
+            let sh = fb.shr(reg(x), Operand::Imm(4));
+            let c = fb.and(reg(sh), Operand::Imm(1));
+            fb.branch(c, t, z);
+            fb.switch_to(t);
+            let a1 = fb.add(reg(acc), Operand::Imm(3));
+            fb.mov_to(acc, reg(a1));
+            fb.jump(latch);
+            fb.switch_to(z);
+            let a2 = fb.add(reg(acc), Operand::Imm(5));
+            fb.mov_to(acc, reg(a2));
+            fb.jump(latch);
+            fb.switch_to(latch);
+            let i2 = fb.add(reg(i), Operand::Imm(1));
+            fb.mov_to(i, reg(i2));
+            let lc = fb.cmp_lt(reg(i), Operand::Imm(200));
+            fb.branch(lc, h, exit);
+            fb.switch_to(exit);
+            fb.ret(Some(reg(acc)));
+            fb.build().unwrap()
+        }
+        // seed_mul = 1 makes x monotone (+1 each time) so the branch bit
+        // alternates slowly and predictably; a large odd multiplier makes it
+        // effectively random.
+        let predictable = branchy(1);
+        let random = branchy(6364136223846793_i64);
+        let tp = simulate_timing(&predictable, &[0], &[], &TimingConfig::trips()).unwrap();
+        let tr = simulate_timing(&random, &[0], &[], &TimingConfig::trips()).unwrap();
+        assert_eq!(tp.blocks_executed, tr.blocks_executed);
+        assert!(tr.mispredictions > tp.mispredictions);
+        assert!(tr.cycles > tp.cycles);
+    }
+
+    #[test]
+    fn predicated_dependence_serializes() {
+        // A predicated chain must wait for its predicate; an unpredicated
+        // one need not.
+        fn chain(predicated: bool) -> Function {
+            let mut fb = FunctionBuilder::new("chain", 2);
+            let e = fb.create_block();
+            fb.switch_to(e);
+            // Slow predicate: a chain of multiplies.
+            let mut p = fb.param(1);
+            for _ in 0..6 {
+                p = fb.mul(reg(p), Operand::Imm(3));
+            }
+            let cond = fb.cmp_ne(reg(p), Operand::Imm(0));
+            let out = fb.fresh_reg();
+            let mut inst = Instr::add(out, reg(Reg(0)), Operand::Imm(7));
+            if predicated {
+                inst = inst.predicated(Pred::on_true(cond));
+            }
+            fb.push(inst);
+            fb.ret(Some(reg(out)));
+            fb.build().unwrap()
+        }
+        let cfgs = TimingConfig::trips();
+        let with = simulate_timing(&chain(true), &[1, 1], &[], &cfgs).unwrap();
+        let without = simulate_timing(&chain(false), &[1, 1], &[], &cfgs).unwrap();
+        assert_eq!(with.ret, without.ret);
+        assert!(with.cycles > without.cycles);
+    }
+
+    #[test]
+    fn nullified_instructions_counted() {
+        let mut fb = FunctionBuilder::new("nullify", 1);
+        let e = fb.create_block();
+        fb.switch_to(e);
+        let out = fb.mov(Operand::Imm(0));
+        let c = fb.cmp_gt(reg(Reg(0)), Operand::Imm(100));
+        fb.push(Instr::mov(out, Operand::Imm(1)).predicated(Pred::on_true(c)));
+        fb.ret(Some(reg(out)));
+        let f = fb.build().unwrap();
+        let t = simulate_timing(&f, &[1], &[], &TimingConfig::trips()).unwrap();
+        assert_eq!(t.insts_nullified, 1);
+        assert_eq!(t.ret, Some(0));
+    }
+
+    #[test]
+    fn trace_records_every_block_with_consistent_times() {
+        let f = sum_loop();
+        let (r, trace) = simulate_timing_traced(&f, &[12], &[], &TimingConfig::trips()).unwrap();
+        assert_eq!(trace.events.len() as u64, r.blocks_executed);
+        trace.check().unwrap();
+        // Per-event counters sum to the totals.
+        let exec: u64 = trace.events.iter().map(|e| e.executed as u64).sum();
+        assert_eq!(exec, r.insts_executed);
+        let mispredicted = trace.events.iter().filter(|e| !e.predicted).count() as u64;
+        assert_eq!(mispredicted, r.mispredictions);
+        // The last commit is the cycle count.
+        assert_eq!(trace.events.last().unwrap().commit, r.cycles);
+    }
+
+    #[test]
+    fn traced_and_untraced_agree() {
+        let f = sum_loop();
+        let a = simulate_timing(&f, &[20], &[], &TimingConfig::trips()).unwrap();
+        let (b, _) = simulate_timing_traced(&f, &[20], &[], &TimingConfig::trips()).unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn memory_ordering_disciplines_are_ordered() {
+        // A block with a store feeding a later same-address load: Oracle
+        // lets the load fly, Exact makes it wait for that store, and
+        // Conservative additionally serializes unrelated loads.
+        let mut fb = FunctionBuilder::new("mem", 1);
+        let e = fb.create_block();
+        fb.switch_to(e);
+        // Slow value: chain of multiplies.
+        let mut v = fb.param(0);
+        for _ in 0..6 {
+            v = fb.mul(reg(v), Operand::Imm(3));
+        }
+        fb.store(Operand::Imm(100), reg(v)); // slow store
+        let same = fb.load(Operand::Imm(100)); // conflicts
+        let other = fb.load(Operand::Imm(200)); // unrelated
+        let s = fb.add(reg(same), reg(other));
+        fb.ret(Some(reg(s)));
+        let f = fb.build().unwrap();
+
+        let cycles = |ord: MemoryOrdering| {
+            simulate_timing(
+                &f,
+                &[3],
+                &[(200, 9)],
+                &TimingConfig {
+                    memory_ordering: ord,
+                    ..TimingConfig::trips()
+                },
+            )
+            .unwrap()
+            .cycles
+        };
+        let oracle = cycles(MemoryOrdering::Oracle);
+        let exact = cycles(MemoryOrdering::Exact);
+        let conservative = cycles(MemoryOrdering::Conservative);
+        assert!(oracle < exact, "{oracle} !< {exact}");
+        assert!(exact <= conservative, "{exact} !<= {conservative}");
+        // All disciplines compute the same result (timing-only knob).
+        for ord in [
+            MemoryOrdering::Oracle,
+            MemoryOrdering::Exact,
+            MemoryOrdering::Conservative,
+        ] {
+            let r = simulate_timing(
+                &f,
+                &[3],
+                &[(200, 9)],
+                &TimingConfig {
+                    memory_ordering: ord,
+                    ..TimingConfig::trips()
+                },
+            )
+            .unwrap();
+            assert_eq!(r.ret, Some(3 * 729 + 9));
+        }
+    }
+
+    #[test]
+    fn out_of_fuel() {
+        let mut fb = FunctionBuilder::new("spin", 0);
+        let e = fb.create_block();
+        fb.switch_to(e);
+        fb.jump(e);
+        let f = fb.build().unwrap();
+        let cfg = TimingConfig {
+            max_blocks: 50,
+            ..TimingConfig::trips()
+        };
+        assert!(matches!(
+            simulate_timing(&f, &[], &[], &cfg),
+            Err(ExecError::OutOfFuel { .. })
+        ));
+    }
+}

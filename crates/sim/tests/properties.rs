@@ -1,0 +1,137 @@
+//! Property-based tests over the simulators: the timing model must agree
+//! with the functional model on all observable behaviour, and its cycle
+//! accounting must satisfy basic sanity bounds.
+
+use chf_ir::testgen::{generate, GenConfig};
+use chf_sim::functional::{run, RunConfig};
+use chf_sim::timing::{simulate_timing, TimingConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The timing simulator computes exactly what the functional simulator
+    /// computes: same return value, same memory, same dynamic counts.
+    #[test]
+    fn timing_matches_functional(
+        seed in any::<u64>(),
+        a in -100i64..100,
+        b in -100i64..100,
+    ) {
+        let f = generate(seed, &GenConfig::default());
+        let fr = run(&f, &[a, b], &[], &RunConfig::default()).unwrap();
+        let tr = simulate_timing(&f, &[a, b], &[], &TimingConfig::trips()).unwrap();
+        prop_assert_eq!(fr.digest(), tr.digest());
+        prop_assert_eq!(fr.blocks_executed, tr.blocks_executed);
+        prop_assert_eq!(fr.insts_executed, tr.insts_executed);
+        prop_assert_eq!(fr.insts_fetched, tr.insts_fetched);
+    }
+
+    /// Cycle counts are bounded below by block-dispatch serialization and
+    /// above by fully serial execution.
+    #[test]
+    fn cycle_bounds(seed in any::<u64>(), a in -20i64..20) {
+        let cfg = TimingConfig::trips();
+        let f = generate(seed, &GenConfig::default());
+        let t = simulate_timing(&f, &[a, 3], &[], &cfg).unwrap();
+        // Lower bound: each block costs at least the commit spacing.
+        prop_assert!(t.cycles >= t.blocks_executed * cfg.commit_overhead);
+        // Upper bound: worse than fully serial with max latency everywhere
+        // is impossible (12 = div latency, +fetch, +overheads, +flushes).
+        let worst = t.insts_executed * 14
+            + t.blocks_executed * (cfg.block_overhead + 10)
+            + t.mispredictions * cfg.mispredict_penalty
+            + 100;
+        prop_assert!(
+            t.cycles <= worst,
+            "cycles {} above the serial bound {}",
+            t.cycles,
+            worst
+        );
+    }
+
+    /// Timing simulation is deterministic.
+    #[test]
+    fn timing_is_deterministic(seed in any::<u64>(), a in -50i64..50) {
+        let f = generate(seed, &GenConfig::default());
+        let t0 = simulate_timing(&f, &[a, 5], &[], &TimingConfig::trips()).unwrap();
+        let t1 = simulate_timing(&f, &[a, 5], &[], &TimingConfig::trips()).unwrap();
+        prop_assert_eq!(t0.cycles, t1.cycles);
+        prop_assert_eq!(t0.mispredictions, t1.mispredictions);
+    }
+
+    /// A higher misprediction penalty never makes a program faster, and a
+    /// larger in-flight window never makes it slower.
+    #[test]
+    fn knob_monotonicity(seed in any::<u64>()) {
+        let f = generate(seed, &GenConfig::default());
+        let base = TimingConfig::trips();
+        let t0 = simulate_timing(&f, &[3, 7], &[], &base).unwrap();
+
+        let pricey = TimingConfig {
+            mispredict_penalty: base.mispredict_penalty * 4,
+            ..base.clone()
+        };
+        let t1 = simulate_timing(&f, &[3, 7], &[], &pricey).unwrap();
+        prop_assert!(t1.cycles >= t0.cycles);
+
+        let tiny_window = TimingConfig {
+            window_blocks: 1,
+            ..base.clone()
+        };
+        let t2 = simulate_timing(&f, &[3, 7], &[], &tiny_window).unwrap();
+        prop_assert!(t2.cycles >= t0.cycles);
+
+        let slow_fetch = TimingConfig {
+            fetch_bandwidth: 1,
+            ..base.clone()
+        };
+        let t3 = simulate_timing(&f, &[3, 7], &[], &slow_fetch).unwrap();
+        prop_assert!(t3.cycles >= t0.cycles);
+
+        let slow_regs = TimingConfig {
+            register_latency: base.register_latency + 6,
+            ..base.clone()
+        };
+        let t4 = simulate_timing(&f, &[3, 7], &[], &slow_regs).unwrap();
+        prop_assert!(t4.cycles >= t0.cycles);
+
+        let conservative_mem = TimingConfig {
+            memory_ordering: chf_sim::timing::MemoryOrdering::Conservative,
+            ..base.clone()
+        };
+        let t5 = simulate_timing(&f, &[3, 7], &[], &conservative_mem).unwrap();
+        let oracle_mem = TimingConfig {
+            memory_ordering: chf_sim::timing::MemoryOrdering::Oracle,
+            ..base.clone()
+        };
+        let t6 = simulate_timing(&f, &[3, 7], &[], &oracle_mem).unwrap();
+        prop_assert!(t6.cycles <= t0.cycles);
+        prop_assert!(t5.cycles >= t6.cycles);
+    }
+
+    /// Fuel exhaustion is reported identically by both simulators.
+    #[test]
+    fn fuel_agreement(seed in any::<u64>()) {
+        let f = generate(seed, &GenConfig::default());
+        let full = run(&f, &[3, 7], &[], &RunConfig::default()).unwrap();
+        if full.blocks_executed < 4 {
+            return Ok(());
+        }
+        let budget = full.blocks_executed / 2;
+        let fr = run(
+            &f,
+            &[3, 7],
+            &[],
+            &RunConfig { max_blocks: budget, ..RunConfig::default() },
+        );
+        let tr = simulate_timing(
+            &f,
+            &[3, 7],
+            &[],
+            &TimingConfig { max_blocks: budget, ..TimingConfig::trips() },
+        );
+        prop_assert!(fr.is_err());
+        prop_assert!(tr.is_err());
+    }
+}

@@ -1,0 +1,238 @@
+//! Builder helpers shared by workload definitions: structured loops,
+//! conditionals, and deterministic pseudo-random data.
+
+use chf_ir::builder::FunctionBuilder;
+use chf_ir::ids::{BlockId, Reg};
+use chf_ir::instr::Operand;
+
+/// Emit a counted loop `for i in 0..limit { body(i) }`.
+///
+/// The builder must be positioned in a block without exits; on return it is
+/// positioned in the loop's exit block. `body` receives the induction
+/// register and must leave the builder in a block without exits (its last
+/// block falls through to the latch).
+pub fn counted_loop(
+    fb: &mut FunctionBuilder,
+    limit: Operand,
+    body: impl FnOnce(&mut FunctionBuilder, Reg),
+) {
+    let i = fb.mov(Operand::Imm(0));
+    counted_loop_from(fb, i, limit, body);
+}
+
+/// Like [`counted_loop`] but with a caller-provided induction register
+/// already holding the start value.
+pub fn counted_loop_from(
+    fb: &mut FunctionBuilder,
+    i: Reg,
+    limit: Operand,
+    body: impl FnOnce(&mut FunctionBuilder, Reg),
+) {
+    let header = fb.create_block();
+    let body_block = fb.create_block();
+    let exit = fb.create_block();
+    fb.jump(header);
+    fb.switch_to(header);
+    let c = fb.cmp_lt(Operand::Reg(i), limit);
+    fb.branch(c, body_block, exit);
+    fb.switch_to(body_block);
+    body(fb, i);
+    let i2 = fb.add(Operand::Reg(i), Operand::Imm(1));
+    fb.mov_to(i, Operand::Reg(i2));
+    fb.jump(header);
+    fb.switch_to(exit);
+}
+
+/// Emit a while loop `while cond(state) { body }` where the condition is
+/// recomputed each iteration by `cond` (a true while loop: the exit test
+/// runs on every iteration, as in the paper's Figure 1 discussion).
+///
+/// `cond` must emit code computing a predicate register; `body` runs when
+/// it is non-zero. On return the builder is in the exit block.
+pub fn while_loop(
+    fb: &mut FunctionBuilder,
+    cond: impl FnOnce(&mut FunctionBuilder) -> Reg,
+    body: impl FnOnce(&mut FunctionBuilder),
+) {
+    let header = fb.create_block();
+    let body_block = fb.create_block();
+    let exit = fb.create_block();
+    fb.jump(header);
+    fb.switch_to(header);
+    let c = cond(fb);
+    fb.branch(c, body_block, exit);
+    fb.switch_to(body_block);
+    body(fb);
+    fb.jump(header);
+    fb.switch_to(exit);
+}
+
+/// Emit `if cond { then }` — the builder continues in the join block.
+pub fn if_then(
+    fb: &mut FunctionBuilder,
+    cond: Reg,
+    then: impl FnOnce(&mut FunctionBuilder),
+) {
+    let t = fb.create_block();
+    let join = fb.create_block();
+    fb.branch(cond, t, join);
+    fb.switch_to(t);
+    then(fb);
+    fb.jump(join);
+    fb.switch_to(join);
+}
+
+/// Emit `if cond { then } else { els }` — continues in the join block.
+pub fn if_then_else(
+    fb: &mut FunctionBuilder,
+    cond: Reg,
+    then: impl FnOnce(&mut FunctionBuilder),
+    els: impl FnOnce(&mut FunctionBuilder),
+) {
+    let t = fb.create_block();
+    let z = fb.create_block();
+    let join = fb.create_block();
+    fb.branch(cond, t, z);
+    fb.switch_to(t);
+    then(fb);
+    fb.jump(join);
+    fb.switch_to(z);
+    els(fb);
+    fb.jump(join);
+    fb.switch_to(join);
+}
+
+/// The entry block, created and selected.
+pub fn start(fb: &mut FunctionBuilder) -> BlockId {
+    let e = fb.create_block();
+    fb.switch_to(e);
+    e
+}
+
+/// Deterministic pseudo-random array contents (SplitMix64), for data whose
+/// branch behaviour should look random to the predictor.
+pub fn random_memory(base: i64, len: usize, seed: u64, modulo: i64) -> Vec<(i64, i64)> {
+    let mut state = seed;
+    (0..len)
+        .map(|k| {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            let v = if modulo > 0 {
+                (z % (modulo as u64)) as i64
+            } else {
+                z as i64
+            };
+            (base + k as i64, v)
+        })
+        .collect()
+}
+
+/// Linearly increasing array contents `base[k] = start + k * step`.
+pub fn ramp_memory(base: i64, len: usize, start: i64, step: i64) -> Vec<(i64, i64)> {
+    (0..len)
+        .map(|k| (base + k as i64, start + k as i64 * step))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chf_sim::functional::{run, RunConfig};
+
+    #[test]
+    fn counted_loop_runs_expected_trips() {
+        let mut fb = FunctionBuilder::new("cl", 1);
+        start(&mut fb);
+        let acc = fb.mov(Operand::Imm(0));
+        let limit = fb.param(0);
+        counted_loop(&mut fb, Operand::Reg(limit), |fb, i| {
+            let a = fb.add(Operand::Reg(acc), Operand::Reg(i));
+            fb.mov_to(acc, Operand::Reg(a));
+        });
+        fb.ret(Some(Operand::Reg(acc)));
+        let f = fb.build().unwrap();
+        let r = run(&f, &[10], &[], &RunConfig::default()).unwrap();
+        assert_eq!(r.ret, Some(45));
+    }
+
+    #[test]
+    fn while_loop_tests_every_iteration() {
+        // while (x != 1) { x = x odd ? 3x+1 : x/2 } — Collatz from 6: 8 steps
+        let mut fb = FunctionBuilder::new("collatz", 1);
+        start(&mut fb);
+        let x = fb.mov(Operand::Reg(fb.param(0)));
+        let steps = fb.mov(Operand::Imm(0));
+        while_loop(
+            &mut fb,
+            |fb| fb.cmp_ne(Operand::Reg(x), Operand::Imm(1)),
+            |fb| {
+                let odd = fb.and(Operand::Reg(x), Operand::Imm(1));
+                if_then_else(
+                    fb,
+                    odd,
+                    |fb| {
+                        let t = fb.mul(Operand::Reg(x), Operand::Imm(3));
+                        let t = fb.add(Operand::Reg(t), Operand::Imm(1));
+                        fb.mov_to(x, Operand::Reg(t));
+                    },
+                    |fb| {
+                        let t = fb.div(Operand::Reg(x), Operand::Imm(2));
+                        fb.mov_to(x, Operand::Reg(t));
+                    },
+                );
+                let s = fb.add(Operand::Reg(steps), Operand::Imm(1));
+                fb.mov_to(steps, Operand::Reg(s));
+            },
+        );
+        fb.ret(Some(Operand::Reg(steps)));
+        let f = fb.build().unwrap();
+        let r = run(&f, &[6], &[], &RunConfig::default()).unwrap();
+        assert_eq!(r.ret, Some(8));
+    }
+
+    #[test]
+    fn if_then_join_continues() {
+        let mut fb = FunctionBuilder::new("it", 1);
+        start(&mut fb);
+        let out = fb.mov(Operand::Imm(10));
+        let c = fb.cmp_gt(Operand::Reg(fb.param(0)), Operand::Imm(0));
+        if_then(&mut fb, c, |fb| {
+            fb.mov_to(out, Operand::Imm(20));
+        });
+        let plus = fb.add(Operand::Reg(out), Operand::Imm(1));
+        fb.ret(Some(Operand::Reg(plus)));
+        let f = fb.build().unwrap();
+        assert_eq!(run(&f, &[1], &[], &RunConfig::default()).unwrap().ret, Some(21));
+        assert_eq!(run(&f, &[-1], &[], &RunConfig::default()).unwrap().ret, Some(11));
+    }
+
+    #[test]
+    fn memory_helpers() {
+        let m = ramp_memory(100, 4, 5, 2);
+        assert_eq!(m, vec![(100, 5), (101, 7), (102, 9), (103, 11)]);
+        let r = random_memory(0, 8, 42, 10);
+        assert!(r.iter().all(|(_, v)| (0..10).contains(v)));
+        // Deterministic.
+        assert_eq!(r, random_memory(0, 8, 42, 10));
+        assert_ne!(r, random_memory(0, 8, 43, 10));
+    }
+
+    #[test]
+    fn nested_loops_compose() {
+        let mut fb = FunctionBuilder::new("nest", 0);
+        start(&mut fb);
+        let acc = fb.mov(Operand::Imm(0));
+        counted_loop(&mut fb, Operand::Imm(4), |fb, _i| {
+            counted_loop(fb, Operand::Imm(3), |fb, _j| {
+                let a = fb.add(Operand::Reg(acc), Operand::Imm(1));
+                fb.mov_to(acc, Operand::Reg(a));
+            });
+        });
+        fb.ret(Some(Operand::Reg(acc)));
+        let f = fb.build().unwrap();
+        assert_eq!(run(&f, &[], &[], &RunConfig::default()).unwrap().ret, Some(12));
+    }
+}

@@ -1,0 +1,144 @@
+#![warn(missing_docs)]
+//! # chf-workloads — the evaluation workloads
+//!
+//! The paper evaluates on two suites that we reconstruct as executable IR
+//! programs (DESIGN.md, substitution 2):
+//!
+//! * [`micro`] — the 24 microbenchmarks of Tables 1–2: loops and procedures
+//!   "extracted from SPEC2000", GMTI radar signal-processing kernels, a
+//!   10×10 matrix multiply, sieve, and Dhrystone. Each kernel's control
+//!   structure and profile matches the behaviour the paper attributes to it
+//!   (e.g. `ammp_1`'s low-trip-count while loops, `bzip2_3`'s
+//!   infrequently-taken block ahead of the induction-variable update,
+//!   `parser_1`'s rarely-taken heavy paths).
+//! * [`spec`] — 19 SPEC2000-like whole-program composites for the
+//!   block-count study of Table 3, each chaining several kernel phases at
+//!   larger input sizes (stand-ins for the MinneSPEC reduced inputs).
+//!
+//! Every workload carries its inputs, a self-profile gathered by running
+//! the basic-block form on a training input, and an expected result
+//! verified at construction time.
+
+use chf_ir::function::Function;
+use chf_ir::profile::ProfileData;
+use chf_sim::functional::{run, RunConfig};
+
+pub mod helpers;
+pub mod micro;
+pub mod spec;
+
+/// An executable benchmark: program, inputs, profile, and expected result.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Name as it appears in the paper's tables.
+    pub name: String,
+    /// The program in basic-block form.
+    pub function: Function,
+    /// Arguments for the measured (reference) run.
+    pub args: Vec<i64>,
+    /// Initial memory for the measured run.
+    pub memory: Vec<(i64, i64)>,
+    /// Profile gathered from a training run (the same inputs, as in the
+    /// paper's self-profiled microbenchmarks).
+    pub profile: ProfileData,
+    /// Expected return value of the measured run (validated at
+    /// construction).
+    pub expected: i64,
+}
+
+impl Workload {
+    /// Package a function with inputs, gathering the profile and checking
+    /// the expected result.
+    ///
+    /// # Panics
+    /// Panics if the program fails to run or returns something other than
+    /// `expected` — workload definitions are validated at construction.
+    pub fn new(
+        name: impl Into<String>,
+        function: Function,
+        args: Vec<i64>,
+        memory: Vec<(i64, i64)>,
+        expected: i64,
+    ) -> Workload {
+        let name = name.into();
+        let result = run(&function, &args, &memory, &RunConfig::default())
+            .unwrap_or_else(|e| panic!("workload {name} failed to execute: {e}"));
+        assert_eq!(
+            result.ret,
+            Some(expected),
+            "workload {name} returned {:?}, expected {expected}",
+            result.ret
+        );
+        Workload {
+            name,
+            function,
+            args,
+            memory,
+            profile: result.profile,
+            expected,
+        }
+    }
+
+    /// Dynamic block count of the basic-block form on the reference input.
+    pub fn baseline_blocks(&self) -> u64 {
+        run(&self.function, &self.args, &self.memory, &RunConfig::default())
+            .expect("validated at construction")
+            .blocks_executed
+    }
+}
+
+/// All 24 microbenchmarks, in the paper's table order.
+pub fn microbenchmarks() -> Vec<Workload> {
+    micro::all()
+}
+
+/// The 19 SPEC2000-like composites, in the paper's Table 3 order.
+pub fn spec_suite() -> Vec<Workload> {
+    spec::all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_suite_has_paper_rows() {
+        let names: Vec<String> = microbenchmarks().into_iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 24);
+        for expected in [
+            "ammp_1",
+            "bzip2_3",
+            "dct8x8",
+            "dhry",
+            "doppler_GMTI",
+            "gzip_1",
+            "matrix_1",
+            "parser_1",
+            "sieve",
+            "transpose_GMTI",
+            "vadd",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn spec_suite_has_paper_rows() {
+        let names: Vec<String> = spec_suite().into_iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 19);
+        for expected in ["ammp", "bzip2", "mcf", "vpr", "wupwise"] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn all_workloads_have_profiles() {
+        for w in microbenchmarks() {
+            assert!(
+                !w.profile.block_counts.is_empty(),
+                "{} has empty profile",
+                w.name
+            );
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! GMTI radar signal-processing kernels (paper §7).
+//!
+//! Fixed-point integer renditions of the doppler filter, FFT butterflies,
+//! forward FIR filter, and corner-turn (transpose) stages of the GMTI
+//! pipeline.
+
+use crate::helpers::{counted_loop, if_then, ramp_memory, random_memory, start};
+use crate::Workload;
+use chf_ir::builder::FunctionBuilder;
+use chf_ir::ids::Reg;
+use chf_ir::instr::Operand;
+
+const A: i64 = 1000;
+const B: i64 = 2000;
+
+fn reg(r: Reg) -> Operand {
+    Operand::Reg(r)
+}
+
+fn imm(v: i64) -> Operand {
+    Operand::Imm(v)
+}
+
+/// `doppler_GMTI` — doppler filtering: sliding-window multiply-accumulate
+/// with fixed-point scaling.
+pub fn doppler_gmti() -> Workload {
+    const N: usize = 256;
+    let samples = random_memory(A, N + 1, 131, 1024);
+    const C1: i64 = 13;
+    const C2: i64 = 7;
+
+    let mut expected = 0i64;
+    for k in 0..N {
+        let s = samples[k].1 * C1 + samples[k + 1].1 * C2;
+        expected += s >> 4;
+    }
+
+    let mut fb = FunctionBuilder::new("doppler_GMTI", 0);
+    start(&mut fb);
+    let acc = fb.mov(imm(0));
+    counted_loop(&mut fb, imm(N as i64), |fb, i| {
+        let a0 = fb.add(imm(A), reg(i));
+        let s0 = fb.load(reg(a0));
+        let a1 = fb.add(reg(a0), imm(1));
+        let s1 = fb.load(reg(a1));
+        let m0 = fb.mul(reg(s0), imm(C1));
+        let m1 = fb.mul(reg(s1), imm(C2));
+        let s = fb.add(reg(m0), reg(m1));
+        let sc = fb.shr(reg(s), imm(4));
+        let a2 = fb.add(reg(acc), reg(sc));
+        fb.mov_to(acc, reg(a2));
+    });
+    fb.ret(Some(reg(acc)));
+    let f = fb.build().unwrap();
+    Workload::new("doppler_GMTI", f, vec![], samples, expected)
+}
+
+/// `fft2_GMTI` — one radix-2 butterfly pass over 128 points, followed by a
+/// post-conditioning test. The paper notes that merging this post-loop test
+/// into the unrolled loop body is head duplication's (small) win here.
+pub fn fft2_gmti() -> Workload {
+    const HALF: usize = 64;
+    let data = random_memory(A, 2 * HALF, 141, 512);
+
+    let mut mem_ref: Vec<i64> = data.iter().map(|(_, v)| *v).collect();
+    let mut expected = 0i64;
+    for k in 0..HALF {
+        let a = mem_ref[k];
+        let b = mem_ref[k + HALF];
+        mem_ref[k] = a + b;
+        mem_ref[k + HALF] = a - b;
+        expected += mem_ref[k] ^ (mem_ref[k + HALF] & 0xff);
+    }
+    if expected & 1 == 1 {
+        expected += 255;
+    }
+
+    let mut fb = FunctionBuilder::new("fft2_GMTI", 0);
+    start(&mut fb);
+    let acc = fb.mov(imm(0));
+    counted_loop(&mut fb, imm(HALF as i64), |fb, k| {
+        let lo_a = fb.add(imm(A), reg(k));
+        let a = fb.load(reg(lo_a));
+        let hi_a = fb.add(reg(lo_a), imm(HALF as i64));
+        let b = fb.load(reg(hi_a));
+        let sum = fb.add(reg(a), reg(b));
+        let diff = fb.sub(reg(a), reg(b));
+        fb.store(reg(lo_a), reg(sum));
+        fb.store(reg(hi_a), reg(diff));
+        let masked = fb.and(reg(diff), imm(0xff));
+        let x = fb.xor(reg(sum), reg(masked));
+        let a2 = fb.add(reg(acc), reg(x));
+        fb.mov_to(acc, reg(a2));
+    });
+    // Post-conditioning test after the loop.
+    let odd = fb.and(reg(acc), imm(1));
+    if_then(&mut fb, odd, |fb| {
+        let t = fb.add(reg(acc), imm(255));
+        fb.mov_to(acc, reg(t));
+    });
+    fb.ret(Some(reg(acc)));
+    let f = fb.build().unwrap();
+    Workload::new("fft2_GMTI", f, vec![], data, expected)
+}
+
+/// `fft4_GMTI` — a radix-4 butterfly pass: four loads, eight adds/subs,
+/// four stores per iteration (a big, memory-dense body).
+pub fn fft4_gmti() -> Workload {
+    const Q: usize = 32;
+    let data = random_memory(A, 4 * Q, 151, 512);
+
+    let mut m: Vec<i64> = data.iter().map(|(_, v)| *v).collect();
+    let mut expected = 0i64;
+    for k in 0..Q {
+        let (a, b, c, d) = (m[k], m[k + Q], m[k + 2 * Q], m[k + 3 * Q]);
+        let t0 = a + c;
+        let t1 = a - c;
+        let t2 = b + d;
+        let t3 = b - d;
+        m[k] = t0 + t2;
+        m[k + Q] = t1 + t3;
+        m[k + 2 * Q] = t0 - t2;
+        m[k + 3 * Q] = t1 - t3;
+        expected += m[k] ^ (m[k + 2 * Q] & 0xfff);
+    }
+
+    let mut fb = FunctionBuilder::new("fft4_GMTI", 0);
+    start(&mut fb);
+    let acc = fb.mov(imm(0));
+    counted_loop(&mut fb, imm(Q as i64), |fb, k| {
+        let a0 = fb.add(imm(A), reg(k));
+        let a1 = fb.add(reg(a0), imm(Q as i64));
+        let a2a = fb.add(reg(a0), imm(2 * Q as i64));
+        let a3 = fb.add(reg(a0), imm(3 * Q as i64));
+        let a = fb.load(reg(a0));
+        let b = fb.load(reg(a1));
+        let c = fb.load(reg(a2a));
+        let d = fb.load(reg(a3));
+        let t0 = fb.add(reg(a), reg(c));
+        let t1 = fb.sub(reg(a), reg(c));
+        let t2 = fb.add(reg(b), reg(d));
+        let t3 = fb.sub(reg(b), reg(d));
+        let o0 = fb.add(reg(t0), reg(t2));
+        let o1 = fb.add(reg(t1), reg(t3));
+        let o2 = fb.sub(reg(t0), reg(t2));
+        let o3 = fb.sub(reg(t1), reg(t3));
+        fb.store(reg(a0), reg(o0));
+        fb.store(reg(a1), reg(o1));
+        fb.store(reg(a2a), reg(o2));
+        fb.store(reg(a3), reg(o3));
+        let masked = fb.and(reg(o2), imm(0xfff));
+        let x = fb.xor(reg(o0), reg(masked));
+        let acc2 = fb.add(reg(acc), reg(x));
+        fb.mov_to(acc, reg(acc2));
+    });
+    fb.ret(Some(reg(acc)));
+    let f = fb.build().unwrap();
+    Workload::new("fft4_GMTI", f, vec![], data, expected)
+}
+
+/// `forward_GMTI` — forward FIR filter: the inner tap loop has a *low,
+/// constant* trip count (4 taps), a natural peeling target.
+pub fn forward_gmti() -> Workload {
+    const N: usize = 200;
+    const TAPS: usize = 4;
+    let signal = random_memory(A, N + TAPS, 161, 256);
+    let coefs = ramp_memory(B, TAPS, 3, 2);
+
+    let mut expected = 0i64;
+    for i in 0..N {
+        let mut s = 0i64;
+        for t in 0..TAPS {
+            s += signal[i + t].1 * coefs[t].1;
+        }
+        expected += s >> 2;
+    }
+
+    let mut fb = FunctionBuilder::new("forward_GMTI", 0);
+    start(&mut fb);
+    let acc = fb.mov(imm(0));
+    counted_loop(&mut fb, imm(N as i64), |fb, i| {
+        let s = fb.mov(imm(0));
+        counted_loop(fb, imm(TAPS as i64), |fb, t| {
+            let sa = fb.add(imm(A), reg(i));
+            let sa2 = fb.add(reg(sa), reg(t));
+            let sv = fb.load(reg(sa2));
+            let ca = fb.add(imm(B), reg(t));
+            let cv = fb.load(reg(ca));
+            let p = fb.mul(reg(sv), reg(cv));
+            let s2 = fb.add(reg(s), reg(p));
+            fb.mov_to(s, reg(s2));
+        });
+        let sc = fb.shr(reg(s), imm(2));
+        let a2 = fb.add(reg(acc), reg(sc));
+        fb.mov_to(acc, reg(a2));
+    });
+    fb.ret(Some(reg(acc)));
+    let f = fb.build().unwrap();
+
+    let mut mem = signal;
+    mem.extend(coefs);
+    Workload::new("forward_GMTI", f, vec![], mem, expected)
+}
+
+/// `transpose_GMTI` — the corner turn: pure data movement, two memory
+/// operations per iteration, so the 32-load/store block constraint, not
+/// block size, limits merging (the paper reports only small gains).
+pub fn transpose_gmti() -> Workload {
+    const DIM: usize = 24;
+    let src = random_memory(A, DIM * DIM, 171, 1000);
+
+    let mut expected = 0i64;
+    for i in 0..DIM {
+        for j in 0..DIM {
+            let v = src[i * DIM + j].1;
+            // B[j][i] = A[i][j]; checksum with position weight
+            expected += v * ((j * DIM + i) as i64 & 15);
+        }
+    }
+
+    let mut fb = FunctionBuilder::new("transpose_GMTI", 0);
+    start(&mut fb);
+    let acc = fb.mov(imm(0));
+    counted_loop(&mut fb, imm(DIM as i64), |fb, i| {
+        counted_loop(fb, imm(DIM as i64), |fb, j| {
+            let row = fb.mul(reg(i), imm(DIM as i64));
+            let src_off = fb.add(reg(row), reg(j));
+            let sa = fb.add(imm(A), reg(src_off));
+            let v = fb.load(reg(sa));
+            let col = fb.mul(reg(j), imm(DIM as i64));
+            let dst_off = fb.add(reg(col), reg(i));
+            let da = fb.add(imm(B), reg(dst_off));
+            fb.store(reg(da), reg(v));
+            let w = fb.and(reg(dst_off), imm(15));
+            let p = fb.mul(reg(v), reg(w));
+            let a2 = fb.add(reg(acc), reg(p));
+            fb.mov_to(acc, reg(a2));
+        });
+    });
+    fb.ret(Some(reg(acc)));
+    let f = fb.build().unwrap();
+    Workload::new("transpose_GMTI", f, vec![], src, expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_inner_loop_trips_are_constant() {
+        let w = forward_gmti();
+        let constant_hist = w
+            .profile
+            .trip_histograms
+            .values()
+            .any(|h| h.counts.len() == 1 && h.mode() == Some(5));
+        assert!(
+            constant_hist,
+            "forward FIR inner loop should always run 4 iterations (5 header visits): {:?}",
+            w.profile.trip_histograms
+        );
+    }
+
+    #[test]
+    fn transpose_is_memory_dense() {
+        let w = transpose_gmti();
+        // Inner body: 1 load + 1 store out of ~10 instructions.
+        let mems: usize = w
+            .function
+            .blocks()
+            .map(|(_, b)| b.memory_ops())
+            .sum();
+        assert!(mems >= 2);
+    }
+
+    #[test]
+    fn fft_kernels_touch_expected_memory() {
+        let w = fft2_gmti();
+        let r = chf_sim::functional::run(&w.function, &w.args, &w.memory, &Default::default())
+            .unwrap();
+        // The butterfly writes both halves back.
+        assert!(r.memory.len() >= 128);
+    }
+}

@@ -1,0 +1,362 @@
+//! Standalone kernels of the microbenchmark suite: 8×8 DCT, Dhrystone,
+//! 10×10 matrix multiply, sieve, and vector add (paper §7).
+
+use crate::helpers::{counted_loop, if_then, if_then_else, random_memory, start, while_loop};
+use crate::Workload;
+use chf_ir::builder::FunctionBuilder;
+use chf_ir::ids::Reg;
+use chf_ir::instr::Operand;
+
+const A: i64 = 1000;
+const B: i64 = 2000;
+const C: i64 = 3000;
+
+fn reg(r: Reg) -> Operand {
+    Operand::Reg(r)
+}
+
+fn imm(v: i64) -> Operand {
+    Operand::Imm(v)
+}
+
+/// `dct8x8` — an 8×8 integer DCT-like transform. The body is a dense
+/// straight-line butterfly: basic blocks are already large, so hyperblock
+/// formation has little to add (the paper reports ≈ −0.6%).
+pub fn dct8x8() -> Workload {
+    const DIM: usize = 8;
+    let src = random_memory(A, DIM * DIM, 181, 256);
+
+    let m: Vec<i64> = src.iter().map(|(_, v)| *v).collect();
+    let mut expected = 0i64;
+    for r in 0..DIM {
+        // One 8-point pass per row, unrolled in the source.
+        let row = &m[r * DIM..(r + 1) * DIM];
+        let s0 = row[0] + row[7];
+        let s1 = row[1] + row[6];
+        let s2 = row[2] + row[5];
+        let s3 = row[3] + row[4];
+        let d0 = row[0] - row[7];
+        let d1 = row[1] - row[6];
+        let d2 = row[2] - row[5];
+        let d3 = row[3] - row[4];
+        let e0 = s0 + s3;
+        let e1 = s1 + s2;
+        let o0 = d0 * 3 + d1;
+        let o1 = d2 * 3 + d3;
+        expected += (e0 + e1) ^ ((o0 + o1) & 0xff);
+    }
+
+    let mut fb = FunctionBuilder::new("dct8x8", 0);
+    start(&mut fb);
+    let acc = fb.mov(imm(0));
+    counted_loop(&mut fb, imm(DIM as i64), |fb, r| {
+        let base = fb.mul(reg(r), imm(DIM as i64));
+        let row_addr = fb.add(imm(A), reg(base));
+        let mut vals = Vec::new();
+        for k in 0..DIM {
+            let a = fb.add(reg(row_addr), imm(k as i64));
+            vals.push(fb.load(reg(a)));
+        }
+        let s0 = fb.add(reg(vals[0]), reg(vals[7]));
+        let s1 = fb.add(reg(vals[1]), reg(vals[6]));
+        let s2 = fb.add(reg(vals[2]), reg(vals[5]));
+        let s3 = fb.add(reg(vals[3]), reg(vals[4]));
+        let d0 = fb.sub(reg(vals[0]), reg(vals[7]));
+        let d1 = fb.sub(reg(vals[1]), reg(vals[6]));
+        let d2 = fb.sub(reg(vals[2]), reg(vals[5]));
+        let d3 = fb.sub(reg(vals[3]), reg(vals[4]));
+        let e0 = fb.add(reg(s0), reg(s3));
+        let e1 = fb.add(reg(s1), reg(s2));
+        let m0 = fb.mul(reg(d0), imm(3));
+        let o0 = fb.add(reg(m0), reg(d1));
+        let m1 = fb.mul(reg(d2), imm(3));
+        let o1 = fb.add(reg(m1), reg(d3));
+        let esum = fb.add(reg(e0), reg(e1));
+        let osum = fb.add(reg(o0), reg(o1));
+        let omask = fb.and(reg(osum), imm(0xff));
+        let x = fb.xor(reg(esum), reg(omask));
+        let a2 = fb.add(reg(acc), reg(x));
+        fb.mov_to(acc, reg(a2));
+    });
+    fb.ret(Some(reg(acc)));
+    let f = fb.build().unwrap();
+    Workload::new("dct8x8", f, vec![], src, expected)
+}
+
+/// `dhry` — a Dhrystone-like mix: record copies, string-ish comparison
+/// loops, and chained small conditionals, giving many small basic blocks.
+pub fn dhry() -> Workload {
+    const ITERS: usize = 80;
+    let glob = random_memory(A, 32, 191, 100);
+    let str_a = random_memory(B, 8, 192, 4);
+    let str_b = random_memory(C, 8, 193, 4);
+
+    let ga: Vec<i64> = glob.iter().map(|(_, v)| *v).collect();
+    let sa: Vec<i64> = str_a.iter().map(|(_, v)| *v).collect();
+    let sb: Vec<i64> = str_b.iter().map(|(_, v)| *v).collect();
+    let mut expected = 0i64;
+    for it in 0..ITERS as i64 {
+        let idx = (it % 32) as usize;
+        let v = ga[idx];
+        // Proc_1-ish: conditional chain.
+        let mut t = if v > 50 { v - 50 } else { v + 7 };
+        if t % 3 == 0 {
+            t *= 2;
+        }
+        // Func_2-ish: compare strings until mismatch.
+        let mut k = 0i64;
+        while k < 8 && sa[k as usize] == sb[k as usize] {
+            k += 1;
+        }
+        expected += t + k;
+    }
+
+    let mut fb = FunctionBuilder::new("dhry", 0);
+    start(&mut fb);
+    let acc = fb.mov(imm(0));
+    counted_loop(&mut fb, imm(ITERS as i64), |fb, it| {
+        let idx = fb.rem(reg(it), imm(32));
+        let ga_addr = fb.add(imm(A), reg(idx));
+        let v = fb.load(reg(ga_addr));
+        let t = fb.fresh_reg();
+        let big = fb.cmp_gt(reg(v), imm(50));
+        if_then_else(
+            fb,
+            big,
+            |fb| {
+                let x = fb.sub(reg(v), imm(50));
+                fb.mov_to(t, reg(x));
+            },
+            |fb| {
+                let x = fb.add(reg(v), imm(7));
+                fb.mov_to(t, reg(x));
+            },
+        );
+        let r3 = fb.rem(reg(t), imm(3));
+        let div3 = fb.cmp_eq(reg(r3), imm(0));
+        if_then(fb, div3, |fb| {
+            let x = fb.mul(reg(t), imm(2));
+            fb.mov_to(t, reg(x));
+        });
+        let k = fb.mov(imm(0));
+        while_loop(
+            fb,
+            |fb| {
+                let in_range = fb.cmp_lt(reg(k), imm(8));
+                let aa = fb.add(imm(B), reg(k));
+                let av = fb.load(reg(aa));
+                let ba = fb.add(imm(C), reg(k));
+                let bv = fb.load(reg(ba));
+                let eq = fb.cmp_eq(reg(av), reg(bv));
+                fb.and(reg(in_range), reg(eq))
+            },
+            |fb| {
+                let k2 = fb.add(reg(k), imm(1));
+                fb.mov_to(k, reg(k2));
+            },
+        );
+        let tk = fb.add(reg(t), reg(k));
+        let a2 = fb.add(reg(acc), reg(tk));
+        fb.mov_to(acc, reg(a2));
+    });
+    fb.ret(Some(reg(acc)));
+    let f = fb.build().unwrap();
+
+    let mut mem = glob;
+    mem.extend(str_a);
+    mem.extend(str_b);
+    Workload::new("dhry", f, vec![], mem, expected)
+}
+
+/// `matrix_1` — the 10×10 integer matrix multiply.
+pub fn matrix_1() -> Workload {
+    const DIM: usize = 10;
+    let a = random_memory(A, DIM * DIM, 201, 20);
+    let b = random_memory(B, DIM * DIM, 202, 20);
+
+    let am: Vec<i64> = a.iter().map(|(_, v)| *v).collect();
+    let bm: Vec<i64> = b.iter().map(|(_, v)| *v).collect();
+    let mut expected = 0i64;
+    for i in 0..DIM {
+        for j in 0..DIM {
+            let mut s = 0i64;
+            for k in 0..DIM {
+                s += am[i * DIM + k] * bm[k * DIM + j];
+            }
+            // C[i][j] = s; checksum
+            expected += s * ((i + j) as i64 & 7);
+        }
+    }
+
+    let mut fb = FunctionBuilder::new("matrix_1", 0);
+    start(&mut fb);
+    let acc = fb.mov(imm(0));
+    counted_loop(&mut fb, imm(DIM as i64), |fb, i| {
+        counted_loop(fb, imm(DIM as i64), |fb, j| {
+            let s = fb.mov(imm(0));
+            counted_loop(fb, imm(DIM as i64), |fb, k| {
+                let arow = fb.mul(reg(i), imm(DIM as i64));
+                let aoff = fb.add(reg(arow), reg(k));
+                let aaddr = fb.add(imm(A), reg(aoff));
+                let av = fb.load(reg(aaddr));
+                let brow = fb.mul(reg(k), imm(DIM as i64));
+                let boff = fb.add(reg(brow), reg(j));
+                let baddr = fb.add(imm(B), reg(boff));
+                let bv = fb.load(reg(baddr));
+                let p = fb.mul(reg(av), reg(bv));
+                let s2 = fb.add(reg(s), reg(p));
+                fb.mov_to(s, reg(s2));
+            });
+            let crow = fb.mul(reg(i), imm(DIM as i64));
+            let coff = fb.add(reg(crow), reg(j));
+            let caddr = fb.add(imm(C), reg(coff));
+            fb.store(reg(caddr), reg(s));
+            let ij = fb.add(reg(i), reg(j));
+            let w = fb.and(reg(ij), imm(7));
+            let p = fb.mul(reg(s), reg(w));
+            let a2 = fb.add(reg(acc), reg(p));
+            fb.mov_to(acc, reg(a2));
+        });
+    });
+    fb.ret(Some(reg(acc)));
+    let f = fb.build().unwrap();
+
+    let mut mem = a;
+    mem.extend(b);
+    Workload::new("matrix_1", f, vec![], mem, expected)
+}
+
+/// `sieve` — prime counting via the sieve of Eratosthenes.
+pub fn sieve() -> Workload {
+    const LIMIT: i64 = 200;
+
+    let mut comp = vec![false; LIMIT as usize];
+    let mut expected = 0i64;
+    for i in 2..LIMIT {
+        if !comp[i as usize] {
+            expected += 1;
+            let mut j = i * i;
+            while j < LIMIT {
+                comp[j as usize] = true;
+                j += i;
+            }
+        }
+    }
+
+    // composite flags live at A + n.
+    let mut fb = FunctionBuilder::new("sieve", 0);
+    start(&mut fb);
+    let count = fb.mov(imm(0));
+    let i = fb.mov(imm(2));
+    counted_loop_from_two(&mut fb, i, LIMIT, |fb, i| {
+        let fa = fb.add(imm(A), reg(i));
+        let flag = fb.load(reg(fa));
+        let is_prime = fb.cmp_eq(reg(flag), imm(0));
+        if_then(fb, is_prime, |fb| {
+            let c2 = fb.add(reg(count), imm(1));
+            fb.mov_to(count, reg(c2));
+            let j0 = fb.mul(reg(i), reg(i));
+            let j = fb.mov(reg(j0));
+            while_loop(
+                fb,
+                |fb| fb.cmp_lt(reg(j), imm(LIMIT)),
+                |fb| {
+                    let ja = fb.add(imm(A), reg(j));
+                    fb.store(reg(ja), imm(1));
+                    let j2 = fb.add(reg(j), reg(i));
+                    fb.mov_to(j, reg(j2));
+                },
+            );
+        });
+    });
+    fb.ret(Some(reg(count)));
+    let f = fb.build().unwrap();
+    Workload::new("sieve", f, vec![], vec![], expected)
+}
+
+/// A counted loop starting from an existing register value (used by sieve,
+/// which starts at 2).
+fn counted_loop_from_two(
+    fb: &mut FunctionBuilder,
+    i: Reg,
+    limit: i64,
+    body: impl FnOnce(&mut FunctionBuilder, Reg),
+) {
+    crate::helpers::counted_loop_from(fb, i, imm(limit), body);
+}
+
+/// `vadd` — element-wise vector add: two loads and a store per iteration;
+/// memory bandwidth (the 32 load/store block budget) caps unrolling.
+pub fn vadd() -> Workload {
+    const N: usize = 400;
+    let a = random_memory(A, N, 211, 1000);
+    let b = random_memory(B, N, 212, 1000);
+
+    let mut expected = 0i64;
+    for k in 0..N {
+        let s = a[k].1 + b[k].1;
+        expected ^= s.wrapping_add(k as i64);
+    }
+
+    let mut fb = FunctionBuilder::new("vadd", 0);
+    start(&mut fb);
+    let acc = fb.mov(imm(0));
+    counted_loop(&mut fb, imm(N as i64), |fb, k| {
+        let aa = fb.add(imm(A), reg(k));
+        let av = fb.load(reg(aa));
+        let ba = fb.add(imm(B), reg(k));
+        let bv = fb.load(reg(ba));
+        let s = fb.add(reg(av), reg(bv));
+        let ca = fb.add(imm(C), reg(k));
+        fb.store(reg(ca), reg(s));
+        let sk = fb.add(reg(s), reg(k));
+        let x = fb.xor(reg(acc), reg(sk));
+        fb.mov_to(acc, reg(x));
+    });
+    fb.ret(Some(reg(acc)));
+    let f = fb.build().unwrap();
+
+    let mut mem = a;
+    mem.extend(b);
+    Workload::new("vadd", f, vec![], mem, expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sieve_counts_primes_below_200() {
+        let w = sieve();
+        assert_eq!(w.expected, 46);
+    }
+
+    #[test]
+    fn dct_blocks_are_large() {
+        let w = dct8x8();
+        let max_block = w
+            .function
+            .blocks()
+            .map(|(_, b)| b.size())
+            .max()
+            .unwrap_or(0);
+        assert!(
+            max_block >= 30,
+            "dct8x8 body should be a large basic block, got {max_block}"
+        );
+    }
+
+    #[test]
+    fn matrix_runs_thousand_inner_iterations() {
+        let w = matrix_1();
+        assert!(w.baseline_blocks() > 2000, "{}", w.baseline_blocks());
+    }
+
+    #[test]
+    fn vadd_memory_result_written() {
+        let w = vadd();
+        let r = chf_sim::functional::run(&w.function, &w.args, &w.memory, &Default::default())
+            .unwrap();
+        assert_eq!(r.memory.iter().filter(|(k, _)| **k >= C).count(), 400);
+    }
+}

@@ -1,0 +1,700 @@
+//! Microbenchmarks extracted from SPEC2000 (paper §7).
+//!
+//! Array-base conventions: `A = 1000`, `B = 2000`, `C = 3000`.
+
+use crate::helpers::{
+    counted_loop, if_then, if_then_else, ramp_memory, random_memory, start, while_loop,
+};
+use crate::Workload;
+use chf_ir::builder::FunctionBuilder;
+use chf_ir::ids::Reg;
+use chf_ir::instr::Operand;
+
+const A: i64 = 1000;
+const B: i64 = 2000;
+const C: i64 = 3000;
+
+fn reg(r: Reg) -> Operand {
+    Operand::Reg(r)
+}
+
+fn imm(v: i64) -> Operand {
+    Operand::Imm(v)
+}
+
+/// `ammp_1` — nonbonded force update: an outer loop whose body contains two
+/// *while* loops with low, data-dependent trip counts (mostly 3). The
+/// paper calls `ammp_1`/`ammp_2` "the best candidates for head duplication".
+pub fn ammp_1() -> Workload {
+    const N: usize = 40;
+    // Trip counts cluster around 3.
+    let counts: Vec<(i64, i64)> = (0..N)
+        .map(|k| (A + k as i64, 2 + ((k as i64 * 7 + 1) % 3))) // 2,3,4
+        .collect();
+    let dists: Vec<(i64, i64)> = (0..N).map(|k| (B + k as i64, 1 + (k as i64 % 4))).collect();
+
+    // Reference.
+    let mut expected = 0i64;
+    for k in 0..N {
+        let mut c = counts[k].1;
+        while c > 0 {
+            expected += c * 2;
+            c -= 1;
+        }
+        let mut d = dists[k].1;
+        while d != 0 {
+            expected += 1;
+            d /= 2;
+        }
+    }
+
+    let mut fb = FunctionBuilder::new("ammp_1", 0);
+    start(&mut fb);
+    let acc = fb.mov(imm(0));
+    counted_loop(&mut fb, imm(N as i64), |fb, i| {
+        let addr = fb.add(imm(A), reg(i));
+        let c0 = fb.load(reg(addr));
+        let c = fb.mov(reg(c0));
+        while_loop(
+            fb,
+            |fb| fb.cmp_gt(reg(c), imm(0)),
+            |fb| {
+                let t = fb.mul(reg(c), imm(2));
+                let a2 = fb.add(reg(acc), reg(t));
+                fb.mov_to(acc, reg(a2));
+                let c2 = fb.sub(reg(c), imm(1));
+                fb.mov_to(c, reg(c2));
+            },
+        );
+        let daddr = fb.add(imm(B), reg(i));
+        let d0 = fb.load(reg(daddr));
+        let d = fb.mov(reg(d0));
+        while_loop(
+            fb,
+            |fb| fb.cmp_ne(reg(d), imm(0)),
+            |fb| {
+                let a2 = fb.add(reg(acc), imm(1));
+                fb.mov_to(acc, reg(a2));
+                let d2 = fb.div(reg(d), imm(2));
+                fb.mov_to(d, reg(d2));
+            },
+        );
+    });
+    fb.ret(Some(reg(acc)));
+    let f = fb.build().unwrap();
+
+    let mut mem = counts;
+    mem.extend(dists);
+    Workload::new("ammp_1", f, vec![], mem, expected)
+}
+
+/// `ammp_2` — vector-list traversal: nested while loops over small chains
+/// with conditional accumulation.
+pub fn ammp_2() -> Workload {
+    const N: usize = 30;
+    let data = random_memory(A, N, 11, 14);
+
+    let mut expected = 0i64;
+    for (_, v) in &data {
+        let mut x = *v + 2;
+        while x != 0 {
+            if x & 1 == 1 {
+                expected += x;
+            }
+            x /= 2;
+        }
+    }
+
+    let mut fb = FunctionBuilder::new("ammp_2", 0);
+    start(&mut fb);
+    let acc = fb.mov(imm(0));
+    counted_loop(&mut fb, imm(N as i64), |fb, i| {
+        let addr = fb.add(imm(A), reg(i));
+        let v = fb.load(reg(addr));
+        let x0 = fb.add(reg(v), imm(2));
+        let x = fb.mov(reg(x0));
+        while_loop(
+            fb,
+            |fb| fb.cmp_ne(reg(x), imm(0)),
+            |fb| {
+                let odd = fb.and(reg(x), imm(1));
+                if_then(fb, odd, |fb| {
+                    let a2 = fb.add(reg(acc), reg(x));
+                    fb.mov_to(acc, reg(a2));
+                });
+                let x2 = fb.div(reg(x), imm(2));
+                fb.mov_to(x, reg(x2));
+            },
+        );
+    });
+    fb.ret(Some(reg(acc)));
+    let f = fb.build().unwrap();
+    Workload::new("ammp_2", f, vec![], data, expected)
+}
+
+/// `art_1` — neural-net F1 layer: a high-trip-count multiply-accumulate
+/// scan (straight for loop, no internal control flow).
+pub fn art_1() -> Workload {
+    const N: usize = 400;
+    let inputs = random_memory(A, N, 21, 100);
+    let weights = random_memory(B, N, 22, 50);
+
+    let expected: i64 = (0..N)
+        .map(|k| inputs[k].1 * weights[k].1)
+        .sum::<i64>()
+        >> 6;
+
+    let mut fb = FunctionBuilder::new("art_1", 0);
+    start(&mut fb);
+    let acc = fb.mov(imm(0));
+    counted_loop(&mut fb, imm(N as i64), |fb, i| {
+        let ia = fb.add(imm(A), reg(i));
+        let x = fb.load(reg(ia));
+        let wa = fb.add(imm(B), reg(i));
+        let w = fb.load(reg(wa));
+        let p = fb.mul(reg(x), reg(w));
+        let a2 = fb.add(reg(acc), reg(p));
+        fb.mov_to(acc, reg(a2));
+    });
+    let scaled = fb.shr(reg(acc), imm(6));
+    fb.ret(Some(reg(scaled)));
+    let f = fb.build().unwrap();
+
+    let mut mem = inputs;
+    mem.extend(weights);
+    Workload::new("art_1", f, vec![], mem, expected)
+}
+
+/// `art_2` — winner-take-all max search with a data-dependent branch that
+/// becomes rarer as the scan proceeds.
+pub fn art_2() -> Workload {
+    const N: usize = 300;
+    let data = random_memory(A, N, 31, 10_000);
+
+    let mut max = -1i64;
+    let mut idx = 0i64;
+    for (k, (_, v)) in data.iter().enumerate() {
+        if *v > max {
+            max = *v;
+            idx = k as i64;
+        }
+    }
+    let expected = max + idx;
+
+    let mut fb = FunctionBuilder::new("art_2", 0);
+    start(&mut fb);
+    let max_r = fb.mov(imm(-1));
+    let idx_r = fb.mov(imm(0));
+    counted_loop(&mut fb, imm(N as i64), |fb, i| {
+        let addr = fb.add(imm(A), reg(i));
+        let v = fb.load(reg(addr));
+        let c = fb.cmp_gt(reg(v), reg(max_r));
+        if_then(fb, c, |fb| {
+            fb.mov_to(max_r, reg(v));
+            fb.mov_to(idx_r, reg(i));
+        });
+    });
+    let out = fb.add(reg(max_r), reg(idx_r));
+    fb.ret(Some(reg(out)));
+    let f = fb.build().unwrap();
+    Workload::new("art_2", f, vec![], data, expected)
+}
+
+/// `art_3` — two-level match scan: a nest with a short inner loop and a
+/// conditional normalization step after it.
+pub fn art_3() -> Workload {
+    const ROWS: usize = 50;
+    const COLS: usize = 10;
+    let data = random_memory(A, ROWS * COLS, 41, 64);
+    let weights = ramp_memory(B, COLS, 1, 1);
+
+    let mut expected = 0i64;
+    for r in 0..ROWS {
+        let mut dot = 0i64;
+        for c in 0..COLS {
+            dot += data[r * COLS + c].1 * weights[c].1;
+        }
+        if dot > 800 {
+            dot -= 800;
+        }
+        expected += dot;
+    }
+
+    let mut fb = FunctionBuilder::new("art_3", 0);
+    start(&mut fb);
+    let acc = fb.mov(imm(0));
+    counted_loop(&mut fb, imm(ROWS as i64), |fb, r| {
+        let dot = fb.mov(imm(0));
+        let base = fb.mul(reg(r), imm(COLS as i64));
+        counted_loop(fb, imm(COLS as i64), |fb, c| {
+            let off = fb.add(reg(base), reg(c));
+            let da = fb.add(imm(A), reg(off));
+            let d = fb.load(reg(da));
+            let wa = fb.add(imm(B), reg(c));
+            let w = fb.load(reg(wa));
+            let p = fb.mul(reg(d), reg(w));
+            let d2 = fb.add(reg(dot), reg(p));
+            fb.mov_to(dot, reg(d2));
+        });
+        let big = fb.cmp_gt(reg(dot), imm(800));
+        if_then(fb, big, |fb| {
+            let d2 = fb.sub(reg(dot), imm(800));
+            fb.mov_to(dot, reg(d2));
+        });
+        let a2 = fb.add(reg(acc), reg(dot));
+        fb.mov_to(acc, reg(a2));
+    });
+    fb.ret(Some(reg(acc)));
+    let f = fb.build().unwrap();
+
+    let mut mem = data;
+    mem.extend(weights);
+    Workload::new("art_3", f, vec![], mem, expected)
+}
+
+/// Shared shape of `bzip2_1`/`bzip2_2`: a scan whose if/else arms depend on
+/// the data — ramp data makes the branch predictable, random data does not.
+fn bzip2_scan(name: &str, mem: Vec<(i64, i64)>, n: usize) -> Workload {
+    let mut expected = 0i64;
+    for (_, v) in mem.iter().take(n) {
+        if (*v & 0xff) < 128 {
+            expected += v * 3;
+        } else {
+            expected -= v;
+        }
+    }
+
+    let mut fb = FunctionBuilder::new(name, 0);
+    start(&mut fb);
+    let acc = fb.mov(imm(0));
+    counted_loop(&mut fb, imm(n as i64), |fb, i| {
+        let addr = fb.add(imm(A), reg(i));
+        let v = fb.load(reg(addr));
+        let low = fb.and(reg(v), imm(0xff));
+        let c = fb.cmp_lt(reg(low), imm(128));
+        if_then_else(
+            fb,
+            c,
+            |fb| {
+                let t = fb.mul(reg(v), imm(3));
+                let a2 = fb.add(reg(acc), reg(t));
+                fb.mov_to(acc, reg(a2));
+            },
+            |fb| {
+                let a2 = fb.sub(reg(acc), reg(v));
+                fb.mov_to(acc, reg(a2));
+            },
+        );
+    });
+    fb.ret(Some(reg(acc)));
+    let f = fb.build().unwrap();
+    Workload::new(name, f, vec![], mem, expected)
+}
+
+/// `bzip2_1` — block-sort scan with *predictable* branch behaviour.
+pub fn bzip2_1() -> Workload {
+    const N: usize = 200;
+    bzip2_scan("bzip2_1", ramp_memory(A, N, 0, 1), N)
+}
+
+/// `bzip2_2` — the same scan over *random* data: the branch mispredicts.
+pub fn bzip2_2() -> Workload {
+    const N: usize = 200;
+    bzip2_scan("bzip2_2", random_memory(A, N, 51, 256), N)
+}
+
+/// `bzip2_3` — the paper's §7.2 pathology: the main loop ends in a block
+/// containing the induction-variable update, preceded by an
+/// infrequently-taken block. Policies that exclude the cold block must tail
+/// duplicate the final block, making the induction variable data-dependent
+/// on the (slow, load-fed) test — a slowdown even against basic blocks for
+/// the depth-first and VLIW heuristics.
+pub fn bzip2_3() -> Workload {
+    const N: usize = 250;
+    // Rare condition: v == 0 on ~2% of elements.
+    let mem = random_memory(A, N, 61, 50);
+
+    let mut expected = 0i64;
+    for (_, v) in mem.iter().take(N) {
+        if *v == 0 {
+            expected += 1000;
+        }
+        expected += v + 1;
+    }
+
+    let mut fb = FunctionBuilder::new("bzip2_3", 0);
+    start(&mut fb);
+    let acc = fb.mov(imm(0));
+    counted_loop(&mut fb, imm(N as i64), |fb, i| {
+        // Work block: a load feeds the rare test, so the test resolves late.
+        let addr = fb.add(imm(A), reg(i));
+        let v = fb.load(reg(addr));
+        let rare = fb.cmp_eq(reg(v), imm(0));
+        if_then(fb, rare, |fb| {
+            let a2 = fb.add(reg(acc), imm(1000));
+            fb.mov_to(acc, reg(a2));
+        });
+        // Latch work (joined block): accumulate + (implicit) induction
+        // update appended by counted_loop.
+        let t = fb.add(reg(v), imm(1));
+        let a2 = fb.add(reg(acc), reg(t));
+        fb.mov_to(acc, reg(a2));
+    });
+    fb.ret(Some(reg(acc)));
+    let f = fb.build().unwrap();
+    Workload::new("bzip2_3", f, vec![], mem, expected)
+}
+
+/// `equake_1` — sparse matrix-vector product: indirection through a column
+/// index array.
+pub fn equake_1() -> Workload {
+    const N: usize = 150;
+    let cols = random_memory(A, N, 71, 64);
+    let vals = random_memory(B, N, 72, 30);
+    let x = ramp_memory(C, 64, 2, 3);
+
+    let mut expected = 0i64;
+    for k in 0..N {
+        expected += vals[k].1 * x[cols[k].1 as usize].1;
+    }
+
+    let mut fb = FunctionBuilder::new("equake_1", 0);
+    start(&mut fb);
+    let acc = fb.mov(imm(0));
+    counted_loop(&mut fb, imm(N as i64), |fb, i| {
+        let ca = fb.add(imm(A), reg(i));
+        let col = fb.load(reg(ca));
+        let va = fb.add(imm(B), reg(i));
+        let v = fb.load(reg(va));
+        let xa = fb.add(imm(C), reg(col));
+        let xv = fb.load(reg(xa));
+        let p = fb.mul(reg(v), reg(xv));
+        let a2 = fb.add(reg(acc), reg(p));
+        fb.mov_to(acc, reg(a2));
+    });
+    fb.ret(Some(reg(acc)));
+    let f = fb.build().unwrap();
+
+    let mut mem = cols;
+    mem.extend(vals);
+    mem.extend(x);
+    Workload::new("equake_1", f, vec![], mem, expected)
+}
+
+/// `gzip_1` — the deflate hash-update inner loop. Small body with one
+/// conditional; the paper notes if-conversion plus scalar optimization fits
+/// "the entire body of the innermost loop in one block, dramatically
+/// reducing the total number of blocks executed".
+pub fn gzip_1() -> Workload {
+    const N: usize = 300;
+    let data = random_memory(A, N, 81, 256);
+
+    let mut expected = 0i64;
+    let mut h = 0i64;
+    for (_, v) in &data {
+        h = ((h << 5) ^ v) & 1023;
+        if h & 1 == 0 {
+            expected += h;
+        }
+    }
+
+    let mut fb = FunctionBuilder::new("gzip_1", 0);
+    start(&mut fb);
+    let acc = fb.mov(imm(0));
+    let h = fb.mov(imm(0));
+    counted_loop(&mut fb, imm(N as i64), |fb, i| {
+        let addr = fb.add(imm(A), reg(i));
+        let v = fb.load(reg(addr));
+        let sh = fb.shl(reg(h), imm(5));
+        let x = fb.xor(reg(sh), reg(v));
+        let m = fb.and(reg(x), imm(1023));
+        fb.mov_to(h, reg(m));
+        let even = fb.and(reg(h), imm(1));
+        let is_even = fb.cmp_eq(reg(even), imm(0));
+        if_then(fb, is_even, |fb| {
+            let a2 = fb.add(reg(acc), reg(h));
+            fb.mov_to(acc, reg(a2));
+        });
+    });
+    fb.ret(Some(reg(acc)));
+    let f = fb.build().unwrap();
+    Workload::new("gzip_1", f, vec![], data, expected)
+}
+
+/// `gzip_2` — longest-match: an inner while loop with two exit conditions
+/// (mismatch or maximum length).
+pub fn gzip_2() -> Workload {
+    const WINDOW: usize = 64;
+    const TRIES: usize = 60;
+    let hay = random_memory(A, WINDOW + 16, 91, 4);
+    let needle = random_memory(B, 16, 92, 4);
+
+    let mut expected = 0i64;
+    for t in 0..TRIES {
+        let p = t % WINDOW;
+        let mut len = 0i64;
+        while len < 16 && hay[p + len as usize].1 == needle[len as usize].1 {
+            len += 1;
+        }
+        expected += len;
+    }
+
+    let mut fb = FunctionBuilder::new("gzip_2", 0);
+    start(&mut fb);
+    let acc = fb.mov(imm(0));
+    counted_loop(&mut fb, imm(TRIES as i64), |fb, t| {
+        let p = fb.rem(reg(t), imm(WINDOW as i64));
+        let len = fb.mov(imm(0));
+        while_loop(
+            fb,
+            |fb| {
+                let in_range = fb.cmp_lt(reg(len), imm(16));
+                let ha = fb.add(imm(A), reg(p));
+                let ha2 = fb.add(reg(ha), reg(len));
+                let hv = fb.load(reg(ha2));
+                let na = fb.add(imm(B), reg(len));
+                let nv = fb.load(reg(na));
+                let eq = fb.cmp_eq(reg(hv), reg(nv));
+                fb.and(reg(in_range), reg(eq))
+            },
+            |fb| {
+                let l2 = fb.add(reg(len), imm(1));
+                fb.mov_to(len, reg(l2));
+            },
+        );
+        let a2 = fb.add(reg(acc), reg(len));
+        fb.mov_to(acc, reg(a2));
+    });
+    fb.ret(Some(reg(acc)));
+    let f = fb.build().unwrap();
+
+    let mut mem = hay;
+    mem.extend(needle);
+    Workload::new("gzip_2", f, vec![], mem, expected)
+}
+
+/// `parser_1` — dictionary lookup with several rarely-taken, heavy paths:
+/// the VLIW heuristic excludes them (cold, tall), and pays an 11-fold
+/// misprediction-rate increase when they do occur (paper §7.2).
+pub fn parser_1() -> Workload {
+    const N: usize = 250;
+    let data = random_memory(A, N, 101, 100);
+
+    let mut expected = 0i64;
+    for (_, v) in &data {
+        if *v == 7 {
+            // Heavy path 1: long dependent chain.
+            let mut t = *v;
+            for _ in 0..12 {
+                t = t * 3 + 1;
+            }
+            expected += t & 0xffff;
+        } else if *v == 13 {
+            // Heavy path 2.
+            let mut t = *v;
+            for _ in 0..12 {
+                t = t * 5 + 7;
+            }
+            expected += t & 0xffff;
+        } else {
+            expected += v + 2;
+        }
+    }
+
+    let mut fb = FunctionBuilder::new("parser_1", 0);
+    start(&mut fb);
+    let acc = fb.mov(imm(0));
+    counted_loop(&mut fb, imm(N as i64), |fb, i| {
+        let addr = fb.add(imm(A), reg(i));
+        let v = fb.load(reg(addr));
+        let is7 = fb.cmp_eq(reg(v), imm(7));
+        if_then_else(
+            fb,
+            is7,
+            |fb| {
+                let t = fb.mov(reg(v));
+                for _ in 0..12 {
+                    let m = fb.mul(reg(t), imm(3));
+                    let p = fb.add(reg(m), imm(1));
+                    fb.mov_to(t, reg(p));
+                }
+                let masked = fb.and(reg(t), imm(0xffff));
+                let a2 = fb.add(reg(acc), reg(masked));
+                fb.mov_to(acc, reg(a2));
+            },
+            |fb| {
+                let is13 = fb.cmp_eq(reg(v), imm(13));
+                if_then_else(
+                    fb,
+                    is13,
+                    |fb| {
+                        let t = fb.mov(reg(v));
+                        for _ in 0..12 {
+                            let m = fb.mul(reg(t), imm(5));
+                            let p = fb.add(reg(m), imm(7));
+                            fb.mov_to(t, reg(p));
+                        }
+                        let masked = fb.and(reg(t), imm(0xffff));
+                        let a2 = fb.add(reg(acc), reg(masked));
+                        fb.mov_to(acc, reg(a2));
+                    },
+                    |fb| {
+                        let t = fb.add(reg(v), imm(2));
+                        let a2 = fb.add(reg(acc), reg(t));
+                        fb.mov_to(acc, reg(a2));
+                    },
+                );
+            },
+        );
+    });
+    fb.ret(Some(reg(acc)));
+    let f = fb.build().unwrap();
+    Workload::new("parser_1", f, vec![], data, expected)
+}
+
+/// `twolf_1` — placement cost delta: absolute differences with a
+/// moderately predictable clamp.
+pub fn twolf_1() -> Workload {
+    const N: usize = 150;
+    let xs = random_memory(A, N, 111, 200);
+    let ys = random_memory(B, N, 112, 200);
+
+    let mut expected = 0i64;
+    let mut cost = 0i64;
+    for k in 0..N {
+        let mut dx = xs[k].1 - ys[k].1;
+        if dx < 0 {
+            dx = -dx;
+        }
+        cost += dx;
+        if cost > 5000 {
+            cost -= 1000;
+        }
+    }
+    expected += cost;
+
+    let mut fb = FunctionBuilder::new("twolf_1", 0);
+    start(&mut fb);
+    let cost_r = fb.mov(imm(0));
+    counted_loop(&mut fb, imm(N as i64), |fb, i| {
+        let xa = fb.add(imm(A), reg(i));
+        let x = fb.load(reg(xa));
+        let ya = fb.add(imm(B), reg(i));
+        let y = fb.load(reg(ya));
+        let dx = fb.sub(reg(x), reg(y));
+        let d = fb.mov(reg(dx));
+        let neg = fb.cmp_lt(reg(d), imm(0));
+        if_then(fb, neg, |fb| {
+            let n = fb.emit_unary(chf_ir::instr::Opcode::Neg, reg(d));
+            fb.mov_to(d, reg(n));
+        });
+        let c2 = fb.add(reg(cost_r), reg(d));
+        fb.mov_to(cost_r, reg(c2));
+        let over = fb.cmp_gt(reg(cost_r), imm(5000));
+        if_then(fb, over, |fb| {
+            let c3 = fb.sub(reg(cost_r), imm(1000));
+            fb.mov_to(cost_r, reg(c3));
+        });
+    });
+    fb.ret(Some(reg(cost_r)));
+    let f = fb.build().unwrap();
+
+    let mut mem = xs;
+    mem.extend(ys);
+    Workload::new("twolf_1", f, vec![], mem, expected)
+}
+
+/// `twolf_3` — net-table walk: memory-heavy loop with dependent loads and
+/// a store per iteration.
+pub fn twolf_3() -> Workload {
+    const N: usize = 120;
+    let a = random_memory(A, N, 121, 64);
+    let b = random_memory(B, 64, 122, 500);
+
+    let mut expected = 0i64;
+    for (k, (_, av)) in a.iter().enumerate().take(N) {
+        let bv = b[(av & 63) as usize].1;
+        let _ = k;
+        expected += av + bv;
+    }
+
+    let mut fb = FunctionBuilder::new("twolf_3", 0);
+    start(&mut fb);
+    let acc = fb.mov(imm(0));
+    counted_loop(&mut fb, imm(N as i64), |fb, i| {
+        let aa = fb.add(imm(A), reg(i));
+        let av = fb.load(reg(aa));
+        let masked = fb.and(reg(av), imm(63));
+        let ba = fb.add(imm(B), reg(masked));
+        let bv = fb.load(reg(ba));
+        let s = fb.add(reg(av), reg(bv));
+        let ca = fb.add(imm(C), reg(i));
+        fb.store(reg(ca), reg(s));
+        let a2 = fb.add(reg(acc), reg(s));
+        fb.mov_to(acc, reg(a2));
+    });
+    fb.ret(Some(reg(acc)));
+    let f = fb.build().unwrap();
+
+    let mut mem = a;
+    mem.extend(b);
+    Workload::new("twolf_3", f, vec![], mem, expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ammp_loops_have_low_trip_counts() {
+        let w = ammp_1();
+        // Find an inner while-loop histogram whose mode is small.
+        let low_trip = w
+            .profile
+            .trip_histograms
+            .values()
+            .any(|h| h.mode().map(|m| m <= 5).unwrap_or(false));
+        assert!(low_trip, "ammp_1 should have low-trip inner loops");
+    }
+
+    #[test]
+    fn bzip2_3_rare_block_is_rare() {
+        let w = bzip2_3();
+        // The rare arm executes on ~2% of iterations.
+        let rare_freq = w
+            .profile
+            .block_counts
+            .values()
+            .filter(|&&c| c > 0 && c < 20)
+            .count();
+        assert!(rare_freq > 0, "bzip2_3 must have a rarely-executed block");
+    }
+
+    #[test]
+    fn parser_heavy_paths_are_rare() {
+        let w = parser_1();
+        let total: u64 = *w
+            .profile
+            .block_counts
+            .values()
+            .max()
+            .expect("nonempty profile");
+        let has_rare = w
+            .profile
+            .block_counts
+            .values()
+            .any(|&c| c > 0 && c * 20 < total);
+        assert!(has_rare, "parser_1 needs rarely-taken paths");
+    }
+
+    #[test]
+    fn gzip_2_inner_loop_has_variable_trips() {
+        let w = gzip_2();
+        let any_hist = w
+            .profile
+            .trip_histograms
+            .values()
+            .any(|h| h.counts.len() > 1);
+        assert!(any_hist, "gzip_2 match lengths should vary");
+    }
+}

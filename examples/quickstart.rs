@@ -1,0 +1,55 @@
+//! Quickstart: compile one benchmark with convergent hyperblock formation
+//! and compare it against the basic-block baseline on the TRIPS-like timing
+//! model.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use chf::core::pipeline::{compile, CompileConfig, PhaseOrdering};
+use chf::sim::timing::{simulate_timing, TimingConfig};
+use chf::workloads::micro;
+
+fn main() {
+    let w = micro::gzip_1();
+    println!("benchmark: {}\n", w.name);
+
+    // Baseline: basic blocks as TRIPS blocks.
+    let base = compile(
+        &w.function,
+        &w.profile,
+        &CompileConfig::with_ordering(PhaseOrdering::BasicBlocks),
+    );
+    let base_t =
+        simulate_timing(&base.function, &w.args, &w.memory, &TimingConfig::trips()).unwrap();
+
+    // Convergent hyperblock formation: the paper's (IUPO) configuration.
+    let conv = compile(&w.function, &w.profile, &CompileConfig::convergent());
+    let conv_t =
+        simulate_timing(&conv.function, &w.args, &w.memory, &TimingConfig::trips()).unwrap();
+
+    assert_eq!(base_t.ret, conv_t.ret, "compilation must preserve behaviour");
+
+    println!("                      basic blocks    convergent (IUPO)");
+    println!(
+        "static blocks        {:>12}    {:>12}",
+        base.function.block_count(),
+        conv.function.block_count()
+    );
+    println!(
+        "dynamic blocks       {:>12}    {:>12}",
+        base_t.blocks_executed, conv_t.blocks_executed
+    );
+    println!(
+        "cycles               {:>12}    {:>12}",
+        base_t.cycles, conv_t.cycles
+    );
+    println!(
+        "mispredictions       {:>12}    {:>12}",
+        base_t.mispredictions, conv_t.mispredictions
+    );
+    println!(
+        "\ntransformations (m/t/u/p): {}   speedup: {:.2}x",
+        conv.stats.mtup(),
+        base_t.cycles as f64 / conv_t.cycles as f64
+    );
+    println!("\ncompiled hyperblocks:\n{}", conv.function);
+}

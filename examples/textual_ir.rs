@@ -1,0 +1,54 @@
+//! Working with the textual IR format: write a function by hand, parse it,
+//! run it, compile it, and print the result.
+//!
+//! Run with `cargo run --example textual_ir`.
+
+use chf::core::pipeline::{compile, CompileConfig};
+use chf::ir::parse::parse_function;
+use chf::sim::functional::{profile_run, run, RunConfig};
+
+const GCD: &str = "\
+fn gcd(params: 2, regs: 4)
+B0:
+  exits:
+    -> B1
+B1:
+    r2 = ne r1, #0
+  exits:
+    [r2] -> B2
+    -> ret r0
+B2:
+    r3 = rem r0, r1
+    r0 = mov r1
+    r1 = mov r3
+  exits:
+    -> B1
+";
+
+fn main() {
+    let f = parse_function(GCD).expect("valid textual IR");
+    println!("parsed:\n{f}");
+
+    let r = run(&f, &[252, 105], &[], &RunConfig::default()).unwrap();
+    println!("gcd(252, 105) = {:?}  ({} blocks executed)", r.ret, r.blocks_executed);
+    assert_eq!(r.ret, Some(21));
+
+    // Compile it like any workload: profile, form hyperblocks, compare.
+    let profile = profile_run(&f, &[252, 105], &[]).unwrap();
+    let compiled = compile(&f, &profile, &CompileConfig::convergent());
+    let r2 = run(&compiled.function, &[252, 105], &[], &RunConfig::default()).unwrap();
+    assert_eq!(r2.ret, Some(21));
+    println!(
+        "\nafter convergent formation: {} blocks executed (was {}), m/t/u/p = {}",
+        r2.blocks_executed,
+        r.blocks_executed,
+        compiled.stats.mtup()
+    );
+    println!("\ncompiled:\n{}", compiled.function);
+
+    // The printer's output round-trips through the parser.
+    let text = compiled.function.to_string();
+    let reparsed = parse_function(&text).expect("printer output parses");
+    assert_eq!(reparsed.to_string(), text);
+    println!("print → parse → print round-trip: ok");
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! # chf — convergent hyperblock formation
+//!
+//! Umbrella crate re-exporting the full public API of the CHF workspace, a
+//! reproduction of *"Merging Head and Tail Duplication for Convergent
+//! Hyperblock Formation"* (Maher, Smith, Burger, McKinley — MICRO 2006).
+//!
+//! The workspace contains:
+//!
+//! * [`ir`] — the predicated RISC-like IR, CFG, and analyses;
+//! * [`opt`] — scalar optimizations applied inside the convergent loop;
+//! * [`core`] — if-conversion, tail & head duplication, the convergent
+//!   formation algorithm, block-selection policies, and phase pipelines;
+//! * [`sim`] — the functional and TRIPS-like timing simulators;
+//! * [`workloads`] — the microbenchmark and SPEC-like workload suites used
+//!   by the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use chf::workloads::micro;
+//! use chf::core::pipeline::{compile, CompileConfig, PhaseOrdering};
+//! use chf::sim::timing::{simulate_timing, TimingConfig};
+//!
+//! // Take one microbenchmark, compile it with full convergent formation,
+//! // and simulate it.
+//! let w = micro::matrix_1();
+//! let compiled = compile(&w.function, &w.profile, &CompileConfig::convergent());
+//! let result =
+//!     simulate_timing(&compiled.function, &w.args, &w.memory, &TimingConfig::trips()).unwrap();
+//! assert!(result.cycles > 0);
+//! assert_eq!(result.ret, Some(w.expected));
+//! ```
+
+pub use chf_core as core;
+pub use chf_ir as ir;
+pub use chf_opt as opt;
+pub use chf_sim as sim;
+pub use chf_workloads as workloads;

@@ -1,0 +1,98 @@
+//! Backend-stage integration (paper §6): register allocation, fanout
+//! insertion, and reverse if-conversion over the real workload suite.
+
+use chf::core::constraints::BlockConstraints;
+use chf::core::fanout::insert_fanout;
+use chf::core::pipeline::{compile, CompileConfig};
+use chf::core::regalloc::{allocate_registers, RegFileSpec};
+use chf::core::reverse::split_oversized;
+use chf::ir::verify::verify;
+use chf::sim::functional::{run, RunConfig};
+
+/// Observable digest ignoring the compiler-private spill area.
+fn digest(
+    f: &chf::ir::function::Function,
+    args: &[i64],
+    mem: &[(i64, i64)],
+) -> (Option<i64>, Vec<(i64, i64)>) {
+    let r = run(f, args, mem, &RunConfig::default()).unwrap();
+    let (ret, m) = r.digest();
+    (ret, m.into_iter().filter(|(a, _)| *a >= 0).collect())
+}
+
+/// "TRIPS has a large number of architectural registers": none of the
+/// formed microbenchmarks should need spill code with 128 registers.
+#[test]
+fn formed_micros_never_spill_on_trips() {
+    for w in chf::workloads::microbenchmarks() {
+        let mut c = compile(&w.function, &w.profile, &CompileConfig::convergent());
+        let stats = allocate_registers(&mut c.function, &RegFileSpec::trips());
+        assert_eq!(stats.spilled, 0, "{} spilled: {stats:?}", w.name);
+        assert!(stats.max_pressure <= 128, "{}", w.name);
+    }
+}
+
+/// With an artificially tiny register file the allocator must spill — and
+/// the program must still behave identically.
+#[test]
+fn tiny_register_file_spills_correctly() {
+    let spec = RegFileSpec {
+        num_regs: 3,
+        spill_base: -1_000_000,
+    };
+    let mut spilled_somewhere = false;
+    // Use the basic-block forms: they carry more values across block
+    // boundaries than the collapsed hyperblocks do.
+    for w in chf::workloads::microbenchmarks().into_iter().take(10) {
+        let mut f = w.function.clone();
+        let before = digest(&f, &w.args, &w.memory);
+        let stats = allocate_registers(&mut f, &spec);
+        verify(&f).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        spilled_somewhere |= stats.spilled > 0;
+        let after = digest(&f, &w.args, &w.memory);
+        assert_eq!(before, after, "{} changed behaviour after spilling", w.name);
+        assert_eq!(after.0, Some(w.expected), "{}", w.name);
+    }
+    assert!(spilled_somewhere, "three registers should force some spills");
+}
+
+/// Fanout insertion over compiled workloads stays within the constraints'
+/// headroom and preserves behaviour.
+#[test]
+fn fanout_fits_headroom_on_compiled_workloads() {
+    let constraints = BlockConstraints::trips();
+    for w in chf::workloads::microbenchmarks() {
+        // Compile without the built-in backend so the measurement is clean.
+        let mut config = CompileConfig::convergent();
+        config.backend = false;
+        let mut c = compile(&w.function, &w.profile, &config);
+        let before = digest(&c.function, &w.args, &w.memory);
+        let stats = insert_fanout(&mut c.function, 4);
+        verify(&c.function).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(digest(&c.function, &w.args, &w.memory), before, "{}", w.name);
+        // Any block pushed over the budget must be recoverable by reverse
+        // if-conversion.
+        split_oversized(&mut c.function, &constraints);
+        for (b, blk) in c.function.blocks() {
+            assert!(
+                blk.size() <= constraints.max_insts,
+                "{}: block {b} oversize after fanout+split ({} slots, {} movs inserted)",
+                w.name,
+                blk.size(),
+                stats.movs_inserted
+            );
+        }
+        assert_eq!(digest(&c.function, &w.args, &w.memory), before, "{}", w.name);
+    }
+}
+
+/// The full pipeline with the backend enabled (the default) keeps every
+/// workload correct — the configuration the evaluation harness measures.
+#[test]
+fn default_pipeline_with_backend_is_correct_on_spec_suite() {
+    for w in chf::workloads::spec_suite().into_iter().take(6) {
+        let c = compile(&w.function, &w.profile, &CompileConfig::convergent());
+        let r = run(&c.function, &w.args, &w.memory, &RunConfig::default()).unwrap();
+        assert_eq!(r.ret, Some(w.expected), "{}", w.name);
+    }
+}

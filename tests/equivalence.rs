@@ -1,0 +1,148 @@
+//! End-to-end correctness: every workload, compiled under every phase
+//! ordering and policy, must preserve observable behaviour on both
+//! simulators, satisfy the structural constraints, and verify.
+
+use chf::core::constraints::BlockConstraints;
+use chf::core::pipeline::{compile, CompileConfig, PhaseOrdering};
+use chf::core::PolicyKind;
+use chf::ir::verify::verify;
+use chf::sim::functional::{run, RunConfig};
+use chf::sim::timing::{simulate_timing, TimingConfig};
+
+fn all_orderings() -> [PhaseOrdering; 5] {
+    [
+        PhaseOrdering::BasicBlocks,
+        PhaseOrdering::Upio,
+        PhaseOrdering::Iupo,
+        PhaseOrdering::IupThenO,
+        PhaseOrdering::Iupo_,
+    ]
+}
+
+#[test]
+fn all_microbenchmarks_all_orderings_preserve_behaviour() {
+    for w in chf::workloads::microbenchmarks() {
+        let base = run(&w.function, &w.args, &w.memory, &RunConfig::default()).unwrap();
+        assert_eq!(base.ret, Some(w.expected), "{} baseline", w.name);
+        for ordering in all_orderings() {
+            let c = compile(&w.function, &w.profile, &CompileConfig::with_ordering(ordering));
+            verify(&c.function)
+                .unwrap_or_else(|e| panic!("{} {}: {e}", w.name, ordering.label()));
+            let r = run(&c.function, &w.args, &w.memory, &RunConfig::default()).unwrap();
+            assert_eq!(
+                r.digest(),
+                base.digest(),
+                "{} under {} changed behaviour",
+                w.name,
+                ordering.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_microbenchmarks_all_policies_preserve_behaviour() {
+    for w in chf::workloads::microbenchmarks() {
+        let base = run(&w.function, &w.args, &w.memory, &RunConfig::default()).unwrap();
+        for policy in [
+            PolicyKind::BreadthFirst,
+            PolicyKind::DepthFirst,
+            PolicyKind::Vliw,
+        ] {
+            for iterative in [false, true] {
+                let c = compile(
+                    &w.function,
+                    &w.profile,
+                    &CompileConfig::with_policy(policy, iterative),
+                );
+                verify(&c.function).unwrap_or_else(|e| panic!("{} {policy:?}: {e}", w.name));
+                let r = run(&c.function, &w.args, &w.memory, &RunConfig::default()).unwrap();
+                assert_eq!(
+                    r.digest(),
+                    base.digest(),
+                    "{} under {policy:?}/{iterative} changed behaviour",
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn spec_composites_convergent_preserves_behaviour() {
+    for w in chf::workloads::spec_suite() {
+        let base = run(&w.function, &w.args, &w.memory, &RunConfig::default()).unwrap();
+        let c = compile(&w.function, &w.profile, &CompileConfig::convergent());
+        verify(&c.function).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let r = run(&c.function, &w.args, &w.memory, &RunConfig::default()).unwrap();
+        assert_eq!(r.digest(), base.digest(), "{} miscompiled", w.name);
+    }
+}
+
+#[test]
+fn timing_simulator_agrees_with_functional_on_compiled_code() {
+    for w in chf::workloads::microbenchmarks() {
+        let c = compile(&w.function, &w.profile, &CompileConfig::convergent());
+        let fr = run(&c.function, &w.args, &w.memory, &RunConfig::default()).unwrap();
+        let tr =
+            simulate_timing(&c.function, &w.args, &w.memory, &TimingConfig::trips()).unwrap();
+        assert_eq!(fr.digest(), tr.digest(), "{}", w.name);
+        assert_eq!(fr.blocks_executed, tr.blocks_executed, "{}", w.name);
+    }
+}
+
+#[test]
+fn compiled_blocks_respect_trips_constraints() {
+    let constraints = BlockConstraints::trips();
+    for w in chf::workloads::microbenchmarks() {
+        for ordering in all_orderings() {
+            let c = compile(&w.function, &w.profile, &CompileConfig::with_ordering(ordering));
+            // Size and memory constraints must hold everywhere; register
+            // constraints are best-effort after splitting (see §6), so only
+            // check the hard structural ones here.
+            for (b, blk) in c.function.blocks() {
+                assert!(
+                    blk.size() <= constraints.max_insts,
+                    "{} {}: block {b} has {} slots",
+                    w.name,
+                    ordering.label(),
+                    blk.size()
+                );
+                assert!(
+                    blk.memory_ops() <= constraints.max_memory_ops,
+                    "{} {}: block {b} has {} memory ops",
+                    w.name,
+                    ordering.label(),
+                    blk.memory_ops()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn generated_programs_survive_full_pipeline() {
+    use chf::ir::testgen::{generate, GenConfig};
+    use chf::sim::functional::profile_run;
+    let cfg = GenConfig::default();
+    for seed in 100..140 {
+        let f = generate(seed, &cfg);
+        let profile = profile_run(&f, &[5, 9], &[]).unwrap();
+        let base = run(&f, &[5, 9], &[], &RunConfig::default()).unwrap();
+        for ordering in all_orderings() {
+            let c = compile(&f, &profile, &CompileConfig::with_ordering(ordering));
+            verify(&c.function).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            for args in [[5, 9], [0, 0], [-3, 77]] {
+                let base2 = run(&f, &args, &[], &RunConfig::default()).unwrap();
+                let _ = &base;
+                let r = run(&c.function, &args, &[], &RunConfig::default()).unwrap();
+                assert_eq!(
+                    r.digest(),
+                    base2.digest(),
+                    "seed {seed} {} args {args:?}",
+                    ordering.label()
+                );
+            }
+        }
+    }
+}

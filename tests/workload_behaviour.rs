@@ -1,0 +1,124 @@
+//! Validate that the reconstructed microbenchmarks exhibit the *dynamic*
+//! behaviour the paper attributes to their namesakes — these properties are
+//! what make the policy comparisons meaningful.
+
+use chf::core::pipeline::{compile, CompileConfig, PhaseOrdering};
+use chf::ir::stats::FunctionStats;
+use chf::sim::timing::{simulate_timing, TimingConfig};
+use chf::workloads::micro;
+
+fn bb_timing(w: &chf::workloads::Workload) -> chf::sim::timing::TimingResult {
+    let c = compile(
+        &w.function,
+        &w.profile,
+        &CompileConfig::with_ordering(PhaseOrdering::BasicBlocks),
+    );
+    simulate_timing(&c.function, &w.args, &w.memory, &TimingConfig::trips()).unwrap()
+}
+
+/// bzip2_1 scans predictable data, bzip2_2 the same loop over random data:
+/// the basic-block misprediction rate must separate them clearly.
+#[test]
+fn bzip2_pair_separates_on_predictability() {
+    let predictable = bb_timing(&micro::bzip2_1());
+    let random = bb_timing(&micro::bzip2_2());
+    assert!(
+        random.misprediction_rate() > 2.0 * predictable.misprediction_rate(),
+        "random {:.3} !>> predictable {:.3}",
+        random.misprediction_rate(),
+        predictable.misprediction_rate()
+    );
+}
+
+/// ammp_1's inner while loops have low trip counts (the paper's best head
+/// duplication candidates); matrix_1's inner loop has ten.
+#[test]
+fn trip_count_profiles_match_descriptions() {
+    let ammp = micro::ammp_1();
+    let low_trip = ammp
+        .profile
+        .trip_histograms
+        .values()
+        .filter(|h| h.visits() > 10)
+        .any(|h| h.mean() < 6.0);
+    assert!(low_trip, "ammp_1 needs low-trip inner loops");
+
+    let matrix = micro::matrix_1();
+    let has_ten = matrix
+        .profile
+        .trip_histograms
+        .values()
+        .any(|h| (h.mean() - 11.0).abs() < 1.0);
+    assert!(has_ten, "matrix_1 inner loop should run 10 iterations");
+}
+
+/// dct8x8's basic blocks are already large (the paper reports hyperblock
+/// formation gains almost nothing); vadd's loop is memory-dense.
+#[test]
+fn static_shapes_match_descriptions() {
+    let dct = micro::dct8x8();
+    let stats = FunctionStats::of(&dct.function);
+    assert!(
+        stats.max_block_slots >= 30,
+        "dct8x8 body should be large: {stats}"
+    );
+
+    let vadd = micro::vadd();
+    let body_mem = vadd
+        .function
+        .blocks()
+        .map(|(_, b)| b.memory_ops())
+        .max()
+        .unwrap();
+    assert!(body_mem >= 3, "vadd body has 2 loads + 1 store");
+}
+
+/// After convergent formation, hot loop blocks approach the structural
+/// budget: mean fill must rise substantially over the basic-block form for
+/// loop-dominated kernels ("converging on the limit of the structural
+/// constraints").
+#[test]
+fn formation_converges_toward_full_blocks() {
+    for w in [micro::art_1(), micro::vadd(), micro::doppler_gmti()] {
+        let before = FunctionStats::of(&w.function);
+        let c = compile(&w.function, &w.profile, &CompileConfig::convergent());
+        let after = FunctionStats::of(&c.function);
+        assert!(
+            after.mean_block_slots > 2.0 * before.mean_block_slots,
+            "{}: blocks did not grow ({before} -> {after})",
+            w.name
+        );
+        assert!(after.blocks < before.blocks, "{}: block count", w.name);
+    }
+}
+
+/// The rarely-taken arms the policy study depends on really are rare in
+/// the profiles (bzip2_3's extra block, parser_1's heavy paths).
+#[test]
+fn rare_paths_are_rare() {
+    for (w, max_ratio) in [(micro::bzip2_3(), 0.1), (micro::parser_1(), 0.1)] {
+        let hottest = *w.profile.block_counts.values().max().unwrap() as f64;
+        let has_rare = w
+            .profile
+            .block_counts
+            .values()
+            .any(|&c| c > 0 && (c as f64) < hottest * max_ratio);
+        assert!(has_rare, "{} lost its rare path", w.name);
+    }
+}
+
+/// gzip_1's inner loop collapses into a single block under convergent
+/// formation — the paper's flagship block-count example.
+#[test]
+fn gzip_1_inner_loop_fits_one_block() {
+    let w = micro::gzip_1();
+    let c = compile(&w.function, &w.profile, &CompileConfig::convergent());
+    let t = simulate_timing(&c.function, &w.args, &w.memory, &TimingConfig::trips()).unwrap();
+    // 300 iterations: within a few hundred dynamic blocks means several
+    // iterations per block.
+    assert!(
+        t.blocks_executed < 150,
+        "gzip_1 should run few blocks, got {}",
+        t.blocks_executed
+    );
+}
