@@ -30,27 +30,25 @@ fn compile_with(w: &Workload, policy: PolicyKind, config: &FormationConfig) -> u
 }
 
 fn main() {
+    let workers = chf_bench::parallel::workers();
     let suite = microbenchmarks();
-    let baselines: Vec<u64> = suite
-        .iter()
-        .map(|w| {
-            let mut f = w.function.clone();
-            w.profile.apply(&mut f);
-            chf_opt::optimize(&mut f);
-            simulate_timing(&f, &w.args, &w.memory, &TimingConfig::trips())
-                .unwrap()
-                .cycles
-        })
-        .collect();
+    let baselines: Vec<u64> = chf_bench::parallel::par_map(&suite, workers, |w| {
+        let mut f = w.function.clone();
+        w.profile.apply(&mut f);
+        chf_opt::optimize(&mut f);
+        simulate_timing(&f, &w.args, &w.memory, &TimingConfig::trips())
+            .unwrap()
+            .cycles
+    });
 
     let average = |policy: PolicyKind, config: &FormationConfig| -> f64 {
-        suite
+        let cycles = chf_bench::parallel::par_map(&suite, workers, |w| {
+            compile_with(w, policy, config)
+        });
+        cycles
             .iter()
             .zip(&baselines)
-            .map(|(w, &bb)| {
-                let c = compile_with(w, policy, config);
-                (bb as f64 - c as f64) / bb as f64 * 100.0
-            })
+            .map(|(&c, &bb)| (bb as f64 - c as f64) / bb as f64 * 100.0)
             .sum::<f64>()
             / suite.len() as f64
     };
@@ -175,8 +173,7 @@ Timing-model sensitivity (convergent BF vs BB under each model)
         ),
     ];
     for (label, tcfg) in timing_variants {
-        let mut total = 0.0;
-        for w in &suite {
+        let improvements = chf_bench::parallel::par_map(&suite, workers, |w| {
             // Baseline under this model.
             let mut base = w.function.clone();
             w.profile.apply(&mut base);
@@ -191,8 +188,9 @@ Timing-model sensitivity (convergent BF vs BB under each model)
             split_oversized(&mut f, &full.constraints);
             chf_ir::cfg::remove_unreachable(&mut f);
             let c = simulate_timing(&f, &w.args, &w.memory, &tcfg).unwrap().cycles;
-            total += (bb as f64 - c as f64) / bb as f64 * 100.0;
-        }
+            (bb as f64 - c as f64) / bb as f64 * 100.0
+        });
+        let total: f64 = improvements.iter().sum();
         println!("{:<38} {:>7.1}", label, total / suite.len() as f64);
     }
 }

@@ -1,0 +1,185 @@
+//! `bench_perf` — the repo's performance-trajectory probe.
+//!
+//! Measures, on the 24-microbenchmark suite:
+//!
+//! 1. **Formation wall-time** per phase ordering (compile only);
+//! 2. **Simulator throughput** (timing-simulated cycles per second);
+//! 3. **End-to-end Table 1 regeneration** — the full compile+simulate matrix
+//!    plus rendering and CSV serialization — through the parallel harness
+//!    *and* the forced-sequential path, checking the two CSVs are
+//!    byte-identical.
+//!
+//! Results are written to `BENCH_formation.json` (override with `-o PATH`),
+//! together with the recorded seed baseline for the same machine, seeding
+//! the repo's perf history.
+//!
+//! `--check` exits non-zero if the end-to-end Table 1 wall-time exceeds a
+//! generous regression ceiling (`CHF_BENCH_CEILING_MS`, default 160 ms —
+//! about 2× the current measurement and well under the 244 ms seed), so
+//! `scripts/verify.sh` catches order-of-magnitude regressions without being
+//! flaky on a loaded machine.
+
+use chf_core::pipeline::{compile, CompileConfig, PhaseOrdering};
+use chf_sim::timing::{simulate_timing, TimingConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Wall-time of the seed revision's `table1` binary on the reference
+/// machine (ms), measured before the trial-scoped formation rewrite. The
+/// speedup reported below is against this number.
+const SEED_TABLE1_WALL_MS: f64 = 244.0;
+
+/// Default `--check` ceiling (ms): generous headroom over the current
+/// measurement, strict against anything resembling the seed's 244 ms.
+const DEFAULT_CEILING_MS: f64 = 160.0;
+
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn table1_artifacts(workers: usize) -> String {
+    let rows = chf_bench::table1::run_with(workers);
+    let rendered = chf_bench::table1::render(&rows);
+    let pts = chf_bench::fig7::points(&rows);
+    let fit = chf_bench::fig7::linear_fit(&pts);
+    let mut out = chf_bench::csv::table1_csv(&rows);
+    out.push_str(&chf_bench::csv::fig7_csv(&pts, &fit));
+    out.push_str(&rendered);
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "-o")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_formation.json".to_string());
+
+    let suite = chf_workloads::microbenchmarks();
+    let orderings = [
+        PhaseOrdering::BasicBlocks,
+        PhaseOrdering::Upio,
+        PhaseOrdering::Iupo,
+        PhaseOrdering::IupThenO,
+        PhaseOrdering::Iupo_,
+    ];
+
+    // 1. Formation wall-time per ordering (best of 3).
+    let mut per_ordering: Vec<(&str, f64)> = Vec::new();
+    let mut compile_total = 0.0;
+    for o in &orderings {
+        let (ms, _) = best_of(3, || {
+            for w in &suite {
+                let _ = compile(&w.function, &w.profile, &CompileConfig::with_ordering(*o));
+            }
+        });
+        per_ordering.push((o.label(), ms));
+        compile_total += ms;
+    }
+
+    // 2. Simulator throughput over every compiled (workload, ordering) pair.
+    let compiled: Vec<_> = suite
+        .iter()
+        .flat_map(|w| {
+            orderings.iter().map(move |o| {
+                (
+                    w,
+                    compile(&w.function, &w.profile, &CompileConfig::with_ordering(*o)),
+                )
+            })
+        })
+        .collect();
+    let (sim_ms, sim_cycles) = best_of(3, || {
+        let mut cycles = 0u64;
+        for (w, c) in &compiled {
+            let t = simulate_timing(&c.function, &w.args, &w.memory, &TimingConfig::trips())
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            cycles += t.cycles;
+        }
+        cycles
+    });
+    let mcps = sim_cycles as f64 / 1e6 / (sim_ms / 1e3);
+
+    // 3. End-to-end Table 1 regeneration: parallel harness vs forced
+    // sequential, with byte-identity of the outputs.
+    let workers = chf_bench::parallel::workers();
+    let (wall_ms, artifacts) = best_of(3, || table1_artifacts(workers));
+    let (seq_ms, seq_artifacts) = best_of(3, || table1_artifacts(1));
+    let identical = artifacts == seq_artifacts;
+    let speedup = SEED_TABLE1_WALL_MS / wall_ms;
+
+    println!("bench_perf: 24-microbenchmark suite");
+    for (label, ms) in &per_ordering {
+        println!("  compile {label:>7}: {ms:8.2} ms");
+    }
+    println!("  compile   total: {compile_total:8.2} ms");
+    println!("  sim       total: {sim_ms:8.2} ms  ({sim_cycles} cycles, {mcps:.2} Mcycles/s)");
+    println!("  table1 end-to-end: {wall_ms:.2} ms ({workers} worker(s)); sequential: {seq_ms:.2} ms");
+    println!(
+        "  vs seed ({SEED_TABLE1_WALL_MS:.0} ms): {speedup:.2}x; parallel/sequential outputs identical: {identical}"
+    );
+
+    // JSON perf record (hand-rolled; the workspace has no serde).
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"suite\": \"table1-24-micro\",");
+    let _ = writeln!(
+        json,
+        "  \"unix_time\": {},",
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    );
+    let _ = writeln!(json, "  \"seed_table1_wall_ms\": {SEED_TABLE1_WALL_MS:.1},");
+    let _ = writeln!(json, "  \"table1_wall_ms\": {wall_ms:.2},");
+    let _ = writeln!(json, "  \"table1_sequential_ms\": {seq_ms:.2},");
+    let _ = writeln!(json, "  \"speedup_vs_seed\": {speedup:.2},");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    let _ = writeln!(json, "  \"outputs_identical_parallel_vs_sequential\": {identical},");
+    let _ = writeln!(json, "  \"compile_ms_total\": {compile_total:.2},");
+    json.push_str("  \"compile_ms_per_ordering\": {");
+    for (i, (label, ms)) in per_ordering.iter().enumerate() {
+        let sep = if i + 1 < per_ordering.len() { ", " } else { "" };
+        let _ = write!(json, "\"{label}\": {ms:.2}{sep}");
+    }
+    json.push_str("},\n");
+    let _ = writeln!(json, "  \"sim_ms_total\": {sim_ms:.2},");
+    let _ = writeln!(json, "  \"sim_cycles\": {sim_cycles},");
+    let _ = writeln!(json, "  \"sim_mcycles_per_s\": {mcps:.2}");
+    json.push_str("}\n");
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("  wrote {out_path}"),
+        Err(e) => eprintln!("  could not write {out_path}: {e}"),
+    }
+
+    if check {
+        let ceiling: f64 = std::env::var("CHF_BENCH_CEILING_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CEILING_MS);
+        let mut failed = false;
+        if wall_ms > ceiling {
+            eprintln!("CHECK FAILED: table1 end-to-end {wall_ms:.2} ms > ceiling {ceiling:.2} ms");
+            failed = true;
+        }
+        if !identical {
+            eprintln!("CHECK FAILED: parallel and sequential Table 1 outputs differ");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("  check OK: {wall_ms:.2} ms <= {ceiling:.2} ms, outputs identical");
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod csv;
 pub mod fig7;
+pub mod parallel;
 pub mod render;
 pub mod table1;
 pub mod table2;

@@ -1,0 +1,104 @@
+//! Parallel evaluation harness.
+//!
+//! Every cell of the evaluation matrix — (workload × configuration) for
+//! Tables 1–3, Figure 7 and the ablation study — is an independent
+//! compile-and-simulate job: compilation is deterministic and shares no
+//! state across workloads. [`par_map`] fans those jobs across a scoped
+//! thread pool using a shared atomic work index (no work-stealing deps, no
+//! channels), then reassembles results **in input order**, so the rendered
+//! tables and archived CSVs are byte-identical to a sequential run no matter
+//! how the scheduler interleaves the workers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use: the `CHF_JOBS` environment variable if
+/// set (a value of `1` forces sequential execution), else the machine's
+/// available parallelism.
+pub fn workers() -> usize {
+    if let Ok(v) = std::env::var("CHF_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `work` over `items` on `workers` threads, returning results in input
+/// order.
+///
+/// Threads pull indices from a shared atomic counter, so long-running items
+/// don't serialize behind a static partition. With `workers <= 1` (or a
+/// single item) the map runs inline on the caller's thread — the sequential
+/// path stays trivially identical.
+pub fn par_map<T, R, F>(items: &[T], workers: usize, work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(work).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    let threads = workers.min(items.len());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                // Batch each worker's results and merge once at the end:
+                // the lock is taken `workers` times, not `items` times.
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, work(&items[i])));
+                }
+                done.lock().expect("worker panicked").extend(local);
+            });
+        }
+    });
+    let mut tagged = done.into_inner().expect("worker panicked");
+    debug_assert_eq!(tagged.len(), items.len());
+    // Deterministic output order: sort by input index.
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(&items, 8, |&i| i * 3);
+        assert_eq!(out, items.iter().map(|&i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_sequential_map() {
+        let items: Vec<u64> = (0..37).map(|i| i * 7 + 1).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x)).collect();
+        for workers in [1, 2, 3, 16] {
+            let par = par_map(&items, workers, |&x| x.wrapping_mul(x));
+            assert_eq!(par, seq, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<i32> = vec![];
+        assert!(par_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(par_map(&[42], 4, |&x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn workers_is_at_least_one() {
+        assert!(workers() >= 1);
+    }
+}

@@ -58,9 +58,16 @@ pub fn measure(w: &Workload) -> Row {
     }
 }
 
-/// Run the full Table 1 experiment.
+/// Run the full Table 1 experiment, fanning benchmarks across the
+/// [`crate::parallel`] harness (results are in deterministic suite order
+/// regardless of worker count).
 pub fn run() -> Vec<Row> {
-    microbenchmarks().iter().map(measure).collect()
+    run_with(crate::parallel::workers())
+}
+
+/// [`run`] with an explicit worker count (`1` forces the sequential path).
+pub fn run_with(workers: usize) -> Vec<Row> {
+    crate::parallel::par_map(&microbenchmarks(), workers, measure)
 }
 
 /// Render rows in the paper's format (`BB cycles`, then per ordering

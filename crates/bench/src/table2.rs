@@ -57,9 +57,15 @@ pub fn measure(w: &Workload) -> Row {
     }
 }
 
-/// Run the full Table 2 experiment.
+/// Run the full Table 2 experiment (parallel across benchmarks, results in
+/// deterministic suite order).
 pub fn run() -> Vec<Row> {
-    microbenchmarks().iter().map(measure).collect()
+    run_with(crate::parallel::workers())
+}
+
+/// [`run`] with an explicit worker count (`1` forces the sequential path).
+pub fn run_with(workers: usize) -> Vec<Row> {
+    crate::parallel::par_map(&microbenchmarks(), workers, measure)
 }
 
 /// Render in the paper's format.

@@ -40,9 +40,15 @@ pub fn measure(w: &Workload) -> Row {
     }
 }
 
-/// Run the full Table 3 experiment.
+/// Run the full Table 3 experiment (parallel across composites, results in
+/// deterministic suite order).
 pub fn run() -> Vec<Row> {
-    spec_suite().iter().map(measure).collect()
+    run_with(crate::parallel::workers())
+}
+
+/// [`run`] with an explicit worker count (`1` forces the sequential path).
+pub fn run_with(workers: usize) -> Vec<Row> {
+    crate::parallel::par_map(&spec_suite(), workers, measure)
 }
 
 /// Render in the paper's format (`BB` in raw block counts, then percents).

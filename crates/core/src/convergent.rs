@@ -2,19 +2,27 @@
 //!
 //! [`expand_block`] implements `ExpandBlock`: starting from a seed block, it
 //! repeatedly asks the policy for the best candidate successor, attempts the
-//! merge in scratch space ([`merge_blocks`] clones the function, merges,
-//! optionally optimizes, and checks the structural constraints), and commits
-//! only successful merges — "by testing the merge in scratch space before
-//! transforming the CFG, the implementation avoids a more complicated undo
-//! step."
+//! merge as an *in-place trial* ([`merge_blocks`] snapshots the blocks the
+//! merge can touch, transforms the CFG directly, optionally optimizes the
+//! merged block, checks the structural constraints, and rolls the snapshot
+//! back on failure), and keeps only successful merges. The paper's
+//! implementation tested merges in scratch space to "avoid a more
+//! complicated undo step"; cloning the whole function per trial dominated
+//! compile time here, so the undo step is now explicit — a merge only ever
+//! writes the hyperblock, the merged successor, freshly appended blocks and
+//! fresh registers, all of which [`chf_ir::function::BlocksSnapshot`]
+//! restores exactly.
 //!
 //! [`form_hyperblocks`] drives `ExpandBlock` over the whole function in
 //! descending frequency order, so hot loop bodies unroll before colder
-//! code competes for their blocks.
+//! code competes for their blocks. Loop analyses are cached across trials
+//! in a formation context and invalidated only when a merge commits (a
+//! rolled-back trial leaves the CFG bit-identical, so the cache stays
+//! valid).
 
 use crate::constraints::BlockConstraints;
 use crate::duplication::{classify, duplicate_for_merge, DuplicationKind};
-use crate::ifconvert::combine_with;
+use crate::ifconvert::combine_with_liveness;
 use crate::policy::{Candidate, Policy};
 use chf_ir::block::ExitTarget;
 use chf_ir::function::Function;
@@ -115,6 +123,54 @@ pub enum MergeOutcome {
     Disallowed,
 }
 
+/// Per-run formation state: CFG analyses cached across merge trials.
+///
+/// The loop forest is valid for the *current* CFG. Failed trials roll the
+/// CFG back to a bit-identical state, so the cache survives them; only a
+/// committed merge invalidates it. Peel budgets depend only on the training
+/// profile (fixed for the run) and are memoized forever.
+struct FormationCtx {
+    forest: Option<LoopForest>,
+    /// Liveness of the current CFG, reused for the speculation-safety set
+    /// of plain (duplication-free) merge trials. Taken out for the trial
+    /// and put back only if the trial rolled back.
+    liveness: Option<chf_ir::liveness::Liveness>,
+    peel_budgets: chf_ir::fxhash::FxHashMap<BlockId, usize>,
+}
+
+impl FormationCtx {
+    fn new() -> Self {
+        FormationCtx {
+            forest: None,
+            liveness: None,
+            peel_budgets: chf_ir::fxhash::FxHashMap::default(),
+        }
+    }
+
+    /// The loop forest of the current CFG, computed at most once between
+    /// committed merges.
+    fn forest(&mut self, f: &Function) -> &LoopForest {
+        if self.forest.is_none() {
+            self.forest = Some(LoopForest::of(f));
+        }
+        self.forest.as_ref().expect("just filled")
+    }
+
+    /// Invalidate CFG-shape caches after a committed merge.
+    fn invalidate(&mut self) {
+        self.forest = None;
+        self.liveness = None;
+    }
+
+    /// Memoized [`peel_budget`] (profile-only, never invalidated).
+    fn peel_budget(&mut self, profile: Option<&ProfileData>, header: BlockId) -> usize {
+        *self
+            .peel_budgets
+            .entry(header)
+            .or_insert_with(|| peel_budget(profile, header))
+    }
+}
+
 /// Cheap structural pre-checks before attempting a merge.
 fn legal_merge(f: &Function, hb: BlockId, s: BlockId) -> bool {
     if !f.contains_block(hb) || !f.contains_block(s) || s == f.entry {
@@ -189,11 +245,37 @@ pub fn merge_blocks_with_body(
     config: &FormationConfig,
     saved_body: Option<&chf_ir::block::Block>,
 ) -> MergeOutcome {
+    merge_blocks_in_ctx(f, hb, s, config, saved_body, &mut FormationCtx::new())
+}
+
+/// The in-place trial/commit core of [`merge_blocks_with_body`].
+///
+/// A merge attempt touches a known, small set of state: the hyperblock `hb`
+/// (guard code and spliced instructions/exits), the successor `s` (profile
+/// rescaling during duplication, removal when merged directly), blocks
+/// *appended* by duplication, and freshly allocated registers. Snapshotting
+/// exactly that set makes rollback an exact inverse, so a failed trial
+/// leaves `f` bit-identical to its pre-trial state — no whole-function
+/// scratch clone per trial.
+///
+/// With `iterative_opt`, the fit decision runs the scalar pipeline scoped
+/// to the merged block ([`chf_opt::optimize_block_quick`]), which mutates
+/// nothing outside the snapshot. On success the scoped cleanup is rewound
+/// and the historical whole-function [`chf_opt::optimize_quick`] runs once
+/// at commit, reproducing the exact committed state of the scratch-space
+/// implementation.
+fn merge_blocks_in_ctx(
+    f: &mut Function,
+    hb: BlockId,
+    s: BlockId,
+    config: &FormationConfig,
+    saved_body: Option<&chf_ir::block::Block>,
+    ctx: &mut FormationCtx,
+) -> MergeOutcome {
     if !legal_merge(f, hb, s) {
         return MergeOutcome::Failure;
     }
-    let forest = LoopForest::of(f);
-    let kind = classify(f, &forest, hb, s);
+    let kind = classify(f, ctx.forest(f), hb, s);
     match kind {
         DuplicationKind::Tail if !config.tail_duplication => return MergeOutcome::Disallowed,
         DuplicationKind::Tail if f.block(s).size() > config.max_tail_dup_size => {
@@ -205,38 +287,72 @@ pub fn merge_blocks_with_body(
         _ => {}
     }
 
-    // Scratch-space trial: clone, transform, check, then commit or drop.
-    let mut trial = f.clone();
+    // In-place trial: snapshot the touched blocks, transform, check, then
+    // keep or roll back.
+    let snap = f.snapshot_blocks([hb, s]);
+    // Plain merges touch nothing before `combine_with`, so the cached
+    // pre-trial liveness solution (still exact — failed trials roll back
+    // bit-identically) supplies the speculation-safety set. Duplication
+    // trials mutate `f` first and must recompute.
+    let mut cached_lv = match kind {
+        DuplicationKind::None => Some(
+            ctx.liveness
+                .take()
+                .unwrap_or_else(|| chf_ir::liveness::Liveness::compute(f)),
+        ),
+        _ => None,
+    };
     let s_eff = match kind {
         DuplicationKind::None => s,
         DuplicationKind::Unroll if s == hb && saved_body.is_some() => {
-            match append_saved_iteration(&mut trial, hb, saved_body.expect("checked")) {
+            match append_saved_iteration(f, hb, saved_body.expect("checked")) {
                 Some(b) => b,
-                None => duplicate_for_merge(&mut trial, hb, s),
+                None => duplicate_for_merge(f, hb, s),
             }
         }
-        _ => duplicate_for_merge(&mut trial, hb, s),
+        _ => duplicate_for_merge(f, hb, s),
     };
-    if combine_with(&mut trial, hb, s_eff, config.speculation).is_err() {
+    if combine_with_liveness(f, hb, s_eff, config.speculation, cached_lv.as_ref()).is_err() {
+        f.restore_blocks(snap);
+        ctx.liveness = cached_lv.take().or(ctx.liveness.take());
         return MergeOutcome::Failure;
     }
     // Canonicalize the exit list: merging both arms of a diamond leaves two
     // exits to the join; collapsing them removes the dead branch and lets
     // the join itself become a single-predecessor merge candidate.
-    trial.block_mut(hb).dedupe_exits();
+    f.block_mut(hb).dedupe_exits();
+    debug_assert!(chf_ir::verify::verify(f).is_ok(), "merge broke IR:\n{f}");
     if config.iterative_opt {
-        chf_opt::optimize_quick(&mut trial);
-        if !trial.contains_block(hb) {
-            // Optimization proved the whole block unreachable; nothing to
-            // commit (cannot happen for reachable seeds, but stay safe).
+        // Decide on the *scoped* optimization of the merged block: same
+        // scalar pipeline, same two-round budget, but only `hb` is mutated
+        // so the snapshot stays a complete undo record.
+        let merged = f.block(hb).clone();
+        chf_opt::optimize_block_quick(f, hb);
+        if config.constraints.check(f, hb).is_err() {
+            f.restore_blocks(snap);
+            ctx.liveness = cached_lv.take().or(ctx.liveness.take());
             return MergeOutcome::Failure;
         }
+        // Commit: rewind the decision's scoped cleanup, then run the
+        // whole-function quick optimization the scratch-space trial used to
+        // run, so the committed state matches it exactly.
+        *f.block_mut(hb) = merged;
+        chf_opt::optimize_quick(f);
+        ctx.invalidate();
+        if !f.contains_block(hb) {
+            // Optimization proved the whole block unreachable (cannot
+            // happen for reachable seeds, but stay safe): the cleanup is
+            // already committed; report failure so expansion stops here.
+            return MergeOutcome::Failure;
+        }
+        return MergeOutcome::Success(kind);
     }
-    debug_assert!(chf_ir::verify::verify(&trial).is_ok(), "merge broke IR:\n{trial}");
-    if config.constraints.check(&trial, hb).is_err() {
+    if config.constraints.check(f, hb).is_err() {
+        f.restore_blocks(snap);
+        ctx.liveness = cached_lv.take().or(ctx.liveness.take());
         return MergeOutcome::Failure;
     }
-    *f = trial;
+    ctx.invalidate();
     MergeOutcome::Success(kind)
 }
 
@@ -319,8 +435,12 @@ fn peel_budget(profile: Option<&ProfileData>, header: BlockId) -> usize {
 
 /// The original innermost loop header containing each block, snapshotted
 /// before formation rewrites the CFG — trip histograms are keyed by these.
-fn original_headers(f: &Function) -> std::collections::HashMap<BlockId, BlockId> {
-    let forest = LoopForest::of(f);
+/// Built once per formation run from the context's cached loop forest.
+fn original_headers(
+    f: &Function,
+    ctx: &mut FormationCtx,
+) -> chf_ir::fxhash::FxHashMap<BlockId, BlockId> {
+    let forest = ctx.forest(f);
     f.block_ids()
         .filter_map(|b| forest.innermost_containing(b).map(|l| (b, l.header)))
         .collect()
@@ -346,10 +466,12 @@ pub fn expand_block_with_profile(
     config: &FormationConfig,
     profile: Option<&ProfileData>,
 ) -> FormationStats {
-    let original_header = original_headers(f).get(&hb).copied();
-    expand_block_inner(f, hb, policy, config, profile, original_header)
+    let mut ctx = FormationCtx::new();
+    let original_header = ctx.forest(f).innermost_containing(hb).map(|l| l.header);
+    expand_block_inner(f, hb, policy, config, profile, original_header, &mut ctx)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn expand_block_inner(
     f: &mut Function,
     hb: BlockId,
@@ -357,6 +479,7 @@ fn expand_block_inner(
     config: &FormationConfig,
     profile: Option<&ProfileData>,
     original_header: Option<BlockId>,
+    ctx: &mut FormationCtx,
 ) -> FormationStats {
     let mut stats = FormationStats::default();
     let mut candidates: Vec<Candidate> = Vec::new();
@@ -396,7 +519,8 @@ fn expand_block_inner(
     let mut merges = 0usize;
     let mut unrolls_done = 0usize;
     let mut unroll_budget: Option<usize> = None;
-    let mut peels_done: std::collections::HashMap<BlockId, usize> = std::collections::HashMap::new();
+    let mut peels_done: chf_ir::fxhash::FxHashMap<BlockId, usize> =
+        chf_ir::fxhash::FxHashMap::default();
     // The pristine loop body, captured just before the first unroll so that
     // later unrolls append single iterations (paper §4.1).
     let mut saved_body: Option<chf_ir::block::Block> = None;
@@ -409,11 +533,10 @@ fn expand_block_inner(
             continue; // merged into another block meanwhile
         }
         if cand.block == hb {
-            if saved_body.is_none() {
-                let forest = LoopForest::of(f);
-                if classify(f, &forest, hb, hb) == DuplicationKind::Unroll {
-                    saved_body = Some(f.block(hb).clone());
-                }
+            if saved_body.is_none()
+                && classify(f, ctx.forest(f), hb, hb) == DuplicationKind::Unroll
+            {
+                saved_body = Some(f.block(hb).clone());
             }
             let budget = *unroll_budget.get_or_insert_with(|| {
                 expected_unroll_budget(f, hb, profile, original_header)
@@ -426,16 +549,15 @@ fn expand_block_inner(
             // Peeling gate: merging a loop header that is not our own back
             // edge peels an iteration; only worthwhile for reliably
             // low-trip loops.
-            let forest = LoopForest::of(f);
-            if classify(f, &forest, hb, cand.block) == DuplicationKind::Peel {
+            if classify(f, ctx.forest(f), hb, cand.block) == DuplicationKind::Peel {
                 let done = *peels_done.get(&cand.block).unwrap_or(&0);
-                if done >= peel_budget(profile, cand.block) {
+                if done >= ctx.peel_budget(profile, cand.block) {
                     failed.push(cand.block);
                     continue;
                 }
             }
         }
-        match merge_blocks_with_body(f, hb, cand.block, config, saved_body.as_ref()) {
+        match merge_blocks_in_ctx(f, hb, cand.block, config, saved_body.as_ref(), ctx) {
             MergeOutcome::Success(kind) => {
                 stats.merges += 1;
                 match kind {
@@ -490,7 +612,11 @@ pub fn form_hyperblocks_with_profile(
     profile: Option<&ProfileData>,
 ) -> FormationStats {
     policy.prepare(f);
-    let headers = original_headers(f);
+    // One context for the whole run: the headers map is built once, and the
+    // loop forest computed for it seeds the trial cache of the first
+    // expansion (it stays valid until the first committed merge).
+    let mut ctx = FormationCtx::new();
+    let headers = original_headers(f, &mut ctx);
     let mut seeds: Vec<(BlockId, f64)> = f.blocks().map(|(b, blk)| (b, blk.freq)).collect();
     seeds.sort_by(|a, b| {
         b.1.partial_cmp(&a.1)
@@ -503,7 +629,7 @@ pub fn form_hyperblocks_with_profile(
         if !f.contains_block(b) {
             continue;
         }
-        let s = expand_block_inner(f, b, policy, config, profile, headers.get(&b).copied());
+        let s = expand_block_inner(f, b, policy, config, profile, headers.get(&b).copied(), &mut ctx);
         stats.merge(&s);
     }
     chf_ir::cfg::remove_unreachable(f);

@@ -24,7 +24,7 @@ use chf_ir::block::{Exit, ExitTarget};
 use chf_ir::function::Function;
 use chf_ir::ids::{BlockId, Reg};
 use chf_ir::instr::{Instr, Opcode, Operand, Pred};
-use std::collections::HashSet;
+use chf_ir::fxhash::{FxHashMap, FxHashSet};
 use std::fmt;
 
 /// Why a combine was refused.
@@ -66,11 +66,11 @@ impl std::error::Error for CombineError {}
 /// unrolled iterations through spurious instructions.
 #[derive(Default)]
 struct BoolTracker {
-    boolean: HashSet<Reg>,
+    boolean: FxHashSet<Reg>,
     /// Registers whose last def is a *predicated* comparison: boolean
     /// whenever their guard fired, arbitrary otherwise. `cond_bool[r] = g`
     /// means `[g] r = <compare>` was the last def of `r`.
-    cond_bool: std::collections::HashMap<Reg, Reg>,
+    cond_bool: FxHashMap<Reg, Reg>,
 }
 
 impl BoolTracker {
@@ -137,7 +137,7 @@ impl BoolTracker {
         f: &mut Function,
         pred: Pred,
         out: &mut Vec<Instr>,
-        forbidden: &HashSet<Reg>,
+        forbidden: &FxHashSet<Reg>,
     ) -> Reg {
         if pred.if_true && self.boolean.contains(&pred.reg) && !forbidden.contains(&pred.reg) {
             return pred.reg;
@@ -169,7 +169,7 @@ impl BoolTracker {
         a: Reg,
         pred: Pred,
         out: &mut Vec<Instr>,
-        forbidden: &HashSet<Reg>,
+        forbidden: &FxHashSet<Reg>,
     ) -> Reg {
         let qn = if pred.if_true && self.cond_bool.get(&pred.reg) == Some(&a) {
             pred.reg
@@ -195,7 +195,7 @@ fn build_guard(
     exits: &[Exit],
     k: usize,
     out: &mut Vec<Instr>,
-    forbidden: &HashSet<Reg>,
+    forbidden: &FxHashSet<Reg>,
 ) -> Option<Reg> {
     let mut components: Vec<Pred> = exits[..k]
         .iter()
@@ -235,6 +235,21 @@ pub fn combine_with(
     s: BlockId,
     speculation: bool,
 ) -> Result<(), CombineError> {
+    combine_with_liveness(f, hb, s, speculation, None)
+}
+
+/// [`combine_with`] with an optionally pre-computed liveness solution for
+/// the *current* state of `f`. The convergent formation driver passes the
+/// solution it caches across rolled-back trials (the CFG is bit-identical
+/// between failed trials, so the cached solution stays exact); `None`
+/// computes liveness here.
+pub(crate) fn combine_with_liveness(
+    f: &mut Function,
+    hb: BlockId,
+    s: BlockId,
+    speculation: bool,
+    cached_liveness: Option<&chf_ir::liveness::Liveness>,
+) -> Result<(), CombineError> {
     if s == f.entry || s == hb {
         return Err(CombineError::IllegalTarget);
     }
@@ -258,7 +273,7 @@ pub fn combine_with(
     // predicate before the merged block evaluates them.) Exits *after* the
     // merged edge are only ever evaluated when the guard was false, i.e.
     // when every write in S was nullified, so they are safe.
-    let s_defs: HashSet<Reg> = f.block(s).insts.iter().filter_map(|i| i.def()).collect();
+    let s_defs: FxHashSet<Reg> = f.block(s).insts.iter().filter_map(|i| i.def()).collect();
     for e in &f.block(hb).exits[..k] {
         if let Some(p) = e.pred {
             if s_defs.contains(&p.reg) {
@@ -284,9 +299,16 @@ pub fn combine_with(
     // temporaries) executes speculatively, as in classical hyperblock
     // compilers: "unpredicated instructions within the block execute when
     // they receive operands" (§4.1). Stores always keep their guard.
-    let protected: HashSet<Reg> = {
-        let liveness = chf_ir::liveness::Liveness::compute(f);
-        let mut set = HashSet::new();
+    let protected: FxHashSet<Reg> = {
+        let computed;
+        let liveness = match cached_liveness {
+            Some(lv) => lv,
+            None => {
+                computed = chf_ir::liveness::Liveness::compute(f);
+                &computed
+            }
+        };
+        let mut set = FxHashSet::default();
         for (i, e) in f.block(hb).exits.iter().enumerate() {
             if i == k {
                 continue;
@@ -295,7 +317,7 @@ pub fn combine_with(
                 set.insert(p.reg);
             }
             match e.target {
-                ExitTarget::Block(t) => set.extend(liveness.live_in(t).iter().copied()),
+                ExitTarget::Block(t) => set.extend(liveness.live_in(t).iter()),
                 ExitTarget::Return(Some(Operand::Reg(r))) => {
                     set.insert(r);
                 }
@@ -313,7 +335,7 @@ pub fn combine_with(
     let mut merged_insts: Vec<Instr> = Vec::new();
     let guard_reg = build_guard(f, &mut bools, &hb_exits, k, &mut merged_insts, &s_defs);
     let guard_pred = guard_reg.map(Pred::on_true);
-    let no_forbid = HashSet::new();
+    let no_forbid = FxHashSet::default();
 
     // 2. Predicate S's instructions.
     // Cache of (pred reg, polarity) → conjoined guard register, invalidated

@@ -64,8 +64,8 @@ fn pressure(f: &Function, lv: &Liveness) -> (usize, HashMap<Reg, usize>) {
     for b in f.block_ids() {
         let out = lv.live_out(b);
         max_pressure = max_pressure.max(out.len());
-        for r in out {
-            *liveness_span.entry(*r).or_insert(0) += 1;
+        for r in out.iter() {
+            *liveness_span.entry(r).or_insert(0) += 1;
         }
     }
     (max_pressure, liveness_span)

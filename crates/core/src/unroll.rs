@@ -150,7 +150,7 @@ pub fn unroll_one(f: &mut Function, header: BlockId) -> bool {
 }
 
 /// Static size of a loop body in instruction slots.
-fn body_size(f: &Function, body: &std::collections::HashSet<BlockId>) -> usize {
+fn body_size(f: &Function, body: &chf_ir::fxhash::FxHashSet<BlockId>) -> usize {
     body.iter().map(|&b| f.block(b).size()).sum()
 }
 
@@ -159,7 +159,7 @@ fn body_size(f: &Function, body: &std::collections::HashSet<BlockId>) -> usize {
 fn decide(
     f: &Function,
     header: BlockId,
-    body: &std::collections::HashSet<BlockId>,
+    body: &chf_ir::fxhash::FxHashSet<BlockId>,
     profile: &ProfileData,
     params: &UnrollParams,
 ) -> (usize, usize) {

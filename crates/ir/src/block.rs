@@ -150,13 +150,13 @@ impl Block {
     /// (transitively). This is exactly the guard structure if-conversion
     /// builds, so exits guarded by a conjunction collapse into the exit
     /// guarded by a conjunct when both go to the same place.
-    fn positive_implications(&self) -> std::collections::HashMap<Reg, Vec<Reg>> {
+    fn positive_implications(&self) -> crate::fxhash::FxHashMap<Reg, Vec<Reg>> {
+        use crate::fxhash::FxHashMap;
         use crate::instr::{Opcode, Operand};
-        use std::collections::HashMap;
         // Per register: the registers its truth directly implies, according
         // to its last definition. `and a, b` implies both conjuncts;
         // `ne x, #0` and `mov x` are truth-preserving aliases of `x`.
-        let mut direct: HashMap<Reg, Vec<Reg>> = HashMap::new();
+        let mut direct: FxHashMap<Reg, Vec<Reg>> = FxHashMap::default();
         for inst in &self.insts {
             let Some(d) = inst.def() else { continue };
             direct.remove(&d);
@@ -178,7 +178,7 @@ impl Block {
             }
         }
         // Transitive closure (bounded by chain depth).
-        let mut implied: HashMap<Reg, Vec<Reg>> = HashMap::new();
+        let mut implied: FxHashMap<Reg, Vec<Reg>> = FxHashMap::default();
         for &r in direct.keys() {
             let mut out = Vec::new();
             let mut stack = vec![r];

@@ -2,20 +2,25 @@
 
 use crate::function::Function;
 use crate::ids::BlockId;
-use std::collections::{HashMap, HashSet, VecDeque};
+use crate::fxhash::{FxHashMap, FxHashSet};
+use std::collections::VecDeque;
 
 /// Deduplicated successor list of a block, in first-appearance order.
 pub fn successors(f: &Function, b: BlockId) -> Vec<BlockId> {
-    let mut seen = HashSet::new();
-    f.block(b)
-        .successors()
-        .filter(|s| seen.insert(*s))
-        .collect()
+    // Blocks have a handful of exits at most; a linear scan over the
+    // already-collected prefix beats hashing.
+    let mut out: Vec<BlockId> = Vec::new();
+    for s in f.block(b).successors() {
+        if !out.contains(&s) {
+            out.push(s);
+        }
+    }
+    out
 }
 
 /// Predecessor map for all live blocks (deduplicated per edge pair).
-pub fn predecessors(f: &Function) -> HashMap<BlockId, Vec<BlockId>> {
-    let mut preds: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+pub fn predecessors(f: &Function) -> FxHashMap<BlockId, Vec<BlockId>> {
+    let mut preds: FxHashMap<BlockId, Vec<BlockId>> = FxHashMap::default();
     for id in f.block_ids() {
         preds.entry(id).or_default();
     }
@@ -29,14 +34,17 @@ pub fn predecessors(f: &Function) -> HashMap<BlockId, Vec<BlockId>> {
 
 /// Number of distinct predecessors of `b`.
 pub fn predecessor_count(f: &Function, b: BlockId) -> usize {
+    // Membership does not need the deduplicated successor list; an
+    // allocation-free edge scan suffices (formation classifies every merge
+    // candidate with this).
     f.block_ids()
-        .filter(|&id| successors(f, id).contains(&b))
+        .filter(|&id| f.block(id).successors().any(|s| s == b))
         .count()
 }
 
 /// Blocks reachable from the entry.
-pub fn reachable(f: &Function) -> HashSet<BlockId> {
-    let mut seen = HashSet::new();
+pub fn reachable(f: &Function) -> FxHashSet<BlockId> {
+    let mut seen = FxHashSet::default();
     let mut queue = VecDeque::new();
     queue.push_back(f.entry);
     seen.insert(f.entry);
@@ -55,7 +63,7 @@ pub fn reachable(f: &Function) -> HashSet<BlockId> {
 /// RPO is a valid iteration order for forward dataflow problems and the
 /// basis of the dominator computation.
 pub fn reverse_postorder(f: &Function) -> Vec<BlockId> {
-    let mut visited = HashSet::new();
+    let mut visited = FxHashSet::default();
     let mut post = Vec::new();
     // Iterative DFS with explicit stack to avoid recursion depth limits on
     // large unrolled CFGs.
@@ -145,7 +153,7 @@ mod tests {
         let f = diamond_with_dead();
         let rpo = reverse_postorder(&f);
         assert_eq!(rpo[0], f.entry);
-        let pos: HashMap<BlockId, usize> =
+        let pos: FxHashMap<BlockId, usize> =
             rpo.iter().enumerate().map(|(i, b)| (*b, i)).collect();
         // join must come after both arms
         assert!(pos[&BlockId(3)] > pos[&BlockId(1)]);

@@ -1,38 +1,79 @@
 //! Dominator tree (Cooper–Harvey–Kennedy iterative algorithm).
+//!
+//! Storage is dense: immediate dominators and RPO numbers live in flat
+//! vectors keyed by `BlockId::index()` (with a sentinel for unreachable
+//! blocks and holes), so the hot `dominates` chain walk is pure array
+//! indexing. Convergent formation recomputes the tree once per committed
+//! merge and queries it on every trial, so lookups dominate construction.
 
-use crate::cfg::{predecessors, reverse_postorder};
+use crate::cfg::{reverse_postorder, successors};
 use crate::function::Function;
 use crate::ids::BlockId;
-use std::collections::HashMap;
+
+/// Sentinel for "not in the tree" (unreachable block or hole).
+const ABSENT: u32 = u32::MAX;
 
 /// Immediate-dominator tree of the reachable CFG.
 #[derive(Clone, Debug)]
 pub struct DomTree {
-    idom: HashMap<BlockId, BlockId>,
-    rpo_index: HashMap<BlockId, usize>,
+    /// `idom[b.index()]` is the immediate dominator's slot, or `ABSENT`.
+    /// The entry's idom is itself.
+    idom: Vec<u32>,
+    /// `rpo_index[b.index()]` is the RPO number, or `ABSENT` if unreachable.
+    rpo_index: Vec<u32>,
+    /// Reachable blocks in reverse postorder.
+    rpo: Vec<BlockId>,
     entry: BlockId,
 }
 
 impl DomTree {
     /// Compute dominators for the reachable portion of `f`.
     pub fn compute(f: &Function) -> DomTree {
+        let slots = f.block_slots();
         let rpo = reverse_postorder(f);
-        let rpo_index: HashMap<BlockId, usize> =
-            rpo.iter().enumerate().map(|(i, b)| (*b, i)).collect();
-        let preds = predecessors(f);
-        let mut idom: HashMap<BlockId, BlockId> = HashMap::new();
-        idom.insert(f.entry, f.entry);
+        let mut rpo_index = vec![ABSENT; slots];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i as u32;
+        }
 
-        let intersect = |idom: &HashMap<BlockId, BlockId>,
-                         rpo_index: &HashMap<BlockId, usize>,
-                         mut a: BlockId,
-                         mut b: BlockId| {
-            while a != b {
-                while rpo_index[&a] > rpo_index[&b] {
-                    a = idom[&a];
+        // Predecessor lists restricted to reachable blocks, flat-packed in
+        // RPO order: preds of rpo[i] live at pred_flat[off[i]..off[i+1]].
+        let mut pred_off: Vec<u32> = vec![0; rpo.len() + 1];
+        for &b in &rpo {
+            for s in successors(f, b) {
+                if let Some(&i) = rpo_index.get(s.index()) {
+                    if i != ABSENT {
+                        pred_off[i as usize + 1] += 1;
+                    }
                 }
-                while rpo_index[&b] > rpo_index[&a] {
-                    b = idom[&b];
+            }
+        }
+        for i in 1..pred_off.len() {
+            pred_off[i] += pred_off[i - 1];
+        }
+        let mut cursor: Vec<u32> = pred_off[..rpo.len()].to_vec();
+        let mut pred_flat: Vec<BlockId> =
+            vec![BlockId(0); *pred_off.last().unwrap() as usize];
+        for &b in &rpo {
+            for s in successors(f, b) {
+                let i = rpo_index[s.index()];
+                if i != ABSENT {
+                    pred_flat[cursor[i as usize] as usize] = b;
+                    cursor[i as usize] += 1;
+                }
+            }
+        }
+
+        let mut idom = vec![ABSENT; slots];
+        idom[f.entry.index()] = f.entry.index() as u32;
+
+        let intersect = |idom: &[u32], rpo_index: &[u32], mut a: usize, mut b: usize| {
+            while a != b {
+                while rpo_index[a] > rpo_index[b] {
+                    a = idom[a] as usize;
+                }
+                while rpo_index[b] > rpo_index[a] {
+                    b = idom[b] as usize;
                 }
             }
             a
@@ -41,21 +82,21 @@ impl DomTree {
         let mut changed = true;
         while changed {
             changed = false;
-            for &b in rpo.iter().skip(1) {
-                let mut new_idom: Option<BlockId> = None;
-                for &p in preds.get(&b).into_iter().flatten() {
-                    // Only consider reachable, already-processed preds.
-                    if !rpo_index.contains_key(&p) || !idom.contains_key(&p) {
+            for (i, &b) in rpo.iter().enumerate().skip(1) {
+                let mut new_idom: Option<usize> = None;
+                for &p in &pred_flat[pred_off[i] as usize..pred_off[i + 1] as usize] {
+                    // Only consider already-processed preds.
+                    if idom[p.index()] == ABSENT {
                         continue;
                     }
                     new_idom = Some(match new_idom {
-                        None => p,
-                        Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                        None => p.index(),
+                        Some(cur) => intersect(&idom, &rpo_index, cur, p.index()),
                     });
                 }
                 if let Some(ni) = new_idom {
-                    if idom.get(&b) != Some(&ni) {
-                        idom.insert(b, ni);
+                    if idom[b.index()] != ni as u32 {
+                        idom[b.index()] = ni as u32;
                         changed = true;
                     }
                 }
@@ -65,29 +106,40 @@ impl DomTree {
         DomTree {
             idom,
             rpo_index,
+            rpo,
             entry: f.entry,
         }
     }
 
+    #[inline]
+    fn in_tree(&self, b: BlockId) -> bool {
+        self.idom.get(b.index()).is_some_and(|&i| i != ABSENT)
+    }
+
     /// Immediate dominator of `b` (the entry's idom is itself).
     pub fn idom(&self, b: BlockId) -> Option<BlockId> {
-        self.idom.get(&b).copied()
+        match self.idom.get(b.index()) {
+            Some(&i) if i != ABSENT => Some(BlockId(i)),
+            _ => None,
+        }
     }
 
     /// Whether `a` dominates `b` (reflexive).
     pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
-        if !self.idom.contains_key(&b) || !self.idom.contains_key(&a) {
+        if !self.in_tree(a) || !self.in_tree(b) {
             return false;
         }
-        let mut cur = b;
+        let target = a.index() as u32;
+        let entry = self.entry.index() as u32;
+        let mut cur = b.index() as u32;
         loop {
-            if cur == a {
+            if cur == target {
                 return true;
             }
-            if cur == self.entry {
+            if cur == entry {
                 return false;
             }
-            cur = self.idom[&cur];
+            cur = self.idom[cur as usize];
         }
     }
 
@@ -98,27 +150,23 @@ impl DomTree {
 
     /// Whether `b` was reachable when the tree was computed.
     pub fn is_reachable(&self, b: BlockId) -> bool {
-        self.rpo_index.contains_key(&b)
+        self.rpo_index.get(b.index()).is_some_and(|&i| i != ABSENT)
     }
 
     /// Blocks in reverse postorder (the order used during computation).
     pub fn rpo(&self) -> Vec<BlockId> {
-        let mut v: Vec<(usize, BlockId)> =
-            self.rpo_index.iter().map(|(b, i)| (*i, *b)).collect();
-        v.sort_unstable();
-        v.into_iter().map(|(_, b)| b).collect()
+        self.rpo.clone()
     }
 
     /// Children of `b` in the dominator tree.
     pub fn children(&self, b: BlockId) -> Vec<BlockId> {
-        let mut cs: Vec<BlockId> = self
-            .idom
+        let p = b.index() as u32;
+        self.idom
             .iter()
-            .filter(|(c, p)| **p == b && **c != b)
-            .map(|(c, _)| *c)
-            .collect();
-        cs.sort_unstable();
-        cs
+            .enumerate()
+            .filter(|&(c, &i)| i == p && c != b.index() && i != ABSENT)
+            .map(|(c, _)| BlockId(c as u32))
+            .collect()
     }
 }
 

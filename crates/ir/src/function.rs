@@ -127,6 +127,13 @@ impl Function {
         self.blocks.iter().filter(|s| s.is_some()).count()
     }
 
+    /// Number of block *slots* (live blocks plus holes): one more than the
+    /// largest id ever allocated. Dense per-slot side tables (liveness,
+    /// dominators) index by `BlockId::index()` bounded by this.
+    pub fn block_slots(&self) -> usize {
+        self.blocks.len()
+    }
+
     /// Total static instruction count (including exits, which occupy branch
     /// slots on TRIPS).
     pub fn static_size(&self) -> usize {
@@ -145,6 +152,66 @@ impl Function {
         copy.freq = 0.0;
         self.add_block(copy)
     }
+
+    /// Capture a block-scoped snapshot sufficient to undo a transformation
+    /// that (a) mutates or removes only the listed blocks, (b) appends new
+    /// blocks, and (c) allocates fresh registers. Used by the convergent
+    /// formation loop to run merge trials *in place* instead of cloning the
+    /// whole function per trial; see [`Function::restore_blocks`].
+    ///
+    /// Duplicate ids in `ids` are saved once.
+    pub fn snapshot_blocks<I>(&self, ids: I) -> BlocksSnapshot
+    where
+        I: IntoIterator<Item = BlockId>,
+    {
+        let mut saved: Vec<(BlockId, Option<Block>)> = Vec::new();
+        for id in ids {
+            if saved.iter().any(|(i, _)| *i == id) {
+                continue;
+            }
+            saved.push((id, self.blocks.get(id.index()).cloned().flatten()));
+        }
+        BlocksSnapshot {
+            saved,
+            len: self.blocks.len(),
+            nregs: self.nregs,
+        }
+    }
+
+    /// Roll back to a snapshot taken by [`Function::snapshot_blocks`]:
+    /// blocks added since the snapshot are dropped, the saved blocks are
+    /// restored verbatim (including removal state), and the register count
+    /// is rewound so register numbering in later trials is unaffected by
+    /// rolled-back ones.
+    ///
+    /// The caller guarantees that no block *outside* the snapshot was
+    /// mutated since the snapshot was taken; this is what makes the restore
+    /// an exact inverse.
+    pub fn restore_blocks(&mut self, snap: BlocksSnapshot) {
+        debug_assert!(
+            self.blocks.len() >= snap.len,
+            "snapshot outlived a structural change it cannot undo"
+        );
+        self.blocks.truncate(snap.len);
+        for (id, blk) in snap.saved {
+            self.blocks[id.index()] = blk;
+        }
+        self.nregs = snap.nregs;
+    }
+}
+
+/// An undo record for a block-scoped trial transformation; created by
+/// [`Function::snapshot_blocks`], consumed by [`Function::restore_blocks`].
+#[derive(Clone, Debug)]
+pub struct BlocksSnapshot {
+    /// Saved `(id, slot)` pairs — `None` marks a block that was already
+    /// removed when the snapshot was taken.
+    saved: Vec<(BlockId, Option<Block>)>,
+    /// Length of the block slot vector at snapshot time; later additions
+    /// are truncated away on restore.
+    len: usize,
+    /// Register count at snapshot time.
+    nregs: u32,
 }
 
 #[cfg(test)]
@@ -205,6 +272,43 @@ mod tests {
         assert_eq!(f.block(c).insts, f.block(b).insts);
         assert_eq!(f.block(c).name.as_deref(), Some("L'"));
         assert_eq!(f.block(c).freq, 0.0);
+    }
+
+    #[test]
+    fn snapshot_restores_mutation_removal_addition_and_regs() {
+        let mut f = Function::new("f", 1);
+        let e = f.entry;
+        let b = f.add_block(Block::new());
+        f.block_mut(b).exits.push(Exit::ret(None));
+        let r = f.new_reg();
+        f.block_mut(e).insts.push(Instr::mov(r, Operand::Imm(1)));
+        let before = format!("{f:?}");
+        let nregs = f.reg_count();
+
+        let snap = f.snapshot_blocks([e, b, b]); // duplicate id: saved once
+        // Mutate e, remove b, add a block, allocate registers.
+        let r2 = f.new_reg();
+        f.block_mut(e).insts.push(Instr::mov(r2, Operand::Imm(2)));
+        f.remove_block(b);
+        let added = f.add_block(Block::new());
+        assert!(f.contains_block(added));
+
+        f.restore_blocks(snap);
+        assert_eq!(format!("{f:?}"), before);
+        assert_eq!(f.reg_count(), nregs);
+        assert!(f.contains_block(b));
+        assert!(!f.contains_block(added));
+    }
+
+    #[test]
+    fn snapshot_restore_is_noop_without_changes() {
+        let mut f = Function::new("f", 2);
+        let e = f.entry;
+        f.block_mut(e).exits.push(Exit::ret(None));
+        let before = format!("{f:?}");
+        let snap = f.snapshot_blocks([e]);
+        f.restore_blocks(snap);
+        assert_eq!(format!("{f:?}"), before);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! A small, deterministic, non-cryptographic hasher for hot compiler maps.
+//!
+//! The compiler and simulators key maps almost exclusively by small integers
+//! ([`crate::ids::Reg`], [`crate::ids::BlockId`], addresses, value numbers).
+//! `std`'s default SipHash is DoS-resistant but costs an order of magnitude
+//! more per lookup than these workloads need; the multiply-rotate scheme
+//! below (the classic "Fx" hash used by rustc) is a couple of arithmetic
+//! instructions per word. It is used for the liveness dataflow sets, the
+//! value-numbering tables, and the simulators' memory images — all inputs
+//! are compiler-internal, so hash-flooding is not a concern.
+//!
+//! Determinism note: unlike `RandomState`, this hasher is stable across
+//! processes, which *reduces* run-to-run variation in any code that iterates
+//! a map (no current pass depends on iteration order, but stable beats
+//! seeded-random if one ever slips in).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from Fx hash (64-bit golden-ratio based).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hasher state.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Word-at-a-time over the buffer; the tail is padded into one word.
+        // The length is mixed in first so a slice and its zero-extension
+        // hash differently (the padding alone cannot distinguish them).
+        self.add_to_hash(bytes.len() as u64);
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let h = |v: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+
+    #[test]
+    fn map_and_set_roundtrip() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "a");
+        m.insert(2, "b");
+        assert_eq!(m.get(&1), Some(&"a"));
+        let mut s: FxHashSet<i64> = FxHashSet::default();
+        s.insert(-7);
+        assert!(s.contains(&-7));
+        assert!(!s.contains(&7));
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently() {
+        let h = |b: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(b);
+            h.finish()
+        };
+        assert_eq!(h(b"hello world"), h(b"hello world"));
+        assert_ne!(h(b"hello world"), h(b"hello worle"));
+        // Different lengths with same prefix must differ.
+        assert_ne!(h(b"abc"), h(b"abc\0"));
+    }
+}

@@ -45,6 +45,7 @@ pub mod builder;
 pub mod cfg;
 pub mod dom;
 pub mod function;
+pub mod fxhash;
 pub mod ids;
 pub mod instr;
 pub mod liveness;
@@ -60,6 +61,7 @@ pub use block::{Block, Exit, ExitTarget};
 pub use builder::FunctionBuilder;
 pub use dom::DomTree;
 pub use function::Function;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use ids::{BlockId, Reg};
 pub use instr::{Instr, Opcode, Operand, Pred};
 pub use loops::{Loop, LoopForest};

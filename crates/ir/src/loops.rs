@@ -15,7 +15,7 @@ use crate::cfg::successors;
 use crate::dom::DomTree;
 use crate::function::Function;
 use crate::ids::BlockId;
-use std::collections::{HashMap, HashSet};
+use crate::fxhash::{FxHashMap, FxHashSet};
 
 /// A natural loop.
 #[derive(Clone, Debug)]
@@ -23,7 +23,7 @@ pub struct Loop {
     /// The loop header (target of the back edges).
     pub header: BlockId,
     /// All blocks in the loop, including the header.
-    pub body: HashSet<BlockId>,
+    pub body: FxHashSet<BlockId>,
     /// The back edges `(latch, header)` defining this loop.
     pub back_edges: Vec<(BlockId, BlockId)>,
     /// Index of the enclosing loop in the forest, if nested.
@@ -48,7 +48,7 @@ impl Loop {
 pub struct LoopForest {
     /// The loops, outer loops before inner loops of the same header chain.
     pub loops: Vec<Loop>,
-    header_index: HashMap<BlockId, usize>,
+    header_index: FxHashMap<BlockId, usize>,
 }
 
 impl LoopForest {
@@ -72,11 +72,11 @@ impl LoopForest {
 
         // 2. natural loop of each back edge; merge by header
         let preds = crate::cfg::predecessors(f);
-        let mut by_header: HashMap<BlockId, Loop> = HashMap::new();
+        let mut by_header: FxHashMap<BlockId, Loop> = FxHashMap::default();
         for &(latch, header) in &back_edges {
             let entry = by_header.entry(header).or_insert_with(|| Loop {
                 header,
-                body: HashSet::from([header]),
+                body: [header].into_iter().collect(),
                 back_edges: Vec::new(),
                 parent: None,
             });

@@ -101,11 +101,11 @@ proptest! {
             for r in lv.register_reads(b) {
                 prop_assert!(lv.live_in(b).contains(&r));
             }
-            let mut union = std::collections::HashSet::new();
+            let mut union = chf_ir::fxhash::FxHashSet::default();
             for s in blk.successors() {
-                union.extend(lv.live_in(s).iter().copied());
+                union.extend(lv.live_in(s).iter());
             }
-            prop_assert_eq!(lv.live_out(b), &union, "live-out of {} mismatch", b);
+            prop_assert_eq!(lv.live_out(b).to_set(), union, "live-out of {} mismatch", b);
         }
     }
 

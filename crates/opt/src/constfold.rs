@@ -215,6 +215,21 @@ fn simplify_booleans(blk: &mut chf_ir::block::Block) -> bool {
     changed
 }
 
+/// Run constant folding and boolean simplification over a single block.
+/// Block-scoped entry point for the trial optimizer of convergent
+/// formation, which only needs the merged block cleaned up.
+pub fn fold_block(blk: &mut chf_ir::block::Block) -> bool {
+    let mut changed = false;
+    for inst in &mut blk.insts {
+        if let Some(new) = simplify(inst) {
+            *inst = new;
+            changed = true;
+        }
+    }
+    changed |= simplify_booleans(blk);
+    changed
+}
+
 impl Pass for ConstFold {
     fn name(&self) -> &'static str {
         "constfold"
@@ -224,13 +239,7 @@ impl Pass for ConstFold {
         let mut changed = false;
         let ids: Vec<_> = f.block_ids().collect();
         for b in ids {
-            for inst in &mut f.block_mut(b).insts {
-                if let Some(new) = simplify(inst) {
-                    *inst = new;
-                    changed = true;
-                }
-            }
-            changed |= simplify_booleans(f.block_mut(b));
+            changed |= fold_block(f.block_mut(b));
         }
         changed
     }

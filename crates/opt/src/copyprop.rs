@@ -10,7 +10,7 @@ use crate::Pass;
 use chf_ir::function::Function;
 use chf_ir::ids::Reg;
 use chf_ir::instr::{Opcode, Operand, Pred};
-use std::collections::HashMap;
+use chf_ir::fxhash::FxHashMap;
 
 #[derive(Copy, Clone, Debug)]
 struct CopyInfo {
@@ -29,7 +29,7 @@ fn usable(info: &CopyInfo, use_pred: Option<Pred>) -> bool {
     }
 }
 
-fn invalidate(copies: &mut HashMap<Reg, CopyInfo>, defined: Reg) {
+fn invalidate(copies: &mut FxHashMap<Reg, CopyInfo>, defined: Reg) {
     copies.retain(|dst, info| {
         *dst != defined
             && info.src != Operand::Reg(defined)
@@ -37,8 +37,10 @@ fn invalidate(copies: &mut HashMap<Reg, CopyInfo>, defined: Reg) {
     });
 }
 
-fn run_block(blk: &mut chf_ir::block::Block) -> bool {
-    let mut copies: HashMap<Reg, CopyInfo> = HashMap::new();
+/// Run copy propagation over one block (the block-scoped entry point used
+/// by formation's trial optimizer — the pass is intra-block anyway).
+pub fn propagate_block(blk: &mut chf_ir::block::Block) -> bool {
+    let mut copies: FxHashMap<Reg, CopyInfo> = FxHashMap::default();
     let mut changed = false;
 
     for inst in &mut blk.insts {
@@ -123,7 +125,7 @@ impl Pass for CopyProp {
         let mut changed = false;
         let ids: Vec<_> = f.block_ids().collect();
         for b in ids {
-            changed |= run_block(f.block_mut(b));
+            changed |= propagate_block(f.block_mut(b));
         }
         changed
     }

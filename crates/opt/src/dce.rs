@@ -9,12 +9,74 @@ use crate::Pass;
 use chf_ir::block::ExitTarget;
 use chf_ir::function::Function;
 use chf_ir::ids::Reg;
+use chf_ir::fxhash::FxHashSet;
 use chf_ir::liveness::Liveness;
-use std::collections::HashSet;
 
 /// The dead-code-elimination pass.
 #[derive(Debug, Default)]
 pub struct Dce;
+
+/// Remove dead instructions from block `b`, given `live`, the function-wide
+/// liveness solution. Mutates only `b`.
+fn sweep_block(f: &mut Function, b: chf_ir::ids::BlockId, live: &Liveness) -> bool {
+    // Live set at the end of the instruction list: successors'
+    // needs plus this block's own exit uses.
+    let mut alive: FxHashSet<Reg> = live.live_out(b).to_set();
+    let mut changed = false;
+    let blk = f.block_mut(b);
+    for e in &blk.exits {
+        if let Some(p) = e.pred {
+            alive.insert(p.reg);
+        }
+        if let ExitTarget::Return(Some(op)) = e.target {
+            if let Some(r) = op.as_reg() {
+                alive.insert(r);
+            }
+        }
+    }
+
+    // Backward sweep.
+    let mut keep = vec![true; blk.insts.len()];
+    for (i, inst) in blk.insts.iter().enumerate().rev() {
+        if inst.has_side_effect() {
+            for u in inst.uses() {
+                alive.insert(u);
+            }
+            continue;
+        }
+        let d = inst.def().expect("non-store ops define a register");
+        if !alive.contains(&d) {
+            keep[i] = false;
+            changed = true;
+            continue;
+        }
+        if inst.pred.is_none() {
+            alive.remove(&d);
+        }
+        for u in inst.uses() {
+            alive.insert(u);
+        }
+    }
+
+    if keep.iter().any(|k| !k) {
+        let mut idx = 0;
+        blk.insts.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+    }
+    changed
+}
+
+/// Run dead-code elimination on a single block, using a fresh function-wide
+/// liveness solution (dataflow must stay global — the block's `live_out`
+/// depends on its successors). Block-scoped entry point for formation's
+/// trial optimizer; mutates only `b`.
+pub fn eliminate_in_block(f: &mut Function, b: chf_ir::ids::BlockId) -> bool {
+    let live = Liveness::compute(f);
+    sweep_block(f, b, &live)
+}
 
 impl Pass for Dce {
     fn name(&self) -> &'static str {
@@ -26,52 +88,7 @@ impl Pass for Dce {
         let mut changed = false;
         let ids: Vec<_> = f.block_ids().collect();
         for b in ids {
-            // Live set at the end of the instruction list: successors'
-            // needs plus this block's own exit uses.
-            let mut alive: HashSet<Reg> = live.live_out(b).clone();
-            let blk = f.block_mut(b);
-            for e in &blk.exits {
-                if let Some(p) = e.pred {
-                    alive.insert(p.reg);
-                }
-                if let ExitTarget::Return(Some(op)) = e.target {
-                    if let Some(r) = op.as_reg() {
-                        alive.insert(r);
-                    }
-                }
-            }
-
-            // Backward sweep.
-            let mut keep = vec![true; blk.insts.len()];
-            for (i, inst) in blk.insts.iter().enumerate().rev() {
-                if inst.has_side_effect() {
-                    for u in inst.uses() {
-                        alive.insert(u);
-                    }
-                    continue;
-                }
-                let d = inst.def().expect("non-store ops define a register");
-                if !alive.contains(&d) {
-                    keep[i] = false;
-                    changed = true;
-                    continue;
-                }
-                if inst.pred.is_none() {
-                    alive.remove(&d);
-                }
-                for u in inst.uses() {
-                    alive.insert(u);
-                }
-            }
-
-            if keep.iter().any(|k| !k) {
-                let mut idx = 0;
-                blk.insts.retain(|_| {
-                    let k = keep[idx];
-                    idx += 1;
-                    k
-                });
-            }
+            changed |= sweep_block(f, b, &live);
         }
         changed
     }

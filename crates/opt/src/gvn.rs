@@ -23,7 +23,7 @@ use chf_ir::function::Function;
 use chf_ir::ids::{BlockId, Reg};
 use chf_ir::instr::{Instr, Opcode, Operand, Pred};
 use chf_ir::loops::LoopForest;
-use std::collections::HashMap;
+use chf_ir::fxhash::{FxHashMap, FxHashSet};
 
 /// The value-numbering pass.
 #[derive(Debug, Default)]
@@ -54,8 +54,8 @@ struct ExprKey {
 }
 
 struct LocalVn {
-    reg_vn: HashMap<Reg, Vn>,
-    exprs: HashMap<ExprKey, (Reg, Vn)>,
+    reg_vn: FxHashMap<Reg, Vn>,
+    exprs: FxHashMap<ExprKey, (Reg, Vn)>,
     next_id: u32,
     epoch: u64,
 }
@@ -63,8 +63,8 @@ struct LocalVn {
 impl LocalVn {
     fn new() -> Self {
         LocalVn {
-            reg_vn: HashMap::new(),
-            exprs: HashMap::new(),
+            reg_vn: FxHashMap::default(),
+            exprs: FxHashMap::default(),
             next_id: 0,
             epoch: 0,
         }
@@ -117,7 +117,9 @@ fn normalize(op: Opcode, a: Vn, b: Option<Vn>) -> (Vn, Option<Vn>) {
     (a, b)
 }
 
-fn run_local(blk: &mut Block) -> bool {
+/// Run local value numbering over one block (the block-scoped entry point
+/// used by formation's trial optimizer).
+pub fn value_number_block(blk: &mut Block) -> bool {
     let mut vn = LocalVn::new();
     let mut changed = false;
 
@@ -204,8 +206,8 @@ fn run_local(blk: &mut Block) -> bool {
 /// Registers whose value is fixed for the whole execution: never-redefined
 /// parameters, and single-def unpredicated non-memory defs outside all loops
 /// whose operands are themselves invariant.
-fn invariant_regs(f: &Function, forest: &LoopForest) -> std::collections::HashSet<Reg> {
-    let mut def_count: HashMap<Reg, u32> = HashMap::new();
+fn invariant_regs(f: &Function, forest: &LoopForest) -> FxHashSet<Reg> {
+    let mut def_count: FxHashMap<Reg, u32> = FxHashMap::default();
     for (_, blk) in f.blocks() {
         for inst in &blk.insts {
             if let Some(d) = inst.def() {
@@ -219,7 +221,7 @@ fn invariant_regs(f: &Function, forest: &LoopForest) -> std::collections::HashSe
         *def_count.entry(Reg(p)).or_insert(0) += 1;
     }
 
-    let mut invariant: std::collections::HashSet<Reg> = (0..f.params)
+    let mut invariant: FxHashSet<Reg> = (0..f.params)
         .map(Reg)
         .filter(|r| def_count.get(r) == Some(&1))
         .collect();
@@ -253,6 +255,14 @@ fn invariant_regs(f: &Function, forest: &LoopForest) -> std::collections::HashSe
 
 /// Dominator-scoped GVN over invariant expressions.
 fn run_global(f: &mut Function) -> bool {
+    run_global_scoped(f, None)
+}
+
+/// [`run_global`] restricted to rewrites *landing in* `scope` (when given):
+/// the dominator/invariant analyses still look at the whole function, but
+/// only instructions of the scoped block are rewritten. This is what the
+/// block-scoped trial optimizer needs — global facts, local edits.
+pub fn run_global_scoped(f: &mut Function, scope: Option<BlockId>) -> bool {
     let dom = DomTree::compute(f);
     let forest = LoopForest::compute(f, &dom);
     let invariant = invariant_regs(f, &forest);
@@ -264,7 +274,7 @@ fn run_global(f: &mut Function) -> bool {
     // Collect invariant expressions keyed syntactically.
     #[derive(PartialEq, Eq, Hash)]
     struct Key(Opcode, Operand, Option<Operand>);
-    let mut table: HashMap<Key, (BlockId, usize, Reg)> = HashMap::new();
+    let mut table: FxHashMap<Key, (BlockId, usize, Reg)> = FxHashMap::default();
     let mut rewrites: Vec<(BlockId, usize, Reg)> = Vec::new();
 
     let order = dom.rpo();
@@ -283,7 +293,7 @@ fn run_global(f: &mut Function) -> bool {
             let key = Key(inst.op, inst.a.expect("operand"), inst.b);
             match table.get(&key) {
                 Some(&(pb, pi, pr)) if dom.strictly_dominates(pb, b) || (pb == b && pi < i) => {
-                    if pr != d {
+                    if pr != d && scope.map(|s| s == b).unwrap_or(true) {
                         rewrites.push((b, i, pr));
                     }
                 }
@@ -312,7 +322,7 @@ impl Pass for Gvn {
         let mut changed = false;
         let ids: Vec<_> = f.block_ids().collect();
         for b in ids {
-            changed |= run_local(f.block_mut(b));
+            changed |= value_number_block(f.block_mut(b));
         }
         changed |= run_global(f);
         changed

@@ -27,6 +27,51 @@ fn forward_target(f: &Function, b: BlockId) -> Option<BlockId> {
     }
 }
 
+/// Thread the exits of block `b` past empty forwarding blocks, mutating only
+/// `b` itself. Block-scoped entry point for formation's trial optimizer: the
+/// forwarders are left in place (they may still have other predecessors, and
+/// the trial must not mutate blocks outside its snapshot).
+pub fn thread_block_exits(f: &mut Function, b: BlockId) -> bool {
+    let targets: Vec<BlockId> = f
+        .block(b)
+        .exits
+        .iter()
+        .filter_map(|e| e.target.block())
+        .collect();
+    let mut resolved: chf_ir::fxhash::FxHashMap<BlockId, BlockId> =
+        chf_ir::fxhash::FxHashMap::default();
+    for t in targets {
+        if resolved.contains_key(&t) {
+            continue;
+        }
+        let mut seen = vec![t];
+        let mut cur = t;
+        while let Some(n) = forward_target(f, cur) {
+            if seen.contains(&n) {
+                break; // cycle of empty blocks
+            }
+            seen.push(n);
+            cur = n;
+        }
+        if cur != t && forward_target(f, t).is_some() {
+            resolved.insert(t, cur);
+        }
+    }
+    if resolved.is_empty() {
+        return false;
+    }
+    let mut changed = false;
+    for e in &mut f.block_mut(b).exits {
+        if let ExitTarget::Block(t) = e.target {
+            if let Some(&dst) = resolved.get(&t) {
+                e.target = ExitTarget::Block(dst);
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
 impl Pass for JumpThread {
     fn name(&self) -> &'static str {
         "jumpthread"
@@ -37,8 +82,8 @@ impl Pass for JumpThread {
         // Resolve forwarding chains (with a visited set so a cycle of empty
         // blocks does not loop forever).
         let ids: Vec<BlockId> = f.block_ids().collect();
-        let mut resolved: std::collections::HashMap<BlockId, BlockId> =
-            std::collections::HashMap::new();
+        let mut resolved: chf_ir::fxhash::FxHashMap<BlockId, BlockId> =
+            chf_ir::fxhash::FxHashMap::default();
         for &b in &ids {
             let mut seen = vec![b];
             let mut cur = b;

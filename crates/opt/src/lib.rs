@@ -117,6 +117,52 @@ pub fn optimize_quick(f: &mut Function) {
     PassManager::standard().with_max_rounds(2).run(f);
 }
 
+/// Block-scoped counterpart of [`optimize_quick`]: two rounds of the
+/// standard pipeline restricted to block `b`. Analyses that must be global
+/// to stay sound (liveness for DCE, dominators/invariants for global GVN)
+/// are still computed over the whole function, but **only `b` is mutated**.
+///
+/// This is the trial optimizer of convergent formation's in-place
+/// trial/commit path: a merge trial optimizes just the merged block to
+/// decide whether it fits the structural constraints, and the decision must
+/// not disturb any block outside the trial's snapshot (rollback restores
+/// only the snapshot). The whole-function [`optimize_quick`] then runs once
+/// per *committed* merge, not once per trial.
+pub fn optimize_block_quick(f: &mut Function, b: chf_ir::ids::BlockId) {
+    // Purely local rounds first (no whole-function analyses), then one
+    // global round: scoped global value numbering, exit threading, and
+    // liveness-based DCE, followed by a final local cleanup of whatever
+    // the global round exposed. This mirrors what two full pipeline rounds
+    // achieve on the merged block while computing the expensive global
+    // analyses (dominators, loop forest, liveness) once instead of twice.
+    let local = |f: &mut Function| {
+        let mut changed = false;
+        changed |= constfold::fold_block(f.block_mut(b));
+        changed |= strength::reduce_block(f.block_mut(b));
+        changed |= copyprop::propagate_block(f.block_mut(b));
+        changed |= gvn::value_number_block(f.block_mut(b));
+        changed |= predopt::optimize_block(f.block_mut(b));
+        changed
+    };
+    for _ in 0..2 {
+        if !local(f) {
+            break;
+        }
+    }
+    let mut changed = false;
+    changed |= gvn::run_global_scoped(f, Some(b));
+    changed |= jumpthread::thread_block_exits(f, b);
+    changed |= dce::eliminate_in_block(f, b);
+    if changed {
+        local(f);
+        dce::eliminate_in_block(f, b);
+    }
+    debug_assert!(
+        chf_ir::verify::verify(f).is_ok(),
+        "block-scoped optimization broke the IR:\n{f}"
+    );
+}
+
 #[cfg(test)]
 pub(crate) mod testutil {
     use chf_ir::function::Function;

@@ -21,7 +21,7 @@ use chf_ir::block::Block;
 use chf_ir::function::Function;
 use chf_ir::ids::Reg;
 use chf_ir::instr::{Instr, Opcode, Operand};
-use std::collections::HashMap;
+use chf_ir::fxhash::FxHashMap;
 
 /// The predicate-optimization pass.
 #[derive(Debug, Default)]
@@ -90,7 +90,7 @@ fn merge_complementary(blk: &mut Block) -> bool {
 /// Constant values of registers at each point, from unpredicated
 /// `mov reg, #imm` instructions (invalidated on redefinition).
 fn fold_predicates(blk: &mut Block) -> bool {
-    let mut consts: HashMap<Reg, i64> = HashMap::new();
+    let mut consts: FxHashMap<Reg, i64> = FxHashMap::default();
     let mut changed = false;
     let mut keep: Vec<bool> = Vec::with_capacity(blk.insts.len());
 
@@ -165,6 +165,19 @@ fn fold_predicates(blk: &mut Block) -> bool {
     changed
 }
 
+/// Run the predicate optimizations over one block: complementary-instruction
+/// merging, predicate constant folding, and exit deduplication. Block-scoped
+/// entry point for formation's trial optimizer; unlike the [`Pass`], it does
+/// *not* remove blocks that become unreachable (the trial must not mutate
+/// blocks outside its snapshot).
+pub fn optimize_block(blk: &mut Block) -> bool {
+    let mut changed = false;
+    changed |= merge_complementary(blk);
+    changed |= fold_predicates(blk);
+    changed |= blk.dedupe_exits();
+    changed
+}
+
 impl Pass for PredOpt {
     fn name(&self) -> &'static str {
         "predopt"
@@ -174,10 +187,7 @@ impl Pass for PredOpt {
         let mut changed = false;
         let ids: Vec<_> = f.block_ids().collect();
         for b in ids {
-            let blk = f.block_mut(b);
-            changed |= merge_complementary(blk);
-            changed |= fold_predicates(blk);
-            changed |= blk.dedupe_exits();
+            changed |= optimize_block(f.block_mut(b));
         }
         if changed {
             chf_ir::cfg::remove_unreachable(f);

@@ -31,12 +31,15 @@ fn power_of_two(v: i64) -> Option<u32> {
     }
 }
 
+/// Run strength reduction over one block (the block-scoped entry point used
+/// by formation's trial optimizer).
+///
 /// Per-block tracking of registers that provably hold non-negative values:
 /// comparison results (0/1), `and` with a non-negative immediate, shifts of
 /// non-negative values, and copies/additions of non-negative values with
 /// small enough magnitude to not overflow (we only accept compare outputs,
 /// masks, and unsigned-style counters built from them — conservative).
-fn run_block(blk: &mut Block) -> bool {
+pub fn reduce_block(blk: &mut Block) -> bool {
     let mut non_negative: HashSet<Reg> = HashSet::new();
     let mut changed = false;
 
@@ -121,7 +124,7 @@ impl Pass for Strength {
         let mut changed = false;
         let ids: Vec<_> = f.block_ids().collect();
         for b in ids {
-            changed |= run_block(f.block_mut(b));
+            changed |= reduce_block(f.block_mut(b));
         }
         changed
     }

@@ -23,7 +23,7 @@ use chf_ir::ids::{BlockId, Reg};
 use chf_ir::instr::{Instr, Opcode, Operand};
 use chf_ir::loops::LoopForest;
 use chf_ir::profile::ProfileData;
-use std::collections::HashMap;
+use chf_ir::fxhash::FxHashMap;
 use std::fmt;
 
 /// Configuration for a functional run.
@@ -106,7 +106,7 @@ pub struct FuncResult {
     /// exits (branch slots).
     pub insts_fetched: u64,
     /// Final memory image (sparse).
-    pub memory: HashMap<i64, i64>,
+    pub memory: FxHashMap<i64, i64>,
     /// Profile gathered during the run.
     pub profile: ProfileData,
 }
@@ -166,7 +166,7 @@ fn eval(op: Opcode, a: i64, b: i64) -> i64 {
 pub(crate) struct Machine {
     pub(crate) regs: Vec<i64>,
     written: Vec<bool>,
-    pub(crate) mem: HashMap<i64, i64>,
+    pub(crate) mem: FxHashMap<i64, i64>,
 }
 
 impl Machine {
@@ -211,14 +211,14 @@ impl Machine {
 struct TripTracker {
     forest: LoopForest,
     /// `loop index → current consecutive iteration count`, absent = inactive.
-    active: HashMap<usize, u64>,
+    active: FxHashMap<usize, u64>,
 }
 
 impl TripTracker {
     fn new(f: &Function) -> TripTracker {
         TripTracker {
             forest: LoopForest::of(f),
-            active: HashMap::new(),
+            active: FxHashMap::default(),
         }
     }
 

@@ -11,7 +11,7 @@
 use chf_ir::block::ExitTarget;
 use chf_ir::ids::BlockId;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use chf_ir::fxhash::FxHashMap;
 use std::hash::{Hash, Hasher};
 
 /// Which prediction scheme to model.
@@ -68,7 +68,7 @@ struct Entry {
 #[derive(Clone, Debug)]
 pub struct ExitPredictor {
     kind: PredictorKind,
-    table: HashMap<(BlockId, u64), Entry>,
+    table: FxHashMap<(BlockId, u64), Entry>,
     history: u64,
     history_mask: u64,
     max_confidence: u8,
@@ -85,7 +85,7 @@ impl ExitPredictor {
         };
         ExitPredictor {
             kind: config.kind,
-            table: HashMap::new(),
+            table: FxHashMap::default(),
             history: 0,
             history_mask: (1u64 << bits) - 1,
             max_confidence: config.max_confidence,

@@ -31,7 +31,8 @@ use crate::predictor::{ExitPredictor, PredictorConfig};
 use chf_ir::block::ExitTarget;
 use chf_ir::function::Function;
 use chf_ir::instr::{Opcode, Operand};
-use std::collections::{HashMap, VecDeque};
+use chf_ir::fxhash::FxHashMap;
+use std::collections::VecDeque;
 
 /// How the load-store queue orders memory operations within a block.
 ///
@@ -126,7 +127,7 @@ pub struct TimingResult {
     pub ret: Option<i64>,
     /// Final memory image, for equivalence checking against the functional
     /// simulator.
-    pub memory: HashMap<i64, i64>,
+    pub memory: FxHashMap<i64, i64>,
 }
 
 impl TimingResult {
@@ -155,7 +156,7 @@ impl TimingResult {
 
 /// Tracks issue-slot occupancy per cycle, pruned as time advances.
 struct IssueSlots {
-    used: HashMap<u64, u32>,
+    used: FxHashMap<u64, u32>,
     width: u32,
     prune_floor: u64,
 }
@@ -163,7 +164,7 @@ struct IssueSlots {
 impl IssueSlots {
     fn new(width: u32) -> Self {
         IssueSlots {
-            used: HashMap::new(),
+            used: FxHashMap::default(),
             width,
             prune_floor: 0,
         }

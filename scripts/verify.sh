@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Repo verification gate: build, full test suite, and the performance
+# regression check.
+#
+#   scripts/verify.sh
+#
+# The perf check (`bench_perf --check`) asserts the end-to-end Table 1
+# regeneration stays under a generous wall-time ceiling (default 160 ms;
+# override with CHF_BENCH_CEILING_MS for slower machines) and that the
+# parallel harness produces byte-identical output to the sequential path.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> bench_perf --check"
+cargo run --release -p chf-bench --bin bench_perf -- --check
+
+echo "verify.sh: all checks passed"

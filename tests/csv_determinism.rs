@@ -1,0 +1,61 @@
+//! Determinism guard: regenerating every archived CSV through the parallel
+//! evaluation harness must reproduce the committed `results/` files byte
+//! for byte.
+//!
+//! This pins three properties at once:
+//!
+//! 1. the compiler is deterministic (no hash-iteration or thread-scheduling
+//!    order leaks into decisions);
+//! 2. the parallel harness reassembles results in suite order, so worker
+//!    count cannot change the output;
+//! 3. performance work on the formation path does not silently change the
+//!    *results* of formation — the committed tables stay the source of
+//!    truth.
+//!
+//! If a deliberate algorithmic change moves the numbers, regenerate the
+//! archives with `cargo run --release -p chf-bench --bin summary` and commit
+//! the new CSVs alongside the change.
+
+use chf_bench::{csv, fig7, table1, table2, table3};
+
+fn committed(name: &str) -> String {
+    let path = format!("{}/results/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+/// Regenerate Table 1 (and its derived Figure 7) with several worker counts
+/// and diff against the committed archives.
+#[test]
+fn table1_and_fig7_csvs_are_reproducible() {
+    let expected_t1 = committed("table1.csv");
+    let expected_f7 = committed("fig7.csv");
+    for workers in [1, 4] {
+        let rows = table1::run_with(workers);
+        assert_eq!(
+            csv::table1_csv(&rows),
+            expected_t1,
+            "table1.csv drifted (workers={workers})"
+        );
+        let pts = fig7::points(&rows);
+        let fit = fig7::linear_fit(&pts);
+        assert_eq!(
+            csv::fig7_csv(&pts, &fit),
+            expected_f7,
+            "fig7.csv drifted (workers={workers})"
+        );
+    }
+}
+
+/// Regenerate Table 2 through the parallel harness and diff.
+#[test]
+fn table2_csv_is_reproducible() {
+    let rows = table2::run_with(4);
+    assert_eq!(csv::table2_csv(&rows), committed("table2.csv"));
+}
+
+/// Regenerate Table 3 through the parallel harness and diff.
+#[test]
+fn table3_csv_is_reproducible() {
+    let rows = table3::run_with(4);
+    assert_eq!(csv::table3_csv(&rows), committed("table3.csv"));
+}

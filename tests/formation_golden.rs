@@ -1,0 +1,91 @@
+//! Golden-snapshot guard for convergent formation.
+//!
+//! The trial/commit machinery in `chf_core::convergent` is performance
+//! critical and was rewritten from whole-function-clone trials to
+//! block-scoped snapshot/rollback trials. This test pins the *observable
+//! formation trajectory* — the paper's `m/t/u/p` static transformation
+//! counts (plus rejected-trial counts) and the final block count of every
+//! compiled function — on the 24-microbenchmark suite across all five phase
+//! orderings. Any behavioural drift in the incremental path shows up as a
+//! diff against `tests/golden/formation_stats.txt`, which was captured from
+//! the original scratch-space (clone-per-trial) implementation.
+//!
+//! To re-bless after an *intentional* formation change:
+//!
+//! ```sh
+//! CHF_BLESS=1 cargo test --test formation_golden
+//! ```
+
+use chf_core::pipeline::{compile, CompileConfig, PhaseOrdering};
+use std::fmt::Write as _;
+
+const GOLDEN_PATH: &str = "tests/golden/formation_stats.txt";
+
+/// Render the full formation trajectory of the micro suite as stable text:
+/// one line per (benchmark, ordering) with m/t/u/p/failures and the final
+/// block count.
+fn snapshot() -> String {
+    let mut out = String::new();
+    out.push_str("# benchmark ordering m t u p failures blocks\n");
+    for w in chf_workloads::microbenchmarks() {
+        for ordering in [
+            PhaseOrdering::BasicBlocks,
+            PhaseOrdering::Upio,
+            PhaseOrdering::Iupo,
+            PhaseOrdering::IupThenO,
+            PhaseOrdering::Iupo_,
+        ] {
+            let c = compile(&w.function, &w.profile, &CompileConfig::with_ordering(ordering));
+            let s = c.stats;
+            writeln!(
+                out,
+                "{} {} {} {} {} {} {} {}",
+                w.name,
+                ordering.label(),
+                s.merges,
+                s.tail_dups,
+                s.unrolls,
+                s.peels,
+                s.failures,
+                c.function.block_count(),
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+#[test]
+fn formation_stats_match_golden() {
+    let actual = snapshot();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    if std::env::var_os("CHF_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("blessed {} ({} bytes)", path.display(), actual.len());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with CHF_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    if expected != actual {
+        // Produce a focused diff rather than two multi-kilobyte blobs.
+        let mut diff = String::new();
+        for (e, a) in expected.lines().zip(actual.lines()) {
+            if e != a {
+                let _ = writeln!(diff, "-{e}\n+{a}");
+            }
+        }
+        let (el, al) = (expected.lines().count(), actual.lines().count());
+        if el != al {
+            let _ = writeln!(diff, "line counts differ: expected {el}, actual {al}");
+        }
+        panic!(
+            "formation trajectory drifted from {GOLDEN_PATH} — the trial/commit \
+             path is no longer bit-identical to the golden capture:\n{diff}"
+        );
+    }
+}
