@@ -1,0 +1,36 @@
+//! Seeded fault-injection campaign over the formation pipeline.
+//!
+//! Generates random programs, injects one fault each (IR corruption,
+//! profile corruption, or a mid-trial corruption inside the merge window),
+//! runs convergent formation under the differential oracle, and requires
+//! every fault to be detected, rolled back, or survived — zero process
+//! aborts, zero undetected miscompiles.
+//!
+//! Usage: `chaos [N]` (default 500 faults).
+//! Environment: `CHF_FAULT_SEED` pins the campaign seed (default 1). Any
+//! oracle-mismatch reproducers are written to `results/repros/`.
+//! Exits non-zero if the campaign fails, for use as a CI gate.
+
+use std::path::PathBuf;
+
+fn main() {
+    let faults: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
+    let seed = chf_core::chaos::seed_from_env().unwrap_or(1);
+    let repro_dir = PathBuf::from("results/repros");
+
+    println!("chaos campaign: {faults} faults, seed {seed} (set CHF_FAULT_SEED to replay)");
+    let report = chf_core::chaos::campaign(seed, faults, Some(repro_dir));
+    println!("{report}");
+    for r in &report.repros {
+        println!("  repro: {}", r.display());
+    }
+    if report.ok() {
+        println!("PASS: no aborts, no undetected miscompiles");
+    } else {
+        println!("FAIL: re-run with CHF_FAULT_SEED={seed} chaos {faults}");
+        std::process::exit(1);
+    }
+}

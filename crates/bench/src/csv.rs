@@ -4,10 +4,22 @@
 use crate::{fig7, table1, table2, table3};
 use std::fmt::Write as _;
 
-/// Table 1 rows as CSV.
+/// The sentinel written in place of numbers for a poisoned row. Downstream
+/// consumers (plot scripts, spreadsheet imports) can filter on the first
+/// data column equalling this token.
+pub const POISONED_SENTINEL: &str = "POISONED";
+
+/// A failure message flattened to a single CSV-safe cell (no commas, no
+/// newlines).
+fn csv_safe(msg: &str) -> String {
+    msg.replace(['\n', '\r'], " ").replace(',', ";")
+}
+
+/// Table 1 rows as CSV. Poisoned rows become
+/// `name,POISONED,<message>` — a sentinel line, never fabricated zeros.
 pub fn table1_csv(rows: &[table1::Row]) -> String {
     let mut out = String::from("benchmark,bb_cycles,bb_blocks");
-    if let Some(first) = rows.first() {
+    if let Some(first) = rows.iter().find(|r| r.error.is_none()) {
         for c in &first.configs {
             let _ = write!(
                 out,
@@ -18,6 +30,10 @@ pub fn table1_csv(rows: &[table1::Row]) -> String {
     }
     out.push('\n');
     for r in rows {
+        if let Some(err) = &r.error {
+            let _ = writeln!(out, "{},{},{}", r.name, POISONED_SENTINEL, csv_safe(err));
+            continue;
+        }
         let _ = write!(out, "{},{},{}", r.name, r.bb_cycles, r.bb_blocks);
         for c in &r.configs {
             let _ = write!(
@@ -34,10 +50,10 @@ pub fn table1_csv(rows: &[table1::Row]) -> String {
     out
 }
 
-/// Table 2 rows as CSV.
+/// Table 2 rows as CSV (poisoned rows as in [`table1_csv`]).
 pub fn table2_csv(rows: &[table2::Row]) -> String {
     let mut out = String::from("benchmark,bb_cycles");
-    if let Some(first) = rows.first() {
+    if let Some(first) = rows.iter().find(|r| r.error.is_none()) {
         for (label, ..) in &first.results {
             let safe = label.replace(' ', "_");
             let _ = write!(out, ",{safe}_cycles,{safe}_improvement,{safe}_mispredict_rate");
@@ -45,6 +61,10 @@ pub fn table2_csv(rows: &[table2::Row]) -> String {
     }
     out.push('\n');
     for r in rows {
+        if let Some(err) = &r.error {
+            let _ = writeln!(out, "{},{},{}", r.name, POISONED_SENTINEL, csv_safe(err));
+            continue;
+        }
         let _ = write!(out, "{},{}", r.name, r.bb_cycles);
         for (_, cycles, improvement, mr) in &r.results {
             let _ = write!(out, ",{cycles},{improvement:.2},{mr:.4}");
@@ -54,10 +74,10 @@ pub fn table2_csv(rows: &[table2::Row]) -> String {
     out
 }
 
-/// Table 3 rows as CSV.
+/// Table 3 rows as CSV (poisoned rows as in [`table1_csv`]).
 pub fn table3_csv(rows: &[table3::Row]) -> String {
     let mut out = String::from("benchmark,bb_blocks");
-    if let Some(first) = rows.first() {
+    if let Some(first) = rows.iter().find(|r| r.error.is_none()) {
         for (label, ..) in &first.results {
             let safe = label.replace(['(', ')'], "");
             let _ = write!(out, ",{safe}_blocks,{safe}_improvement");
@@ -65,6 +85,10 @@ pub fn table3_csv(rows: &[table3::Row]) -> String {
     }
     out.push('\n');
     for r in rows {
+        if let Some(err) = &r.error {
+            let _ = writeln!(out, "{},{},{}", r.name, POISONED_SENTINEL, csv_safe(err));
+            continue;
+        }
         let _ = write!(out, "{},{}", r.name, r.bb_blocks);
         for (_, blocks, improvement) in &r.results {
             let _ = write!(out, ",{blocks},{improvement:.2}");

@@ -69,10 +69,12 @@ pub fn linear_fit(points: &[Point]) -> Fit {
     }
 }
 
-/// Extract Figure 7's scatter points from Table 1 rows.
+/// Extract Figure 7's scatter points from Table 1 rows. Poisoned rows
+/// (`error.is_some()`) contribute no points — a degraded benchmark must not
+/// drag the regression through the origin.
 pub fn points(rows: &[table1::Row]) -> Vec<Point> {
     let mut pts = Vec::new();
-    for r in rows {
+    for r in rows.iter().filter(|r| r.error.is_none()) {
         for c in &r.configs {
             pts.push(Point {
                 block_reduction: r.bb_blocks as f64 - c.blocks as f64,

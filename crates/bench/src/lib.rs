@@ -24,38 +24,82 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 
-use chf_core::pipeline::{compile, CompileConfig};
+use chf_core::pipeline::{try_compile, CompileConfig};
 use chf_sim::functional::{run, FuncResult, RunConfig};
 use chf_sim::timing::{simulate_timing, TimingConfig, TimingResult};
 use chf_workloads::Workload;
 
 /// Compile `w` under `config` and run the timing simulator, checking that
-/// observable behaviour is preserved.
+/// observable behaviour is preserved. Every failure mode — compilation
+/// error, simulation error, or a behaviour change — is reported as `Err`
+/// with a message naming the workload; nothing on this path panics, so the
+/// parallel harness can degrade a bad workload to a marked table row.
 ///
-/// # Panics
-/// Panics if compilation changes the program's observable behaviour — the
-/// harness refuses to report numbers from a miscompiled benchmark.
-pub fn compile_and_time(
+/// # Errors
+/// A descriptive message when compilation fails, simulation fails, or the
+/// compiled code's return value differs from the workload's expectation.
+pub fn try_compile_and_time(
     w: &Workload,
     config: &CompileConfig,
-) -> (TimingResult, chf_core::FormationStats) {
-    let compiled = compile(&w.function, &w.profile, config);
+) -> Result<(TimingResult, chf_core::FormationStats), String> {
+    let compiled = try_compile(&w.function, &w.profile, config)
+        .map_err(|e| format!("{}: compilation failed: {e}", w.name))?;
     let t = simulate_timing(
         &compiled.function,
         &w.args,
         &w.memory,
         &TimingConfig::trips(),
     )
-    .unwrap_or_else(|e| panic!("{}: timing simulation failed: {e}", w.name));
-    assert_eq!(
-        t.ret,
-        Some(w.expected),
-        "{}: compiled code returned {:?}, expected {}",
-        w.name,
-        t.ret,
-        w.expected
-    );
-    (t, compiled.stats)
+    .map_err(|e| format!("{}: timing simulation failed: {e}", w.name))?;
+    if t.ret != Some(w.expected) {
+        return Err(format!(
+            "{}: compiled code returned {:?}, expected {}",
+            w.name, t.ret, w.expected
+        ));
+    }
+    Ok((t, compiled.stats))
+}
+
+/// Compile `w` under `config` and run the timing simulator, checking that
+/// observable behaviour is preserved.
+///
+/// # Panics
+/// Panics if compilation changes the program's observable behaviour — the
+/// harness refuses to report numbers from a miscompiled benchmark. Harness
+/// code that must degrade gracefully uses [`try_compile_and_time`].
+pub fn compile_and_time(
+    w: &Workload,
+    config: &CompileConfig,
+) -> (TimingResult, chf_core::FormationStats) {
+    try_compile_and_time(w, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Compile `w` under `config` and run the functional simulator (block
+/// counts), checking behaviour. Fallible counterpart of
+/// [`compile_and_count`], mirroring [`try_compile_and_time`].
+///
+/// # Errors
+/// As [`try_compile_and_time`].
+pub fn try_compile_and_count(
+    w: &Workload,
+    config: &CompileConfig,
+) -> Result<(FuncResult, chf_core::FormationStats), String> {
+    let compiled = try_compile(&w.function, &w.profile, config)
+        .map_err(|e| format!("{}: compilation failed: {e}", w.name))?;
+    let r = run(
+        &compiled.function,
+        &w.args,
+        &w.memory,
+        &RunConfig::default(),
+    )
+    .map_err(|e| format!("{}: functional simulation failed: {e}", w.name))?;
+    if r.ret != Some(w.expected) {
+        return Err(format!(
+            "{}: compiled code returned {:?}, expected {}",
+            w.name, r.ret, w.expected
+        ));
+    }
+    Ok((r, compiled.stats))
 }
 
 /// Compile `w` under `config` and run the functional simulator (block
@@ -67,23 +111,7 @@ pub fn compile_and_count(
     w: &Workload,
     config: &CompileConfig,
 ) -> (FuncResult, chf_core::FormationStats) {
-    let compiled = compile(&w.function, &w.profile, config);
-    let r = run(
-        &compiled.function,
-        &w.args,
-        &w.memory,
-        &RunConfig::default(),
-    )
-    .unwrap_or_else(|e| panic!("{}: functional simulation failed: {e}", w.name));
-    assert_eq!(
-        r.ret,
-        Some(w.expected),
-        "{}: compiled code returned {:?}, expected {}",
-        w.name,
-        r.ret,
-        w.expected
-    );
-    (r, compiled.stats)
+    try_compile_and_count(w, config).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Percent improvement of `new` over `base` (positive = faster/fewer).

@@ -8,22 +8,52 @@
 //! channels), then reassembles results **in input order**, so the rendered
 //! tables and archived CSVs are byte-identical to a sequential run no matter
 //! how the scheduler interleaves the workers.
+//!
+//! # Panic isolation and retry
+//!
+//! A panic inside a `par_map` job unwinds its worker thread and poisons the
+//! whole run — one bad workload kills a table that took minutes to build.
+//! [`par_map_isolated`] prevents that: each job runs under
+//! `std::panic::catch_unwind`, and a panicked job is retried **once**
+//! (compilation and simulation are deterministic, so the retry is not
+//! wishful thinking about flakiness — it distinguishes an environmental
+//! failure, e.g. a transient allocation failure, from a deterministic bug;
+//! a job that panics twice is reported as poisoned). The returned
+//! `Result<R, String>` carries the panic payload's message so the caller
+//! can degrade to a marked table row / CSV sentinel instead of dying. Input
+//! order (and therefore byte-determinism of the rendered output for
+//! non-poisoned rows) is preserved exactly as with [`par_map`].
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Number of worker threads to use: the `CHF_JOBS` environment variable if
 /// set (a value of `1` forces sequential execution), else the machine's
-/// available parallelism.
+/// available parallelism. `CHF_JOBS` is clamped to
+/// `[1, available_parallelism]` — oversubscribing compile-and-simulate jobs
+/// only thrashes caches and, under cgroup CPU quotas, can stall the run.
 pub fn workers() -> usize {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if let Ok(v) = std::env::var("CHF_JOBS") {
         if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
+            return n.clamp(1, avail);
         }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    avail
+}
+
+/// Render a `catch_unwind` payload as a human-readable message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Map `work` over `items` on `workers` threads, returning results in input
@@ -69,6 +99,26 @@ where
     tagged.into_iter().map(|(_, r)| r).collect()
 }
 
+/// [`par_map`] with per-job panic isolation: a job that panics is retried
+/// once; a second panic yields `Err(message)` in that job's slot instead of
+/// tearing down the run. See the module docs for the retry rationale.
+pub fn par_map_isolated<T, R, F>(items: &[T], workers: usize, work: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map(items, workers, |item| {
+        match catch_unwind(AssertUnwindSafe(|| work(item))) {
+            Ok(r) => Ok(r),
+            Err(first) => match catch_unwind(AssertUnwindSafe(|| work(item))) {
+                Ok(r) => Ok(r),
+                Err(_) => Err(panic_message(first.as_ref())),
+            },
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +150,61 @@ mod tests {
     #[test]
     fn workers_is_at_least_one() {
         assert!(workers() >= 1);
+    }
+
+    /// Serializes the tests that swap the process-global panic hook.
+    static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn isolated_map_contains_panics() {
+        let _guard = HOOK_LOCK.lock().unwrap();
+        // Suppress the expected panic backtraces for this test only.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let items: Vec<i32> = (0..20).collect();
+        let out = par_map_isolated(&items, 4, |&i| {
+            assert!(i != 7 && i != 13, "poisoned item {i}");
+            i * 2
+        });
+        std::panic::set_hook(prev);
+        assert_eq!(out.len(), items.len());
+        for (i, r) in out.iter().enumerate() {
+            if i == 7 || i == 13 {
+                let msg = r.as_ref().unwrap_err();
+                assert!(msg.contains("poisoned item"), "unexpected message {msg:?}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), (i as i32) * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_map_matches_plain_map_when_clean() {
+        let items: Vec<u64> = (0..33).collect();
+        let plain = par_map(&items, 4, |&x| x + 1);
+        let isolated: Vec<u64> = par_map_isolated(&items, 4, |&x| x + 1)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(plain, isolated);
+    }
+
+    #[test]
+    fn isolated_retry_recovers_transient_failures() {
+        use std::collections::HashSet;
+        let _guard = HOOK_LOCK.lock().unwrap();
+        // Fail each item exactly once: the retry must recover every job.
+        let failed_once: Mutex<HashSet<i32>> = Mutex::new(HashSet::new());
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let items: Vec<i32> = (0..8).collect();
+        let out = par_map_isolated(&items, 2, |&i| {
+            if failed_once.lock().unwrap().insert(i) {
+                panic!("transient failure on {i}");
+            }
+            i
+        });
+        std::panic::set_hook(prev);
+        assert!(out.iter().all(|r| r.is_ok()), "{out:?}");
     }
 }

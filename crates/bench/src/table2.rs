@@ -3,7 +3,7 @@
 //! optimization), depth-first, and breadth-first.
 
 use crate::render::{pct, render_table};
-use crate::{compile_and_time, percent_improvement};
+use crate::{percent_improvement, try_compile_and_time};
 use chf_core::pipeline::{CompileConfig, PhaseOrdering};
 use chf_core::PolicyKind;
 use chf_workloads::{microbenchmarks, Workload};
@@ -33,27 +33,46 @@ pub struct Row {
     pub bb_cycles: u64,
     /// `(label, cycles, improvement %, misprediction rate)` per heuristic.
     pub results: Vec<(&'static str, u64, f64, f64)>,
+    /// Failure marker: see [`crate::table1::Row::error`].
+    pub error: Option<String>,
 }
 
-/// Measure one workload under every heuristic.
+impl Row {
+    /// A row marking a workload that failed to produce measurements.
+    pub fn poisoned(name: String, error: String) -> Self {
+        Row {
+            name,
+            bb_cycles: 0,
+            results: Vec::new(),
+            error: Some(error),
+        }
+    }
+}
+
+/// Measure one workload under every heuristic; any failure poisons the row.
 pub fn measure(w: &Workload) -> Row {
-    let (bb, _) = compile_and_time(w, &CompileConfig::with_ordering(PhaseOrdering::BasicBlocks));
-    let results = configurations()
-        .into_iter()
-        .map(|(label, config)| {
-            let (t, _) = compile_and_time(w, &config);
-            (
+    let bb = match try_compile_and_time(w, &CompileConfig::with_ordering(PhaseOrdering::BasicBlocks))
+    {
+        Ok((t, _)) => t,
+        Err(e) => return Row::poisoned(w.name.clone(), e),
+    };
+    let mut results = Vec::new();
+    for (label, config) in configurations() {
+        match try_compile_and_time(w, &config) {
+            Ok((t, _)) => results.push((
                 label,
                 t.cycles,
                 percent_improvement(bb.cycles, t.cycles),
                 t.misprediction_rate(),
-            )
-        })
-        .collect();
+            )),
+            Err(e) => return Row::poisoned(w.name.clone(), e),
+        }
+    }
     Row {
         name: w.name.clone(),
         bb_cycles: bb.cycles,
         results,
+        error: None,
     }
 }
 
@@ -64,32 +83,43 @@ pub fn run() -> Vec<Row> {
 }
 
 /// [`run`] with an explicit worker count (`1` forces the sequential path).
+/// Panic-isolated: see [`crate::table1::run_with`].
 pub fn run_with(workers: usize) -> Vec<Row> {
-    crate::parallel::par_map(&microbenchmarks(), workers, measure)
+    let suite = microbenchmarks();
+    crate::parallel::par_map_isolated(&suite, workers, measure)
+        .into_iter()
+        .zip(&suite)
+        .map(|(res, w)| res.unwrap_or_else(|msg| Row::poisoned(w.name.clone(), msg)))
+        .collect()
 }
 
 /// Render in the paper's format.
 pub fn render(rows: &[Row]) -> String {
     let mut header: Vec<String> = vec!["benchmark".into(), "BB cycles".into()];
-    if let Some(first) = rows.first() {
+    let healthy: Vec<&Row> = rows.iter().filter(|r| r.error.is_none()).collect();
+    if let Some(first) = healthy.first() {
         for (label, ..) in &first.results {
             header.push((*label).to_string());
         }
     }
     let mut body = Vec::new();
     for r in rows {
+        if let Some(err) = &r.error {
+            body.push(vec![r.name.clone(), format!("FAILED: {err}")]);
+            continue;
+        }
         let mut row = vec![r.name.clone(), r.bb_cycles.to_string()];
         for (_, _, improvement, _) in &r.results {
             row.push(pct(*improvement));
         }
         body.push(row);
     }
-    if !rows.is_empty() {
+    if let Some(first) = healthy.first() {
         let mut avg = vec!["Average".to_string(), String::new()];
-        let n = rows[0].results.len();
+        let n = first.results.len();
         for k in 0..n {
             let mean: f64 =
-                rows.iter().map(|r| r.results[k].2).sum::<f64>() / rows.len() as f64;
+                healthy.iter().map(|r| r.results[k].2).sum::<f64>() / healthy.len() as f64;
             avg.push(pct(mean));
         }
         body.push(avg);

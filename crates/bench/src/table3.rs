@@ -4,7 +4,7 @@
 //! "prohibitively slow", paper §7.3).
 
 use crate::render::{pct, render_table};
-use crate::{compile_and_count, percent_improvement};
+use crate::{percent_improvement, try_compile_and_count};
 use chf_core::pipeline::{CompileConfig, PhaseOrdering};
 use chf_workloads::{spec_suite, Workload};
 
@@ -17,26 +17,46 @@ pub struct Row {
     pub bb_blocks: u64,
     /// `(label, blocks, improvement %)` per ordering.
     pub results: Vec<(&'static str, u64, f64)>,
+    /// Failure marker: see [`crate::table1::Row::error`].
+    pub error: Option<String>,
 }
 
-/// Measure one composite across BB + the four orderings.
+impl Row {
+    /// A row marking a composite that failed to produce measurements.
+    pub fn poisoned(name: String, error: String) -> Self {
+        Row {
+            name,
+            bb_blocks: 0,
+            results: Vec::new(),
+            error: Some(error),
+        }
+    }
+}
+
+/// Measure one composite across BB + the four orderings; any failure
+/// poisons the row.
 pub fn measure(w: &Workload) -> Row {
-    let (bb, _) = compile_and_count(w, &CompileConfig::with_ordering(PhaseOrdering::BasicBlocks));
-    let results = PhaseOrdering::table1()
-        .into_iter()
-        .map(|ordering| {
-            let (r, _) = compile_and_count(w, &CompileConfig::with_ordering(ordering));
-            (
+    let bb =
+        match try_compile_and_count(w, &CompileConfig::with_ordering(PhaseOrdering::BasicBlocks)) {
+            Ok((r, _)) => r,
+            Err(e) => return Row::poisoned(w.name.clone(), e),
+        };
+    let mut results = Vec::new();
+    for ordering in PhaseOrdering::table1() {
+        match try_compile_and_count(w, &CompileConfig::with_ordering(ordering)) {
+            Ok((r, _)) => results.push((
                 ordering.label(),
                 r.blocks_executed,
                 percent_improvement(bb.blocks_executed, r.blocks_executed),
-            )
-        })
-        .collect();
+            )),
+            Err(e) => return Row::poisoned(w.name.clone(), e),
+        }
+    }
     Row {
         name: w.name.clone(),
         bb_blocks: bb.blocks_executed,
         results,
+        error: None,
     }
 }
 
@@ -47,32 +67,43 @@ pub fn run() -> Vec<Row> {
 }
 
 /// [`run`] with an explicit worker count (`1` forces the sequential path).
+/// Panic-isolated: see [`crate::table1::run_with`].
 pub fn run_with(workers: usize) -> Vec<Row> {
-    crate::parallel::par_map(&spec_suite(), workers, measure)
+    let suite = spec_suite();
+    crate::parallel::par_map_isolated(&suite, workers, measure)
+        .into_iter()
+        .zip(&suite)
+        .map(|(res, w)| res.unwrap_or_else(|msg| Row::poisoned(w.name.clone(), msg)))
+        .collect()
 }
 
 /// Render in the paper's format (`BB` in raw block counts, then percents).
 pub fn render(rows: &[Row]) -> String {
     let mut header: Vec<String> = vec!["benchmark".into(), "BB blocks".into()];
-    if let Some(first) = rows.first() {
+    let healthy: Vec<&Row> = rows.iter().filter(|r| r.error.is_none()).collect();
+    if let Some(first) = healthy.first() {
         for (label, ..) in &first.results {
             header.push((*label).to_string());
         }
     }
     let mut body = Vec::new();
     for r in rows {
+        if let Some(err) = &r.error {
+            body.push(vec![r.name.clone(), format!("FAILED: {err}")]);
+            continue;
+        }
         let mut row = vec![r.name.clone(), r.bb_blocks.to_string()];
         for (_, _, improvement) in &r.results {
             row.push(pct(*improvement));
         }
         body.push(row);
     }
-    if !rows.is_empty() {
+    if let Some(first) = healthy.first() {
         let mut avg = vec!["Average".to_string(), String::new()];
-        let n = rows[0].results.len();
+        let n = first.results.len();
         for k in 0..n {
             let mean: f64 =
-                rows.iter().map(|r| r.results[k].2).sum::<f64>() / rows.len() as f64;
+                healthy.iter().map(|r| r.results[k].2).sum::<f64>() / healthy.len() as f64;
             avg.push(pct(mean));
         }
         body.push(avg);

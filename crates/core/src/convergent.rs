@@ -20,9 +20,12 @@
 //! rolled-back trial leaves the CFG bit-identical, so the cache stays
 //! valid).
 
+use crate::chaos::{ChaosRng, ChaosSpec};
 use crate::constraints::BlockConstraints;
 use crate::duplication::{classify, duplicate_for_merge, DuplicationKind};
+use crate::error::ChfError;
 use crate::ifconvert::combine_with_liveness;
+use crate::oracle::OracleConfig;
 use crate::policy::{Candidate, Policy};
 use chf_ir::block::ExitTarget;
 use chf_ir::function::Function;
@@ -60,6 +63,25 @@ pub struct FormationConfig {
     pub max_tail_dup_size: usize,
     /// Safety cap on merges per seed block.
     pub max_merges_per_block: usize,
+    /// Verify the IR after every combine trial and *contain* a violation by
+    /// rolling the trial back and skipping the candidate (recorded in
+    /// [`FormationStats::skipped`]), instead of panicking via a
+    /// `debug_assert`. On by default: the verify is cheap relative to the
+    /// combine itself, and it turns a formation bug from a compiler abort
+    /// into a degraded (but correct) compilation.
+    pub verify_trials: bool,
+    /// Differential oracle: after each *committed* merge, re-execute the
+    /// function on seeded inputs against its pre-merge self and roll the
+    /// merge back on any behaviour change (see [`crate::oracle`]). `None`
+    /// disables the oracle (the default — it re-runs the functional
+    /// simulator per commit, so it is a debugging/hardening tool, not a
+    /// production setting).
+    pub oracle: Option<OracleConfig>,
+    /// Deterministic mid-trial fault injection (see [`crate::chaos`]):
+    /// periodically corrupts the merged block *inside* the trial window so
+    /// the verify-and-rollback path is exercised. Requires `verify_trials`;
+    /// `None` (the default) injects nothing.
+    pub chaos: Option<ChaosSpec>,
 }
 
 impl Default for FormationConfig {
@@ -73,6 +95,9 @@ impl Default for FormationConfig {
             speculation: true,
             max_tail_dup_size: 24,
             max_merges_per_block: 64,
+            verify_trials: true,
+            oracle: None,
+            chaos: None,
         }
     }
 }
@@ -90,6 +115,13 @@ pub struct FormationStats {
     pub peels: usize,
     /// Merge attempts rejected by the constraints or combine hazards.
     pub failures: usize,
+    /// Trials contained by the crash-safety net: a verifier violation or
+    /// oracle mismatch detected mid-formation, rolled back, and skipped
+    /// (see [`MergeOutcome::Skipped`]). Deliberately *not* part of
+    /// [`FormationStats::mtup`] — the paper's `m/t/u/p` column reports only
+    /// committed transformations, and the golden snapshots must stay
+    /// byte-identical when nothing is skipped.
+    pub skipped: usize,
 }
 
 impl FormationStats {
@@ -100,6 +132,7 @@ impl FormationStats {
         self.unrolls += other.unrolls;
         self.peels += other.peels;
         self.failures += other.failures;
+        self.skipped += other.skipped;
     }
 
     /// Render as the paper's `m/t/u/p` column.
@@ -112,7 +145,7 @@ impl FormationStats {
 }
 
 /// Outcome of one [`merge_blocks`] attempt.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum MergeOutcome {
     /// The merge was committed; the kind of duplication it used.
     Success(DuplicationKind),
@@ -121,6 +154,12 @@ pub enum MergeOutcome {
     Failure,
     /// The configuration forbids this kind of merge.
     Disallowed,
+    /// The crash-safety net fired: the trial produced IR the verifier
+    /// rejected (and was rolled back bit-identically), or the committed
+    /// merge failed the differential oracle (and was undone from the
+    /// pre-merge clone). Either way the function is semantically unchanged
+    /// and formation may continue with the remaining candidates.
+    Skipped(ChfError),
 }
 
 /// Per-run formation state: CFG analyses cached across merge trials.
@@ -136,6 +175,11 @@ struct FormationCtx {
     /// and put back only if the trial rolled back.
     liveness: Option<chf_ir::liveness::Liveness>,
     peel_budgets: chf_ir::fxhash::FxHashMap<BlockId, usize>,
+    /// Deterministic PRNG for mid-trial fault injection, seeded lazily from
+    /// [`FormationConfig::chaos`]. Lives in the context so a formation run
+    /// draws one reproducible fault sequence regardless of how trials are
+    /// batched.
+    chaos: Option<ChaosRng>,
 }
 
 impl FormationCtx {
@@ -144,7 +188,20 @@ impl FormationCtx {
             forest: None,
             liveness: None,
             peel_budgets: chf_ir::fxhash::FxHashMap::default(),
+            chaos: None,
         }
+    }
+
+    /// The fault-injection PRNG, created on first use from the spec's seed.
+    fn chaos_rng(&mut self, spec: ChaosSpec) -> &mut ChaosRng {
+        self.chaos.get_or_insert_with(|| ChaosRng::new(spec.seed))
+    }
+
+    /// Whether the next injection point fires: one fault per `spec.period`
+    /// trials on average, drawn deterministically from the seeded stream.
+    fn chaos_fire(&mut self, spec: ChaosSpec) -> bool {
+        let period = u64::from(spec.period.max(1));
+        self.chaos_rng(spec).next_u64().is_multiple_of(period)
     }
 
     /// The loop forest of the current CFG, computed at most once between
@@ -287,6 +344,11 @@ fn merge_blocks_in_ctx(
         _ => {}
     }
 
+    // Differential-oracle baseline: the pre-merge function, cloned only
+    // when the oracle is enabled (it is `None` in production configs, so
+    // the hot path never pays for the clone).
+    let oracle_orig = config.oracle.as_ref().map(|_| f.clone());
+
     // In-place trial: snapshot the touched blocks, transform, check, then
     // keep or roll back.
     let snap = f.snapshot_blocks([hb, s]);
@@ -321,7 +383,34 @@ fn merge_blocks_in_ctx(
     // exits to the join; collapsing them removes the dead branch and lets
     // the join itself become a single-predecessor merge candidate.
     f.block_mut(hb).dedupe_exits();
-    debug_assert!(chf_ir::verify::verify(f).is_ok(), "merge broke IR:\n{f}");
+    if config.verify_trials {
+        // Crash-safety net. The combine above is exactly the class of CFG
+        // surgery the verifier polices; a violation here is a compiler bug,
+        // but one we can *contain*: the snapshot is a complete undo record,
+        // so roll the trial back bit-identically and skip the candidate
+        // instead of aborting the whole compilation.
+        //
+        // Fault-injection hook: with `config.chaos` set, periodically
+        // corrupt the merged block inside the trial window — every injected
+        // fault must be caught right here and survived via rollback, which
+        // is what `chaos::campaign` asserts.
+        if let Some(spec) = config.chaos {
+            if ctx.chaos_fire(spec) {
+                let rng = ctx.chaos_rng(spec);
+                crate::chaos::corrupt_trial_block(f, hb, rng);
+            }
+        }
+        if let Err(error) = chf_ir::verify::verify(f) {
+            f.restore_blocks(snap);
+            ctx.liveness = cached_lv.take().or(ctx.liveness.take());
+            return MergeOutcome::Skipped(ChfError::Verify {
+                context: "merge trial",
+                error,
+            });
+        }
+    } else {
+        debug_assert!(chf_ir::verify::verify(f).is_ok(), "merge broke IR:\n{f}");
+    }
     if config.iterative_opt {
         // Decide on the *scoped* optimization of the merged block: same
         // scalar pipeline, same two-round budget, but only `hb` is mutated
@@ -345,7 +434,7 @@ fn merge_blocks_in_ctx(
             // already committed; report failure so expansion stops here.
             return MergeOutcome::Failure;
         }
-        return MergeOutcome::Success(kind);
+        return commit_with_oracle(f, hb, s, config, oracle_orig, ctx, kind);
     }
     if config.constraints.check(f, hb).is_err() {
         f.restore_blocks(snap);
@@ -353,6 +442,29 @@ fn merge_blocks_in_ctx(
         return MergeOutcome::Failure;
     }
     ctx.invalidate();
+    commit_with_oracle(f, hb, s, config, oracle_orig, ctx, kind)
+}
+
+/// Shared tail of the two commit paths: run the differential oracle (when
+/// configured) against the pre-merge clone, undoing the commit on a
+/// mismatch.
+fn commit_with_oracle(
+    f: &mut Function,
+    hb: BlockId,
+    s: BlockId,
+    config: &FormationConfig,
+    oracle_orig: Option<Function>,
+    ctx: &mut FormationCtx,
+    kind: DuplicationKind,
+) -> MergeOutcome {
+    if let Some(orig) = oracle_orig {
+        if let Err(e) = crate::oracle::post_commit_check(f, hb, s, config, &orig) {
+            // `post_commit_check` restored `f` from the pre-merge clone, so
+            // the CFG shape changed again — drop the analysis caches.
+            ctx.invalidate();
+            return MergeOutcome::Skipped(e);
+        }
+    }
     MergeOutcome::Success(kind)
 }
 
@@ -584,6 +696,14 @@ fn expand_block_inner(
                 failed.push(cand.block);
             }
             MergeOutcome::Disallowed => {
+                failed.push(cand.block);
+            }
+            MergeOutcome::Skipped(_) => {
+                // The safety net contained a verifier violation or oracle
+                // mismatch and left the function semantically intact; the
+                // candidate is poisoned, but formation converges on the
+                // rest.
+                stats.skipped += 1;
                 failed.push(cand.block);
             }
         }

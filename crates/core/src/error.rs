@@ -1,0 +1,118 @@
+//! Typed error for the formation/pipeline path.
+//!
+//! The formation loop is iterative CFG surgery — exactly the class of
+//! transformation the verifier exists to police. A violation discovered
+//! mid-trial is not a reason to abort the whole compilation: the trial
+//! machinery already knows how to roll the CFG back bit-identically, so the
+//! correct reaction is *rollback + skip candidate*, reported through this
+//! type. `ChfError` is therefore carried inside
+//! [`crate::convergent::MergeOutcome::Skipped`] and surfaced by
+//! [`crate::pipeline::try_compile`], never panicked.
+
+use chf_ir::verify::VerifyError;
+use chf_sim::functional::SimError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// An error detected (and contained) on the formation/pipeline path.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChfError {
+    /// The IR verifier rejected the function.
+    Verify {
+        /// Where in the pipeline the violation was found.
+        context: &'static str,
+        /// The violation itself.
+        error: VerifyError,
+    },
+    /// The functional simulator could not execute the function.
+    Sim {
+        /// Where in the pipeline the failure occurred.
+        context: &'static str,
+        /// The simulator error.
+        error: SimError,
+    },
+    /// The differential oracle observed a behaviour change: the transformed
+    /// function disagrees with the pre-transform function on a seeded input.
+    OracleMismatch {
+        /// Name of the function being transformed.
+        function: String,
+        /// The arguments on which behaviour diverged.
+        args: Vec<i64>,
+        /// Minimal reproducer written by the auto-shrinker, if one was
+        /// produced (see `results/repros/`).
+        repro: Option<PathBuf>,
+    },
+}
+
+impl fmt::Display for ChfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChfError::Verify { context, error } => {
+                write!(f, "verifier violation during {context}: {error}")
+            }
+            ChfError::Sim { context, error } => {
+                write!(f, "simulation failure during {context}: {error}")
+            }
+            ChfError::OracleMismatch {
+                function,
+                args,
+                repro,
+            } => {
+                write!(
+                    f,
+                    "differential oracle mismatch in `{function}` on args {args:?}"
+                )?;
+                if let Some(p) = repro {
+                    write!(f, " (repro: {})", p.display())?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChfError::Verify { error, .. } => Some(error),
+            ChfError::Sim { error, .. } => Some(error),
+            ChfError::OracleMismatch { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chf_ir::ids::BlockId;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ChfError::Verify {
+            context: "merge trial",
+            error: VerifyError::DanglingEdge(BlockId(3), BlockId(9)),
+        };
+        let s = e.to_string();
+        assert!(s.contains("merge trial"));
+        assert!(s.contains("B3"));
+
+        let m = ChfError::OracleMismatch {
+            function: "gcd".into(),
+            args: vec![3, 7],
+            repro: Some(PathBuf::from("results/repros/gcd-1234.til")),
+        };
+        let s = m.to_string();
+        assert!(s.contains("gcd"));
+        assert!(s.contains("repro"));
+    }
+
+    #[test]
+    fn source_chains_to_inner_error() {
+        use std::error::Error;
+        let e = ChfError::Sim {
+            context: "oracle run",
+            error: chf_sim::functional::SimError::OutOfFuel { executed: 7 },
+        };
+        assert!(e.source().is_some());
+    }
+}

@@ -187,7 +187,7 @@ pub fn insert_fanout(f: &mut Function, max_targets: usize) -> FanoutStats {
 
         // Fresh copies are block-local, so only the pre-existing live-out
         // set matters; it is not changed by inserting movs of fresh regs.
-        let live_out = liveness.live_out(b).clone();
+        let live_out = liveness.live_out(b);
         let mut idx = 0;
         while idx < f.block(b).insts.len() {
             let Some(d) = f.block(b).insts[idx].def() else {

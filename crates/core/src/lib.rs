@@ -20,20 +20,34 @@
 //! * [`reverse`] — reverse if-conversion / block splitting (§6);
 //! * [`pipeline`] — the compiler configurations of Tables 1–3: `BB`, `UPIO`,
 //!   `IUPO`, `(IUP)O`, `(IUPO)`.
+//!
+//! Robustness layer (not in the paper, required to trust its numbers):
+//!
+//! * [`error`] — the typed error carried by contained formation failures;
+//! * [`chaos`] — seeded fault injection and the campaign driver
+//!   (`CHF_FAULT_SEED`);
+//! * [`oracle`] — the per-commit differential oracle and its greedy
+//!   reproducer-writing reducer.
 
+pub mod chaos;
 pub mod constraints;
 pub mod convergent;
 pub mod duplication;
+pub mod error;
 pub mod fanout;
 pub mod forloop;
 pub mod ifconvert;
+pub mod oracle;
 pub mod pipeline;
 pub mod policy;
 pub mod regalloc;
 pub mod reverse;
 pub mod unroll;
 
+pub use chaos::{campaign, CampaignReport, ChaosSpec, FaultKind};
 pub use constraints::BlockConstraints;
 pub use convergent::{form_hyperblocks, form_hyperblocks_with_profile, FormationConfig, FormationStats};
-pub use pipeline::{compile, CompileConfig, Compiled, PhaseOrdering};
+pub use error::ChfError;
+pub use oracle::OracleConfig;
+pub use pipeline::{compile, try_compile, CompileConfig, Compiled, PhaseOrdering};
 pub use policy::PolicyKind;

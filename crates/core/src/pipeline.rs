@@ -144,16 +144,44 @@ fn formation_config(
         head_duplication: head,
         tail_duplication: true,
         iterative_opt,
-        trip_aware_unroll: true,
-        speculation: true,
-        max_tail_dup_size: 24,
-        max_merges_per_block: 64,
+        // `verify_trials` (and the disabled oracle/chaos hooks) come from
+        // the default: every pipeline formation runs under the mid-trial
+        // verify-and-rollback safety net.
+        ..FormationConfig::default()
     }
 }
 
 /// Compile `f` under `config`, using `profile` for frequencies and trip
 /// histograms (gathered from a training run of the basic-block form).
+///
+/// Infallible wrapper over [`try_compile`] for callers that treat a
+/// malformed compilation as a programming error.
+///
+/// # Panics
+/// Panics if [`try_compile`] reports an error. Harness code that must
+/// degrade gracefully (the parallel evaluation tables) calls
+/// [`try_compile`] instead.
 pub fn compile(f: &Function, profile: &ProfileData, config: &CompileConfig) -> Compiled {
+    try_compile(f, profile, config).unwrap_or_else(|e| panic!("compilation failed: {e}"))
+}
+
+/// Compile `f` under `config`, reporting (rather than panicking on) a
+/// malformed result.
+///
+/// Formation-internal containment still applies: trials the verifier
+/// rejects are rolled back and counted in [`FormationStats::skipped`],
+/// and the compilation proceeds on the remaining candidates. The error
+/// path here is the *final* gate — the fully compiled function failing
+/// structural verification.
+///
+/// # Errors
+/// [`crate::ChfError::Verify`] when the compiled output is structurally
+/// invalid.
+pub fn try_compile(
+    f: &Function,
+    profile: &ProfileData,
+    config: &CompileConfig,
+) -> Result<Compiled, crate::ChfError> {
     let mut f = f.clone();
     profile.apply(&mut f);
     let mut stats = FormationStats::default();
@@ -227,9 +255,12 @@ pub fn compile(f: &Function, profile: &ProfileData, config: &CompileConfig) -> C
     }
     split_oversized(&mut f, &config.constraints);
     chf_ir::cfg::remove_unreachable(&mut f);
-    debug_assert!(chf_ir::verify::verify(&f).is_ok());
+    chf_ir::verify::verify(&f).map_err(|error| crate::ChfError::Verify {
+        context: "compiled output",
+        error,
+    })?;
 
-    Compiled { function: f, stats }
+    Ok(Compiled { function: f, stats })
 }
 
 #[cfg(test)]

@@ -264,6 +264,7 @@ pub fn hyperblock_unroll_peel(
         speculation: true,
         max_tail_dup_size: 24,
         max_merges_per_block: 64,
+        ..crate::convergent::FormationConfig::default()
     };
 
     for header in headers {

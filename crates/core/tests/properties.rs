@@ -42,6 +42,7 @@ fn formation_config() -> impl Strategy<Value = FormationConfig> {
                 speculation,
                 max_tail_dup_size: tail_limit,
                 max_merges_per_block: 32,
+                ..FormationConfig::default()
             },
         )
 }

@@ -68,4 +68,4 @@ pub use loops::{Loop, LoopForest};
 pub use parse::{parse_function, ParseError};
 pub use profile::{ProfileData, TripHistogram};
 pub use stats::FunctionStats;
-pub use verify::{verify, VerifyError};
+pub use verify::{verify, verify_full, VerifyError};

@@ -233,11 +233,22 @@ fn parse_exit(
 
 /// Parse a function from its textual form.
 ///
+/// Blank lines and `#`-comment lines are ignored anywhere in the input, so
+/// machine-written repro files (see `chf-core`'s differential oracle) can
+/// carry a human-readable provenance header above the IR itself.
+///
 /// # Errors
 /// Returns a [`ParseError`] with the offending line, or a verification
 /// failure mapped to line 0 if the parsed function is structurally invalid.
 pub fn parse_function(text: &str) -> Result<Function, ParseError> {
-    let mut lines = text.lines().enumerate().peekable();
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with('#')
+        })
+        .peekable();
 
     // Header.
     let (ln, header) = lines.next().ok_or_else(|| ParseError {
@@ -457,6 +468,18 @@ mod tests {
         // Exit to a block that is never defined.
         let text = "fn bad(params: 0, regs: 0)\nB0:\n  exits:\n    -> B7\n";
         assert!(parse_function(text).is_err());
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# repro: seed 42, fault DanglingExit\n\
+                    # reduced from 9 blocks to 2\n\n\
+                    fn fwd(params: 0, regs: 0)\n\
+                    B0:\n  exits:\n    -> B1\n\n\
+                    # interior comment\n\
+                    B1:\n  exits:\n    -> ret\n";
+        let f = parse_function(text).unwrap();
+        assert_eq!(f.block_count(), 2);
     }
 
     #[test]

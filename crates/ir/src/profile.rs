@@ -25,9 +25,13 @@ impl TripHistogram {
         *self.counts.entry(trips).or_insert(0) += 1;
     }
 
-    /// Total number of loop visits recorded.
+    /// Total number of loop visits recorded (saturating: a corrupted or
+    /// adversarial profile with near-`u64::MAX` counts must not abort the
+    /// compiler, merely skew the statistics it already cannot trust).
     pub fn visits(&self) -> u64 {
-        self.counts.values().sum()
+        self.counts
+            .values()
+            .fold(0u64, |acc, n| acc.saturating_add(*n))
     }
 
     /// The most common trip count, if any visits were recorded.
@@ -44,7 +48,13 @@ impl TripHistogram {
         if visits == 0 {
             return 0.0;
         }
-        let total: u64 = self.counts.iter().map(|(t, n)| t * n).sum();
+        // Saturating accumulation: trip counts injected by the fault
+        // harness (and, in principle, merged multi-run profiles) can
+        // overflow `u64` multiplication, which panics in debug builds.
+        let total = self
+            .counts
+            .iter()
+            .fold(0u64, |acc, (t, n)| acc.saturating_add(t.saturating_mul(*n)));
         total as f64 / visits as f64
     }
 
@@ -54,12 +64,11 @@ impl TripHistogram {
         if visits == 0 {
             return 0.0;
         }
-        let at_least: u64 = self
+        let at_least = self
             .counts
             .iter()
             .filter(|(t, _)| **t >= k)
-            .map(|(_, n)| *n)
-            .sum();
+            .fold(0u64, |acc, (_, n)| acc.saturating_add(*n));
         at_least as f64 / visits as f64
     }
 }
@@ -76,18 +85,22 @@ pub struct ProfileData {
 }
 
 impl ProfileData {
-    /// Merge another profile into this one (summing counts).
+    /// Merge another profile into this one (summing counts; saturating so
+    /// adversarial profiles cannot overflow-panic the compiler).
     pub fn merge(&mut self, other: &ProfileData) {
         for (b, n) in &other.block_counts {
-            *self.block_counts.entry(*b).or_insert(0) += n;
+            let e = self.block_counts.entry(*b).or_insert(0);
+            *e = e.saturating_add(*n);
         }
         for (k, n) in &other.exit_counts {
-            *self.exit_counts.entry(*k).or_insert(0) += n;
+            let e = self.exit_counts.entry(*k).or_insert(0);
+            *e = e.saturating_add(*n);
         }
         for (b, h) in &other.trip_histograms {
             let dst = self.trip_histograms.entry(*b).or_default();
             for (t, n) in &h.counts {
-                *dst.counts.entry(*t).or_insert(0) += n;
+                let e = dst.counts.entry(*t).or_insert(0);
+                *e = e.saturating_add(*n);
             }
         }
     }

@@ -27,6 +27,15 @@ pub enum VerifyError {
     RegisterOutOfRange(BlockId, u32),
     /// The entry block has been removed.
     MissingEntry,
+    /// A block is not reachable from the entry (only reported by
+    /// [`verify_full`]; mid-formation IR legitimately carries unreachable
+    /// blocks until the final `remove_unreachable` sweep).
+    UnreachableBlock(BlockId),
+    /// A predicate register is consumed (by a predicated instruction or
+    /// exit) before any definition: it is not a parameter, is not defined
+    /// earlier in the same block, and has no definition in any other block.
+    /// Only reported by [`verify_full`].
+    PredicateUseBeforeDef(BlockId, u32),
 }
 
 impl fmt::Display for VerifyError {
@@ -46,6 +55,12 @@ impl fmt::Display for VerifyError {
                 write!(f, "block {b} references unallocated register r{r}")
             }
             VerifyError::MissingEntry => write!(f, "entry block does not exist"),
+            VerifyError::UnreachableBlock(b) => {
+                write!(f, "block {b} is unreachable from the entry")
+            }
+            VerifyError::PredicateUseBeforeDef(b, r) => {
+                write!(f, "block {b} consumes predicate register r{r} before any definition")
+            }
         }
     }
 }
@@ -100,6 +115,69 @@ pub fn verify(f: &Function) -> Result<(), VerifyError> {
         }
     }
     Ok(())
+}
+
+/// Check all structural invariants plus the whole-function properties that
+/// only hold on *finished* IR: every block reachable from the entry, and
+/// every predicate register defined before use.
+///
+/// Mid-formation IR is exempt from both — merging legitimately strands the
+/// merged successor until the final `remove_unreachable` sweep — so
+/// transformation passes assert [`verify`] while the chaos campaign, the
+/// differential oracle, and end-of-pipeline checks assert `verify_full`.
+///
+/// # Errors
+/// Returns the first violation found: structural errors first (in block-id
+/// order), then unreachable blocks, then predicate use-before-def.
+pub fn verify_full(f: &Function) -> Result<(), VerifyError> {
+    verify(f)?;
+    let live = crate::cfg::reachable(f);
+    for id in f.block_ids() {
+        if !live.contains(&id) {
+            return Err(VerifyError::UnreachableBlock(id));
+        }
+    }
+    // A predicate register use is flagged only when no definition can
+    // possibly precede it: it is not a parameter, no earlier instruction in
+    // the same block defines it, and no other block defines it at all (a def
+    // in another block might dominate the use; the structural verifier does
+    // not do full dataflow, so cross-block defs get the benefit of the
+    // doubt — as does an in-block def from a previous loop iteration when
+    // the register is also defined elsewhere).
+    for (id, blk) in f.blocks() {
+        let mut defined_here: Vec<u32> = Vec::new();
+        let check = |reg: u32, defined_here: &[u32]| -> Result<(), VerifyError> {
+            if reg < f.params
+                || defined_here.contains(&reg)
+                || defined_in_other_block(f, id, reg)
+            {
+                Ok(())
+            } else {
+                Err(VerifyError::PredicateUseBeforeDef(id, reg))
+            }
+        };
+        for inst in &blk.insts {
+            if let Some(p) = inst.pred {
+                check(p.reg.0, &defined_here)?;
+            }
+            if let Some(d) = inst.def() {
+                defined_here.push(d.0);
+            }
+        }
+        for e in &blk.exits {
+            if let Some(p) = e.pred {
+                check(p.reg.0, &defined_here)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Does `reg` have a definition in any block other than `excluded`?
+fn defined_in_other_block(f: &Function, excluded: BlockId, reg: u32) -> bool {
+    f.blocks().any(|(id, blk)| {
+        id != excluded && blk.insts.iter().any(|i| i.def().is_some_and(|r| r.0 == reg))
+    })
 }
 
 /// Panic with a readable message if `f` fails verification. Intended for
@@ -192,9 +270,137 @@ mod tests {
     }
 
     #[test]
+    fn rejects_missing_entry() {
+        let mut f = valid_fn();
+        // `remove_block` refuses to drop the entry, so simulate the
+        // corruption directly: point the entry at a never-created slot.
+        f.entry = BlockId(99);
+        assert_eq!(verify(&f), Err(VerifyError::MissingEntry));
+    }
+
+    #[test]
+    fn rejects_predicated_return_register_out_of_range() {
+        let mut f = valid_fn();
+        let e = f.entry;
+        let t = f.block(e).exits[0].target;
+        f.block_mut(e).exits.insert(
+            0,
+            Exit {
+                pred: Some(Pred::on_true(Reg(700))),
+                target: t,
+                count: 0.0,
+            },
+        );
+        assert_eq!(verify(&f), Err(VerifyError::RegisterOutOfRange(e, 700)));
+    }
+
+    #[test]
+    fn full_accepts_valid_function() {
+        assert_eq!(verify_full(&valid_fn()), Ok(()));
+    }
+
+    #[test]
+    fn full_rejects_unreachable_block() {
+        let mut f = valid_fn();
+        // A structurally well-formed block (has a default exit) that nothing
+        // jumps to: plain verify accepts it, verify_full does not.
+        let mut blk = Block::new();
+        blk.exits.push(Exit {
+            pred: None,
+            target: ExitTarget::Return(None),
+            count: 0.0,
+        });
+        let b = f.add_block(blk);
+        assert_eq!(verify(&f), Ok(()));
+        assert_eq!(verify_full(&f), Err(VerifyError::UnreachableBlock(b)));
+    }
+
+    #[test]
+    fn full_rejects_predicate_use_before_def() {
+        let mut f = valid_fn();
+        let e = f.entry;
+        // Predicate the entry's jump on a register that is neither a
+        // parameter nor defined anywhere; append a default so the exit set
+        // stays total.
+        let t = f.block(e).exits[0].target;
+        let ghost = f.new_reg();
+        f.block_mut(e).exits.insert(
+            0,
+            Exit {
+                pred: Some(Pred::on_true(ghost)),
+                target: t,
+                count: 0.0,
+            },
+        );
+        assert_eq!(verify(&f), Ok(()));
+        assert_eq!(
+            verify_full(&f),
+            Err(VerifyError::PredicateUseBeforeDef(e, ghost.0))
+        );
+    }
+
+    #[test]
+    fn full_rejects_predicated_inst_before_def() {
+        let mut f = valid_fn();
+        let e = f.entry;
+        let p = f.new_reg();
+        let dst = f.new_reg();
+        // use p (predicated mov) before its only def, with no def elsewhere
+        let mut guarded = Instr::mov(dst, Operand::Imm(1));
+        guarded.pred = Some(Pred::on_true(p));
+        f.block_mut(e).insts.push(guarded);
+        f.block_mut(e)
+            .insts
+            .push(Instr::mov(p, Operand::Imm(0)));
+        assert_eq!(
+            verify_full(&f),
+            Err(VerifyError::PredicateUseBeforeDef(e, p.0))
+        );
+    }
+
+    #[test]
+    fn full_accepts_cross_block_predicate_def() {
+        let mut f = valid_fn();
+        let e = f.entry;
+        let p = f.new_reg();
+        // def in the entry, predicated use in the successor: fine.
+        f.block_mut(e).insts.push(Instr::mov(p, Operand::Imm(1)));
+        let succ = BlockId(1);
+        let dst = f.new_reg();
+        let mut guarded = Instr::mov(dst, Operand::Imm(2));
+        guarded.pred = Some(Pred::on_true(p));
+        f.block_mut(succ).insts.insert(0, guarded);
+        assert_eq!(verify_full(&f), Ok(()));
+    }
+
+    #[test]
+    fn full_accepts_in_block_def_before_use() {
+        let mut f = valid_fn();
+        let e = f.entry;
+        let p = f.new_reg();
+        f.block_mut(e).insts.push(Instr::mov(p, Operand::Imm(1)));
+        let t = f.block(e).exits[0].target;
+        f.block_mut(e).exits.insert(
+            0,
+            Exit {
+                pred: Some(Pred::on_true(p)),
+                target: t,
+                count: 0.0,
+            },
+        );
+        assert_eq!(verify_full(&f), Ok(()));
+    }
+
+    #[test]
     fn error_messages_are_informative() {
         let e = VerifyError::DanglingEdge(BlockId(1), BlockId(9));
         assert!(e.to_string().contains("B1"));
         assert!(e.to_string().contains("B9"));
+        let u = VerifyError::UnreachableBlock(BlockId(4));
+        assert!(u.to_string().contains("B4"));
+        assert!(u.to_string().contains("unreachable"));
+        let p = VerifyError::PredicateUseBeforeDef(BlockId(2), 7);
+        assert!(p.to_string().contains("B2"));
+        assert!(p.to_string().contains("r7"));
     }
 }

@@ -427,11 +427,11 @@ mod tests {
             v in crate::collection::vec(0usize..5, 1..8),
         ) {
             prop_assert!(pair.0 >= 1 && pair.0 <= 4);
-            prop_assert!(v.len() >= 1 && v.len() < 8, "len {}", v.len());
+            prop_assert!(!v.is_empty() && v.len() < 8, "len {}", v.len());
             for e in &v {
                 prop_assert!(*e < 5);
             }
-            if x % 2 == 0 {
+            if x.is_multiple_of(2) {
                 return Ok(());
             }
             prop_assert_eq!(x % 2, 1);

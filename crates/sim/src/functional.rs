@@ -60,9 +60,16 @@ impl RunConfig {
     }
 }
 
-/// Runtime error during functional execution.
+/// Runtime error during simulation (functional or timing).
+///
+/// The first two variants are *input* errors — legal programs that merely
+/// run too long or read uninitialized state. The remaining variants are
+/// *malformed-IR* errors: the simulators are total over verified IR, but the
+/// fault-injection harness and the differential oracle deliberately feed
+/// them broken functions, and a broken function must surface as an `Err`
+/// the caller can classify — never as a panic.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum ExecError {
+pub enum SimError {
     /// The block budget was exhausted (probable infinite loop).
     OutOfFuel {
         /// Number of blocks that had executed when the budget ran out.
@@ -76,22 +83,61 @@ pub enum ExecError {
         /// The offending register.
         reg: Reg,
     },
+    /// Control transferred to a removed or never-created block.
+    DanglingTarget {
+        /// The nonexistent block control tried to enter.
+        target: BlockId,
+    },
+    /// An instruction or exit referenced a register outside the function's
+    /// allocated register space.
+    RegisterOutOfRange {
+        /// The block containing the reference.
+        block: BlockId,
+        /// The out-of-range register number.
+        reg: u32,
+    },
+    /// An instruction was missing a required operand or destination slot.
+    MalformedInstruction {
+        /// The block containing the instruction.
+        block: BlockId,
+    },
+    /// No exit fired — every exit was predicated and none held (verified IR
+    /// always ends in an unpredicated default).
+    NoFiringExit {
+        /// The block whose exit set was not total.
+        block: BlockId,
+    },
 }
 
-impl fmt::Display for ExecError {
+/// Former name of [`SimError`], kept as an alias for existing callers.
+pub type ExecError = SimError;
+
+impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ExecError::OutOfFuel { executed } => {
+            SimError::OutOfFuel { executed } => {
                 write!(f, "out of fuel after executing {executed} blocks")
             }
-            ExecError::UninitializedRead { block, reg } => {
+            SimError::UninitializedRead { block, reg } => {
                 write!(f, "uninitialized read of {reg} in block {block}")
+            }
+            SimError::DanglingTarget { target } => {
+                write!(f, "control transferred to nonexistent block {target}")
+            }
+            SimError::RegisterOutOfRange { block, reg } => {
+                write!(f, "block {block} references unallocated register r{reg}")
+            }
+            SimError::MalformedInstruction { block } => {
+                write!(f, "block {block} contains an instruction missing a required operand")
+            }
+            SimError::NoFiringExit { block } => {
+                write!(f, "no exit of block {block} fired (exit set is not total)")
             }
         }
     }
 }
 
-impl std::error::Error for ExecError {}
+impl std::error::Error for SimError {}
 
 /// The observable outcome and metrics of one functional run.
 #[derive(Clone, Debug)]
@@ -182,11 +228,15 @@ impl Machine {
         Machine { regs, written, mem }
     }
 
-    pub(crate) fn read(&self, r: Reg, block: BlockId, check: bool) -> Result<i64, ExecError> {
-        if check && !self.written[r.index()] {
-            return Err(ExecError::UninitializedRead { block, reg: r });
+    pub(crate) fn read(&self, r: Reg, block: BlockId, check: bool) -> Result<i64, SimError> {
+        let i = r.index();
+        if i >= self.regs.len() {
+            return Err(SimError::RegisterOutOfRange { block, reg: r.0 });
         }
-        Ok(self.regs[r.index()])
+        if check && !self.written[i] {
+            return Err(SimError::UninitializedRead { block, reg: r });
+        }
+        Ok(self.regs[i])
     }
 
     pub(crate) fn operand(
@@ -201,9 +251,14 @@ impl Machine {
         }
     }
 
-    pub(crate) fn write(&mut self, r: Reg, v: i64) {
-        self.regs[r.index()] = v;
-        self.written[r.index()] = true;
+    pub(crate) fn write(&mut self, r: Reg, v: i64, block: BlockId) -> Result<(), SimError> {
+        let i = r.index();
+        if i >= self.regs.len() {
+            return Err(SimError::RegisterOutOfRange { block, reg: r.0 });
+        }
+        self.regs[i] = v;
+        self.written[i] = true;
+        Ok(())
     }
 }
 
@@ -295,7 +350,9 @@ pub fn run(
             t.on_block(cur, &mut profile);
         }
 
-        let blk = f.block(cur);
+        let blk = f
+            .try_block(cur)
+            .ok_or(SimError::DanglingTarget { target: cur })?;
         insts_fetched += blk.size() as u64;
 
         for inst in &blk.insts {
@@ -335,7 +392,9 @@ pub fn run(
                 }
             }
         }
-        unreachable!("verifier guarantees a default exit");
+        // Verified IR always ends in an unpredicated default exit, but
+        // chaos-injected IR may not.
+        return Err(SimError::NoFiringExit { block: cur });
     };
 
     if let Some(t) = trips.as_mut() {
@@ -357,25 +416,26 @@ pub(crate) fn exec_inst(
     inst: &Instr,
     cur: BlockId,
     check: bool,
-) -> Result<(), ExecError> {
+) -> Result<(), SimError> {
+    let malformed = || SimError::MalformedInstruction { block: cur };
     match inst.op {
         Opcode::Load => {
-            let addr = m.operand(inst.a.unwrap(), cur, check)?;
+            let addr = m.operand(inst.a.ok_or_else(malformed)?, cur, check)?;
             let v = m.mem.get(&addr).copied().unwrap_or(0);
-            m.write(inst.dst.unwrap(), v);
+            m.write(inst.dst.ok_or_else(malformed)?, v, cur)?;
         }
         Opcode::Store => {
-            let addr = m.operand(inst.a.unwrap(), cur, check)?;
-            let v = m.operand(inst.b.unwrap(), cur, check)?;
+            let addr = m.operand(inst.a.ok_or_else(malformed)?, cur, check)?;
+            let v = m.operand(inst.b.ok_or_else(malformed)?, cur, check)?;
             m.mem.insert(addr, v);
         }
         op => {
-            let a = m.operand(inst.a.unwrap(), cur, check)?;
+            let a = m.operand(inst.a.ok_or_else(malformed)?, cur, check)?;
             let b = match inst.b {
                 Some(o) => m.operand(o, cur, check)?,
                 None => 0,
             };
-            m.write(inst.dst.unwrap(), eval(op, a, b));
+            m.write(inst.dst.ok_or_else(malformed)?, eval(op, a, b), cur)?;
         }
     }
     Ok(())

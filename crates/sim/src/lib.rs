@@ -25,6 +25,6 @@ pub mod functional;
 pub mod predictor;
 pub mod timing;
 
-pub use functional::{run, ExecError, FuncResult, RunConfig};
+pub use functional::{run, ExecError, FuncResult, RunConfig, SimError};
 pub use predictor::{ExitPredictor, PredictorConfig, PredictorKind};
 pub use timing::{simulate_timing, simulate_timing_traced, BlockEvent, MemoryOrdering, TimingConfig, TimingResult, TimingTrace};

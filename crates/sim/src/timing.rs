@@ -26,7 +26,7 @@
 //! * **In-flight window** — at most `window_blocks` blocks in flight; blocks
 //!   commit in order.
 
-use crate::functional::{exec_inst, ExecError, Machine};
+use crate::functional::{exec_inst, Machine, SimError};
 use crate::predictor::{ExitPredictor, PredictorConfig};
 use chf_ir::block::ExitTarget;
 use chf_ir::function::Function;
@@ -246,13 +246,16 @@ impl TimingTrace {
 /// Simulate `f` on the TRIPS-like timing model.
 ///
 /// # Errors
-/// Returns [`ExecError::OutOfFuel`] if the block budget is exhausted.
+/// Returns [`SimError::OutOfFuel`] if the block budget is exhausted, or a
+/// malformed-IR [`SimError`] variant if `f` does not verify (the model is
+/// total over verified IR but must degrade gracefully on broken input —
+/// see the fault-injection harness in `chf-core`).
 pub fn simulate_timing(
     f: &Function,
     args: &[i64],
     mem_init: &[(i64, i64)],
     config: &TimingConfig,
-) -> Result<TimingResult, ExecError> {
+) -> Result<TimingResult, SimError> {
     simulate_timing_impl(f, args, mem_init, config, None).map(|(r, _)| r)
 }
 
@@ -260,13 +263,14 @@ pub fn simulate_timing(
 /// [`TimingTrace`] (dispatch/resolve/commit cycles, prediction outcomes).
 ///
 /// # Errors
-/// Returns [`ExecError::OutOfFuel`] if the block budget is exhausted.
+/// Returns [`SimError::OutOfFuel`] if the block budget is exhausted, or a
+/// malformed-IR [`SimError`] variant if `f` does not verify.
 pub fn simulate_timing_traced(
     f: &Function,
     args: &[i64],
     mem_init: &[(i64, i64)],
     config: &TimingConfig,
-) -> Result<(TimingResult, TimingTrace), ExecError> {
+) -> Result<(TimingResult, TimingTrace), SimError> {
     let mut trace = TimingTrace::default();
     let r = simulate_timing_impl(f, args, mem_init, config, Some(&mut trace))?;
     Ok((r.0, trace))
@@ -278,9 +282,37 @@ fn simulate_timing_impl(
     mem_init: &[(i64, i64)],
     config: &TimingConfig,
     mut trace: Option<&mut TimingTrace>,
-) -> Result<(TimingResult, ()), ExecError> {
+) -> Result<(TimingResult, ()), SimError> {
     let mut m = Machine::new(f, args, mem_init);
     let nregs = f.reg_count() as usize;
+    // Reject out-of-range register references up front: the dense `avail`
+    // vector below (and the liveness bitsets) index by register number, so
+    // this single O(insts) sweep makes every later lookup in-bounds by
+    // construction instead of a panic waiting for corrupted IR.
+    for (id, blk) in f.blocks() {
+        for inst in &blk.insts {
+            for r in inst.uses().chain(inst.def()) {
+                if r.index() >= nregs {
+                    return Err(SimError::RegisterOutOfRange { block: id, reg: r.0 });
+                }
+            }
+        }
+        for e in &blk.exits {
+            if let Some(p) = e.pred {
+                if p.reg.index() >= nregs {
+                    return Err(SimError::RegisterOutOfRange {
+                        block: id,
+                        reg: p.reg.0,
+                    });
+                }
+            }
+            if let ExitTarget::Return(Some(Operand::Reg(r))) = e.target {
+                if r.index() >= nregs {
+                    return Err(SimError::RegisterOutOfRange { block: id, reg: r.0 });
+                }
+            }
+        }
+    }
     // Block outputs: a TRIPS block commits once it has produced its stores,
     // its (live-out) register writes, and a branch decision — instructions
     // feeding nothing observable never delay commit (paper §5: EDGE commits
@@ -307,14 +339,16 @@ fn simulate_timing_impl(
 
     let ret = 'outer: loop {
         if blocks_executed >= config.max_blocks {
-            return Err(ExecError::OutOfFuel {
+            return Err(SimError::OutOfFuel {
                 executed: blocks_executed,
             });
         }
         blocks_executed += 1;
         let (exec_before, null_before) = (insts_executed, insts_nullified);
 
-        let blk = f.block(cur);
+        let blk = f
+            .try_block(cur)
+            .ok_or(SimError::DanglingTarget { target: cur })?;
         let size = blk.size() as u64;
         insts_fetched += size;
 
@@ -372,7 +406,12 @@ fn simulate_timing_impl(
                 match config.memory_ordering {
                     MemoryOrdering::Oracle => {}
                     MemoryOrdering::Exact => {
-                        let addr = m.operand(inst.a.expect("load addr"), cur, false)?;
+                        let addr = m.operand(
+                            inst.a
+                                .ok_or(SimError::MalformedInstruction { block: cur })?,
+                            cur,
+                            false,
+                        )?;
                         for &(sa, st) in &block_stores {
                             if sa == addr {
                                 ready = ready.max(st);
@@ -390,7 +429,12 @@ fn simulate_timing_impl(
             let done = issue + inst.op.latency();
             if inst.op == Opcode::Store {
                 outputs_done = outputs_done.max(done);
-                let addr = m.operand(inst.a.expect("store addr"), cur, false)?;
+                let addr = m.operand(
+                    inst.a
+                        .ok_or(SimError::MalformedInstruction { block: cur })?,
+                    cur,
+                    false,
+                )?;
                 block_stores.push((addr, done));
             }
             if let Some(d) = inst.def() {
@@ -410,9 +454,9 @@ fn simulate_timing_impl(
                     break;
                 }
                 Some(p) => {
+                    let v = m.read(p.reg, cur, false)?;
                     let t = avail[p.reg.index()] + config.operand_latency;
                     resolve = resolve.max(t);
-                    let v = m.read(p.reg, cur, false)?;
                     if (v != 0) == p.if_true {
                         fired = Some((i, e.target));
                         break;
@@ -420,7 +464,9 @@ fn simulate_timing_impl(
                 }
             }
         }
-        let (exit_idx, target) = fired.expect("verifier guarantees a default exit");
+        // Verified IR always ends in an unpredicated default exit; injected
+        // faults can leave the exit set non-total.
+        let (exit_idx, target) = fired.ok_or(SimError::NoFiringExit { block: cur })?;
         // A returned value is a block output.
         if let ExitTarget::Return(Some(Operand::Reg(r))) = target {
             outputs_done = outputs_done.max(avail[r.index()]);
@@ -775,7 +821,7 @@ mod tests {
         };
         assert!(matches!(
             simulate_timing(&f, &[], &[], &cfg),
-            Err(ExecError::OutOfFuel { .. })
+            Err(SimError::OutOfFuel { .. })
         ));
     }
 }

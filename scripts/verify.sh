@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
-# Repo verification gate: build, full test suite, and the performance
-# regression check.
+# Repo verification gate: build, lint, full test suite, performance
+# regression check, and a bounded fault-injection smoke campaign.
 #
 #   scripts/verify.sh
 #
@@ -8,6 +8,11 @@
 # regeneration stays under a generous wall-time ceiling (default 160 ms;
 # override with CHF_BENCH_CEILING_MS for slower machines) and that the
 # parallel harness produces byte-identical output to the sequential path.
+#
+# The chaos smoke campaign injects 500 seeded faults (IR corruption,
+# profile corruption, mid-trial corruption) and fails on any process
+# abort or undetected miscompile. Pin a failing stream with
+# CHF_FAULT_SEED to replay it.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,10 +20,16 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
 echo "==> cargo test -q"
 cargo test -q
 
 echo "==> bench_perf --check"
 cargo run --release -p chf-bench --bin bench_perf -- --check
+
+echo "==> chaos 500 (fault-injection smoke campaign)"
+cargo run --release -p chf-bench --bin chaos -- 500
 
 echo "verify.sh: all checks passed"
