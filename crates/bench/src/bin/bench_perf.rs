@@ -3,24 +3,36 @@
 //! Measures, on the 24-microbenchmark suite:
 //!
 //! 1. **Formation wall-time** per phase ordering (compile only);
-//! 2. **Simulator throughput** (timing-simulated cycles per second);
+//! 2. **Simulator throughput** three ways: lowering (decode) cost, per-call
+//!    throughput (`simulate_timing`, lower + simulate each call — the
+//!    number the perf history tracks), and pre-lowered event-core
+//!    throughput (`simulate_timing_lowered`, decode once / replay many —
+//!    the oracle and whole-program access pattern);
 //! 3. **End-to-end Table 1 regeneration** — the full compile+simulate matrix
 //!    plus rendering and CSV serialization — through the parallel harness
 //!    *and* the forced-sequential path, checking the two CSVs are
 //!    byte-identical.
 //!
 //! Results are written to `BENCH_formation.json` (override with `-o PATH`),
-//! together with the recorded seed baseline for the same machine, seeding
+//! together with the recorded seed baselines for the same machine, seeding
 //! the repo's perf history.
 //!
 //! `--check` exits non-zero if the end-to-end Table 1 wall-time exceeds a
-//! generous regression ceiling (`CHF_BENCH_CEILING_MS`, default 160 ms —
-//! about 2× the current measurement and well under the 244 ms seed), so
-//! `scripts/verify.sh` catches order-of-magnitude regressions without being
-//! flaky on a loaded machine.
+//! regression ceiling (`CHF_BENCH_CEILING_MS`, default 100 ms — well under
+//! both the 244 ms seed and the 160 ms pre-event-core ceiling, with ~30%
+//! headroom over current ~70 ms measurements), or if per-call simulator
+//! throughput falls under a floor (`CHF_BENCH_SIM_FLOOR_MCPS`, default
+//! 24 — 2.5× the 9.53 Mcycles/s recorded for the direct-interpretation
+//! core; typical post-rewrite measurements are ~30 per-call and ~36 for
+//! the decode-once event core, and the reference machine's wall-clock
+//! noise is ±20%+, so the gate is set where a return to direct
+//! interpretation fails loudly but a loaded machine does not), so
+//! `scripts/verify.sh` catches order-of-magnitude regressions without
+//! being flaky.
 
 use chf_core::pipeline::{compile, CompileConfig, PhaseOrdering};
-use chf_sim::timing::{simulate_timing, TimingConfig};
+use chf_sim::timing::{simulate_timing, simulate_timing_lowered, TimingConfig};
+use chf_sim::LoweredProgram;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -29,9 +41,23 @@ use std::time::Instant;
 /// speedup reported below is against this number.
 const SEED_TABLE1_WALL_MS: f64 = 244.0;
 
+/// Per-call simulator throughput (Mcycles/s) recorded on the reference
+/// machine for the direct-interpretation timing core, before the
+/// event-driven rewrite. The floor below demands ≥ 2.5× this.
+const SEED_SIM_MCPS: f64 = 9.53;
+
 /// Default `--check` ceiling (ms): generous headroom over the current
-/// measurement, strict against anything resembling the seed's 244 ms.
-const DEFAULT_CEILING_MS: f64 = 160.0;
+/// measurement, strict against anything resembling the seed's 244 ms or
+/// the pre-event-core 160 ms ceiling.
+const DEFAULT_CEILING_MS: f64 = 100.0;
+
+/// Default `--check` simulator-throughput floor: 2.5× the recorded
+/// pre-rewrite throughput. The event-driven core typically measures ~3×
+/// per-call (lower + simulate every call) and ~4× in its decode-once
+/// replay mode on this machine; the gate sits below both so ±20%+
+/// neighbour noise cannot flip it, while any regression back toward
+/// direct-interpretation speed (≤ ~16 Mcycles/s) still fails.
+const DEFAULT_SIM_FLOOR_MCPS: f64 = 2.5 * SEED_SIM_MCPS;
 
 fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     let mut best = f64::INFINITY;
@@ -100,7 +126,21 @@ fn main() {
             })
         })
         .collect();
-    let (sim_ms, sim_cycles) = best_of(3, || {
+
+    // 2a. Lowering (decode) cost of the whole compiled matrix. The sim
+    // sections use best-of-10: each rep is ~10 ms, and on a machine with
+    // noisy neighbours the minimum over ten reps is a far better estimate
+    // of the true cost than the minimum over three.
+    let (lowering_ms, lowered) = best_of(10, || {
+        compiled
+            .iter()
+            .map(|(_, c)| LoweredProgram::lower(&c.function))
+            .collect::<Vec<_>>()
+    });
+
+    // 2b. Per-call throughput: `simulate_timing` lowers and simulates on
+    // every call. This is the metric the perf history records.
+    let (sim_ms, sim_cycles) = best_of(10, || {
         let mut cycles = 0u64;
         for (w, c) in &compiled {
             let t = simulate_timing(&c.function, &w.args, &w.memory, &TimingConfig::trips())
@@ -110,6 +150,23 @@ fn main() {
         cycles
     });
     let mcps = sim_cycles as f64 / 1e6 / (sim_ms / 1e3);
+
+    // 2c. Pre-lowered event-core throughput: decode once, replay many —
+    // the access pattern of the oracle and the whole-program harness.
+    let (sim_event_ms, event_cycles) = best_of(10, || {
+        let mut cycles = 0u64;
+        for ((w, _), p) in compiled.iter().zip(&lowered) {
+            let t = simulate_timing_lowered(p, &w.args, &w.memory, &TimingConfig::trips())
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            cycles += t.cycles;
+        }
+        cycles
+    });
+    assert_eq!(
+        sim_cycles, event_cycles,
+        "per-call and pre-lowered simulation disagree on total cycles"
+    );
+    let event_mcps = sim_cycles as f64 / 1e6 / (sim_event_ms / 1e3);
 
     // 3. End-to-end Table 1 regeneration: parallel harness vs forced
     // sequential, with byte-identity of the outputs.
@@ -124,7 +181,9 @@ fn main() {
         println!("  compile {label:>7}: {ms:8.2} ms");
     }
     println!("  compile   total: {compile_total:8.2} ms");
-    println!("  sim       total: {sim_ms:8.2} ms  ({sim_cycles} cycles, {mcps:.2} Mcycles/s)");
+    println!("  lowering  total: {lowering_ms:8.2} ms  ({} programs)", compiled.len());
+    println!("  sim       total: {sim_ms:8.2} ms  ({sim_cycles} cycles, {mcps:.2} Mcycles/s per-call)");
+    println!("  sim (pre-lowered): {sim_event_ms:6.2} ms  ({event_mcps:.2} Mcycles/s event core)");
     println!("  table1 end-to-end: {wall_ms:.2} ms ({workers} worker(s)); sequential: {seq_ms:.2} ms");
     println!(
         "  vs seed ({SEED_TABLE1_WALL_MS:.0} ms): {speedup:.2}x; parallel/sequential outputs identical: {identical}"
@@ -154,9 +213,13 @@ fn main() {
         let _ = write!(json, "\"{label}\": {ms:.2}{sep}");
     }
     json.push_str("},\n");
+    let _ = writeln!(json, "  \"lowering_ms_total\": {lowering_ms:.2},");
     let _ = writeln!(json, "  \"sim_ms_total\": {sim_ms:.2},");
     let _ = writeln!(json, "  \"sim_cycles\": {sim_cycles},");
-    let _ = writeln!(json, "  \"sim_mcycles_per_s\": {mcps:.2}");
+    let _ = writeln!(json, "  \"seed_sim_mcycles_per_s\": {SEED_SIM_MCPS:.2},");
+    let _ = writeln!(json, "  \"sim_mcycles_per_s\": {mcps:.2},");
+    let _ = writeln!(json, "  \"sim_event_ms_total\": {sim_event_ms:.2},");
+    let _ = writeln!(json, "  \"sim_event_mcycles_per_s\": {event_mcps:.2}");
     json.push_str("}\n");
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("  wrote {out_path}"),
@@ -168,9 +231,20 @@ fn main() {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(DEFAULT_CEILING_MS);
+        let sim_floor: f64 = std::env::var("CHF_BENCH_SIM_FLOOR_MCPS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_SIM_FLOOR_MCPS);
         let mut failed = false;
         if wall_ms > ceiling {
             eprintln!("CHECK FAILED: table1 end-to-end {wall_ms:.2} ms > ceiling {ceiling:.2} ms");
+            failed = true;
+        }
+        if mcps < sim_floor {
+            eprintln!(
+                "CHECK FAILED: simulator throughput {mcps:.2} Mcycles/s < floor {sim_floor:.2} \
+                 (2.5x the pre-rewrite {SEED_SIM_MCPS:.2})"
+            );
             failed = true;
         }
         if !identical {
@@ -180,6 +254,9 @@ fn main() {
         if failed {
             std::process::exit(1);
         }
-        println!("  check OK: {wall_ms:.2} ms <= {ceiling:.2} ms, outputs identical");
+        println!(
+            "  check OK: {wall_ms:.2} ms <= {ceiling:.2} ms, \
+             {mcps:.2} Mcycles/s >= {sim_floor:.2}, outputs identical"
+        );
     }
 }

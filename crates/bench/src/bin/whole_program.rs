@@ -1,0 +1,25 @@
+//! End-to-end cycle simulation of the SPEC-like composites with a
+//! measured-vs-model comparison (see `chf_bench::whole_program`).
+//!
+//! Usage:
+//!
+//! ```sh
+//! whole_program            # full suite, parallel
+//! whole_program --smoke    # 3-composite prefix, sequential (CI budget)
+//! ```
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (workers, limit) = if smoke {
+        (1, 3)
+    } else {
+        (chf_bench::parallel::workers(), usize::MAX)
+    };
+    let (rows, fit) = chf_bench::whole_program::run_with(workers, limit);
+    println!("Whole-program cycle simulation of the SPEC-like composites");
+    println!("(convergent vs basic blocks, end-to-end on the reference input)\n");
+    print!("{}", chf_bench::whole_program::render(&rows, &fit));
+    if rows.iter().any(|r| r.error.is_some()) {
+        std::process::exit(1);
+    }
+}

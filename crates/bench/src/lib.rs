@@ -10,10 +10,13 @@
 //! * [`table3`] — block-count improvement on the 19 SPEC-like composites
 //!   (functional simulation);
 //! * [`fig7`] — the cycle-count-reduction vs block-count-reduction
-//!   correlation with its least-squares r².
+//!   correlation with its least-squares r²;
+//! * [`whole_program`] — end-to-end cycle simulation of the composites
+//!   (what §7.3 called "prohibitively slow"), with a measured-vs-model
+//!   comparison against the block-count proxy.
 //!
-//! Binaries `table1`/`table2`/`table3`/`fig7`/`summary` print the tables;
-//! Criterion benches in `benches/` measure compile-time and simulator
+//! Binaries `table1`/`table2`/`table3`/`fig7`/`whole_program`/`summary`
+//! print the tables; `bench_perf` measures compile-time and simulator
 //! throughput.
 
 pub mod csv;
@@ -23,6 +26,7 @@ pub mod render;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod whole_program;
 
 use chf_core::pipeline::{try_compile, CompileConfig};
 use chf_sim::functional::{run, FuncResult, RunConfig};

@@ -30,7 +30,8 @@ use crate::error::ChfError;
 use chf_ir::block::ExitTarget;
 use chf_ir::function::Function;
 use chf_ir::ids::BlockId;
-use chf_sim::functional::{run, RunConfig};
+use chf_sim::functional::{run, run_lowered, RunConfig};
+use chf_sim::LoweredProgram;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
@@ -84,15 +85,22 @@ impl OracleConfig {
 /// Inputs on which *`orig` itself* fails to execute (out of fuel, malformed)
 /// are skipped — the oracle judges the transformation, not the program.
 /// `new` failing where `orig` succeeded *is* a divergence.
+///
+/// Each function is lowered **once** and the pre-decoded handle replayed
+/// across all seeded inputs; decoding is the fixed cost, replay the
+/// marginal one (this is the hot path of chaos campaigns, which oracle
+/// every committed merge).
 pub fn first_mismatch(orig: &Function, new: &Function, cfg: &OracleConfig) -> Option<Vec<i64>> {
     let run_cfg = cfg.run_config();
+    let lowered_orig = LoweredProgram::lower(orig);
+    let lowered_new = LoweredProgram::lower(new);
     let mut rng = ChaosRng::new(cfg.seed);
     for _ in 0..cfg.inputs {
         let args = cfg.args_for(&mut rng, orig.params);
-        let Ok(a) = run(orig, &args, &[], &run_cfg) else {
+        let Ok(a) = run_lowered(&lowered_orig, &args, &[], &run_cfg) else {
             continue;
         };
-        match run(new, &args, &[], &run_cfg) {
+        match run_lowered(&lowered_new, &args, &[], &run_cfg) {
             Ok(b) if b.digest() == a.digest() => {}
             _ => return Some(args),
         }

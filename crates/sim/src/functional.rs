@@ -16,14 +16,30 @@
 //! Division and remainder by zero produce 0, and all arithmetic wraps, so
 //! execution is total: the only runtime errors are resource exhaustion and
 //! (optionally) uninitialized reads.
+//!
+//! # Dispatch over the lowered form
+//!
+//! The interpreter executes the pre-decoded [`LoweredProgram`]: operands are
+//! flat register indices with immediates pre-substituted, profile counters
+//! are dense arrays indexed by block/exit position (converted to the sparse
+//! [`ProfileData`] maps once at the end), and loop trip tracking walks the
+//! precomputed dense loop bitsets instead of hash sets. The uninitialized-
+//! read check is a const-generic parameter, so the default no-check path
+//! compiles with zero residue of it. Irregular instructions — broken IR from
+//! the fault-injection harness — take a cold slow path that replays the
+//! original [`Instr`] with the legacy per-instruction semantics, preserving
+//! the interpreter's *lazy* error discipline exactly (an error surfaces only
+//! when control reaches it, at the same read, in the same order).
+//!
+//! [`run`] lowers internally per call; callers that execute the same
+//! function repeatedly should lower once and use [`run_lowered`].
 
-use chf_ir::block::ExitTarget;
+use crate::lower::{LExitKind, LKind, LoweredProgram, TripInfo, NONE};
 use chf_ir::function::Function;
+use chf_ir::fxhash::FxHashMap;
 use chf_ir::ids::{BlockId, Reg};
 use chf_ir::instr::{Instr, Opcode, Operand};
-use chf_ir::loops::LoopForest;
 use chf_ir::profile::ProfileData;
-use chf_ir::fxhash::FxHashMap;
 use std::fmt;
 
 /// Configuration for a functional run.
@@ -172,7 +188,8 @@ impl FuncResult {
     }
 }
 
-fn eval(op: Opcode, a: i64, b: i64) -> i64 {
+#[inline]
+pub(crate) fn eval(op: Opcode, a: i64, b: i64) -> i64 {
     match op {
         Opcode::Add => a.wrapping_add(b),
         Opcode::Sub => a.wrapping_sub(b),
@@ -217,10 +234,18 @@ pub(crate) struct Machine {
 
 impl Machine {
     pub(crate) fn new(f: &Function, args: &[i64], mem_init: &[(i64, i64)]) -> Machine {
-        let n = f.reg_count() as usize;
-        let mut regs = vec![0i64; n];
-        let mut written = vec![false; n];
-        for (i, a) in args.iter().enumerate().take(f.params as usize) {
+        Machine::with_layout(f.reg_count() as usize, f.params, args, mem_init)
+    }
+
+    pub(crate) fn with_layout(
+        nregs: usize,
+        params: u32,
+        args: &[i64],
+        mem_init: &[(i64, i64)],
+    ) -> Machine {
+        let mut regs = vec![0i64; nregs];
+        let mut written = vec![false; nregs];
+        for (i, a) in args.iter().enumerate().take(params as usize) {
             regs[i] = *a;
             written[i] = true;
         }
@@ -262,57 +287,67 @@ impl Machine {
     }
 }
 
-/// Tracks trip counts of active loop visits during execution.
-struct TripTracker {
-    forest: LoopForest,
-    /// `loop index → current consecutive iteration count`, absent = inactive.
-    active: FxHashMap<usize, u64>,
+/// Tracks trip counts of active loop visits over the dense [`TripInfo`]
+/// bitsets: a vector of per-loop consecutive-iteration counts plus the
+/// (small) list of currently active loops.
+struct TripState<'a> {
+    ti: &'a TripInfo,
+    /// Per loop: current consecutive iteration count; `0` = inactive.
+    count: Vec<u64>,
+    /// Indices of loops with `count > 0`.
+    active: Vec<u32>,
 }
 
-impl TripTracker {
-    fn new(f: &Function) -> TripTracker {
-        TripTracker {
-            forest: LoopForest::of(f),
-            active: FxHashMap::default(),
+impl<'a> TripState<'a> {
+    fn new(ti: &'a TripInfo) -> TripState<'a> {
+        TripState {
+            ti,
+            count: vec![0; ti.n_loops],
+            active: Vec::new(),
         }
     }
 
-    fn on_block(&mut self, b: BlockId, profile: &mut ProfileData) {
+    #[inline]
+    fn on_block(&mut self, b: usize, profile: &mut ProfileData) {
         // Close visits of loops we've left.
-        let mut finished: Vec<usize> = Vec::new();
-        for (&li, _) in self.active.iter() {
-            if !self.forest.loops[li].body.contains(&b) {
-                finished.push(li);
+        let mut i = 0;
+        while i < self.active.len() {
+            let li = self.active[i];
+            if !self.ti.contains(li, b) {
+                let trips = std::mem::take(&mut self.count[li as usize]);
+                profile
+                    .trip_histograms
+                    .entry(self.ti.headers[li as usize])
+                    .or_default()
+                    .record(trips);
+                self.active.swap_remove(i);
+            } else {
+                i += 1;
             }
-        }
-        for li in finished {
-            let trips = self.active.remove(&li).unwrap();
-            profile
-                .trip_histograms
-                .entry(self.forest.loops[li].header)
-                .or_default()
-                .record(trips);
         }
         // Count an iteration when control reaches a header.
-        for (li, l) in self.forest.loops.iter().enumerate() {
-            if l.header == b {
-                *self.active.entry(li).or_insert(0) += 1;
+        let hl = self.ti.header_loop[b];
+        if hl != NONE {
+            if self.count[hl as usize] == 0 {
+                self.active.push(hl);
             }
+            self.count[hl as usize] += 1;
         }
     }
 
     fn finish(&mut self, profile: &mut ProfileData) {
-        for (li, trips) in self.active.drain() {
+        for li in self.active.drain(..) {
             profile
                 .trip_histograms
-                .entry(self.forest.loops[li].header)
+                .entry(self.ti.headers[li as usize])
                 .or_default()
-                .record(trips);
+                .record(self.count[li as usize]);
         }
     }
 }
 
-/// Execute `f` with the given arguments and initial memory.
+/// Execute `f` with the given arguments and initial memory (lowering it
+/// internally; see [`run_lowered`] to amortize the decode over many runs).
 ///
 /// # Errors
 /// Returns [`ExecError::OutOfFuel`] if `config.max_blocks` dynamic blocks
@@ -324,10 +359,40 @@ pub fn run(
     mem_init: &[(i64, i64)],
     config: &RunConfig,
 ) -> Result<FuncResult, ExecError> {
-    let mut m = Machine::new(f, args, mem_init);
+    let p = LoweredProgram::lower(f);
+    run_lowered(&p, args, mem_init, config)
+}
+
+/// Execute an already-lowered program.
+///
+/// # Errors
+/// As [`run`].
+pub fn run_lowered(
+    p: &LoweredProgram,
+    args: &[i64],
+    mem_init: &[(i64, i64)],
+    config: &RunConfig,
+) -> Result<FuncResult, ExecError> {
+    if config.check_uninit {
+        run_lowered_impl::<true>(p, args, mem_init, config)
+    } else {
+        run_lowered_impl::<false>(p, args, mem_init, config)
+    }
+}
+
+fn run_lowered_impl<const CHECK: bool>(
+    p: &LoweredProgram,
+    args: &[i64],
+    mem_init: &[(i64, i64)],
+    config: &RunConfig,
+) -> Result<FuncResult, ExecError> {
+    let mut m = Machine::with_layout(p.nregs, p.params, args, mem_init);
     let mut profile = ProfileData::default();
+    // Dense counters; folded into `profile`'s sparse maps at the end.
+    let mut block_counts = vec![0u64; p.n_blocks()];
+    let mut exit_counts = vec![0u64; p.n_exits()];
     let mut trips = if config.collect_trip_counts {
-        Some(TripTracker::new(f))
+        Some(TripState::new(p.trip_info()))
     } else {
         None
     };
@@ -335,9 +400,8 @@ pub fn run(
     let mut blocks_executed = 0u64;
     let mut insts_executed = 0u64;
     let mut insts_fetched = 0u64;
-    let check = config.check_uninit;
 
-    let mut cur = f.entry;
+    let mut cur = p.entry;
     let ret = 'outer: loop {
         if blocks_executed >= config.max_blocks {
             return Err(ExecError::OutOfFuel {
@@ -345,60 +409,198 @@ pub fn run(
             });
         }
         blocks_executed += 1;
-        *profile.block_counts.entry(cur).or_insert(0) += 1;
+        block_counts[cur as usize] += 1;
         if let Some(t) = trips.as_mut() {
-            t.on_block(cur, &mut profile);
+            t.on_block(cur as usize, &mut profile);
         }
 
-        let blk = f
-            .try_block(cur)
-            .ok_or(SimError::DanglingTarget { target: cur })?;
-        insts_fetched += blk.size() as u64;
+        let lb = &p.blocks[cur as usize];
+        insts_fetched += lb.size as u64;
 
-        for inst in &blk.insts {
-            if let Some(p) = inst.pred {
-                let v = m.read(p.reg, cur, check)?;
-                if (v != 0) != p.if_true {
+        for inst in &p.insts[lb.inst_start as usize..lb.inst_end as usize] {
+            if let LKind::Slow(si) = inst.kind {
+                // Cold path: replay the original instruction with the legacy
+                // per-instruction semantics (same reads, same error order).
+                let s = &p.slow[si as usize];
+                if let Some(pr) = s.inst.pred {
+                    let v = m.read(pr.reg, lb.id, CHECK)?;
+                    if (v != 0) != pr.if_true {
+                        continue;
+                    }
+                }
+                insts_executed += 1;
+                exec_inst(&mut m, &s.inst, lb.id, CHECK)?;
+                continue;
+            }
+            if inst.pred_reg != NONE {
+                let pi = inst.pred_reg as usize;
+                if CHECK && !m.written[pi] {
+                    return Err(SimError::UninitializedRead {
+                        block: lb.id,
+                        reg: Reg(inst.pred_reg),
+                    });
+                }
+                if (m.regs[pi] != 0) != inst.pred_if_true {
                     continue;
                 }
             }
             insts_executed += 1;
-            exec_inst(&mut m, inst, cur, check)?;
+            match inst.kind {
+                LKind::Alu => {
+                    let a = if inst.a_reg != NONE {
+                        let ai = inst.a_reg as usize;
+                        if CHECK && !m.written[ai] {
+                            return Err(SimError::UninitializedRead {
+                                block: lb.id,
+                                reg: Reg(inst.a_reg),
+                            });
+                        }
+                        m.regs[ai]
+                    } else {
+                        inst.a_imm
+                    };
+                    let b = if inst.b_reg != NONE {
+                        let bi = inst.b_reg as usize;
+                        if CHECK && !m.written[bi] {
+                            return Err(SimError::UninitializedRead {
+                                block: lb.id,
+                                reg: Reg(inst.b_reg),
+                            });
+                        }
+                        m.regs[bi]
+                    } else {
+                        inst.b_imm
+                    };
+                    let di = inst.dst as usize;
+                    m.regs[di] = eval(inst.op, a, b);
+                    if CHECK {
+                        m.written[di] = true;
+                    }
+                }
+                LKind::Load => {
+                    // The interpreter reads only the address operand for a
+                    // load (a present-but-unused `b` is never touched).
+                    let addr = if inst.a_reg != NONE {
+                        let ai = inst.a_reg as usize;
+                        if CHECK && !m.written[ai] {
+                            return Err(SimError::UninitializedRead {
+                                block: lb.id,
+                                reg: Reg(inst.a_reg),
+                            });
+                        }
+                        m.regs[ai]
+                    } else {
+                        inst.a_imm
+                    };
+                    let di = inst.dst as usize;
+                    m.regs[di] = m.mem.get(&addr).copied().unwrap_or(0);
+                    if CHECK {
+                        m.written[di] = true;
+                    }
+                }
+                LKind::Store => {
+                    let addr = if inst.a_reg != NONE {
+                        let ai = inst.a_reg as usize;
+                        if CHECK && !m.written[ai] {
+                            return Err(SimError::UninitializedRead {
+                                block: lb.id,
+                                reg: Reg(inst.a_reg),
+                            });
+                        }
+                        m.regs[ai]
+                    } else {
+                        inst.a_imm
+                    };
+                    let v = if inst.b_reg != NONE {
+                        let bi = inst.b_reg as usize;
+                        if CHECK && !m.written[bi] {
+                            return Err(SimError::UninitializedRead {
+                                block: lb.id,
+                                reg: Reg(inst.b_reg),
+                            });
+                        }
+                        m.regs[bi]
+                    } else {
+                        inst.b_imm
+                    };
+                    m.mem.insert(addr, v);
+                }
+                LKind::Slow(_) => unreachable!("handled above"),
+            }
         }
 
-        for (i, e) in blk.exits.iter().enumerate() {
-            let fires = match e.pred {
-                None => true,
-                Some(p) => {
-                    let v = m.read(p.reg, cur, check)?;
-                    (v != 0) == p.if_true
-                }
-            };
-            if !fires {
-                continue;
+        for j in lb.exit_start..lb.exit_end {
+            let e = &p.exits[j as usize];
+            if let Some(r) = e.pred_oor {
+                return Err(SimError::RegisterOutOfRange { block: lb.id, reg: r });
             }
-            *profile.exit_counts.entry((cur, i)).or_insert(0) += 1;
-            match e.target {
-                ExitTarget::Block(next) => {
+            if e.pred_reg != NONE {
+                let pi = e.pred_reg as usize;
+                if CHECK && !m.written[pi] {
+                    return Err(SimError::UninitializedRead {
+                        block: lb.id,
+                        reg: Reg(e.pred_reg),
+                    });
+                }
+                if (m.regs[pi] != 0) != e.pred_if_true {
+                    continue;
+                }
+            }
+            exit_counts[j as usize] += 1;
+            match e.kind {
+                LExitKind::Goto(next) => {
                     cur = next;
                     continue 'outer;
                 }
-                ExitTarget::Return(v) => {
-                    let ret = match v {
-                        None => None,
-                        Some(op) => Some(m.operand(op, cur, check)?),
-                    };
-                    break 'outer ret;
+                LExitKind::Dangling(target) => {
+                    // The legacy loop only discovers the dangling target at
+                    // the top of the next iteration, after the fuel check.
+                    if blocks_executed >= config.max_blocks {
+                        return Err(ExecError::OutOfFuel {
+                            executed: blocks_executed,
+                        });
+                    }
+                    return Err(SimError::DanglingTarget { target });
+                }
+                LExitKind::RetNone => break 'outer None,
+                LExitKind::RetImm(v) => break 'outer Some(v),
+                LExitKind::RetReg(r) => {
+                    let ri = r as usize;
+                    if CHECK && !m.written[ri] {
+                        return Err(SimError::UninitializedRead {
+                            block: lb.id,
+                            reg: Reg(r),
+                        });
+                    }
+                    break 'outer Some(m.regs[ri]);
+                }
+                LExitKind::RetRegOor(r) => {
+                    return Err(SimError::RegisterOutOfRange { block: lb.id, reg: r });
                 }
             }
         }
         // Verified IR always ends in an unpredicated default exit, but
         // chaos-injected IR may not.
-        return Err(SimError::NoFiringExit { block: cur });
+        return Err(SimError::NoFiringExit { block: lb.id });
     };
 
     if let Some(t) = trips.as_mut() {
         t.finish(&mut profile);
+    }
+    // Fold the dense counters into the sparse profile maps (only touched
+    // entries, matching the legacy entry-on-first-increment behaviour).
+    for (bi, &c) in block_counts.iter().enumerate() {
+        if c != 0 {
+            profile.block_counts.insert(p.blocks[bi].id, c);
+        }
+    }
+    for lb in &p.blocks {
+        for (j, idx) in (lb.exit_start..lb.exit_end).enumerate() {
+            let c = exit_counts[idx as usize];
+            if c != 0 {
+                profile.exit_counts.insert((lb.id, j), c);
+            }
+        }
     }
 
     Ok(FuncResult {
@@ -603,5 +805,45 @@ mod tests {
         let f = sum_loop();
         let r = run(&f, &[1], &[], &RunConfig::default()).unwrap();
         assert!(r.insts_fetched > r.insts_executed);
+    }
+
+    #[test]
+    fn lowered_handle_reuse_matches_per_call_lowering() {
+        let f = sum_loop();
+        let p = LoweredProgram::lower(&f);
+        let a = run_lowered(&p, &[9], &[], &RunConfig::default()).unwrap();
+        let b = run(&f, &[9], &[], &RunConfig::default()).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.blocks_executed, b.blocks_executed);
+        assert_eq!(a.profile.block_counts, b.profile.block_counts);
+        assert_eq!(a.profile.exit_counts, b.profile.exit_counts);
+    }
+
+    #[test]
+    fn broken_ir_errors_stay_lazy() {
+        // A malformed instruction on a never-taken path must not error; the
+        // same instruction on the taken path errors with the legacy variant.
+        let mut fb = FunctionBuilder::new("lazy", 1);
+        let e = fb.create_block();
+        let cold = fb.create_block();
+        let hot = fb.create_block();
+        fb.switch_to(e);
+        let c = fb.cmp_gt(reg(Reg(0)), Operand::Imm(10));
+        fb.branch(c, cold, hot);
+        fb.switch_to(cold);
+        let x = fb.add(reg(Reg(0)), Operand::Imm(1));
+        fb.ret(Some(reg(x)));
+        fb.switch_to(hot);
+        fb.ret(Some(Operand::Imm(7)));
+        let mut f = fb.build().unwrap();
+        // Corrupt the cold block: missing operand.
+        f.block_mut(BlockId(1)).insts[0].a = None;
+        // Not reached: runs fine.
+        assert_eq!(run(&f, &[0], &[], &RunConfig::default()).unwrap().ret, Some(7));
+        // Reached: the legacy error, lazily.
+        assert_eq!(
+            run(&f, &[99], &[], &RunConfig::default()).unwrap_err(),
+            SimError::MalformedInstruction { block: BlockId(1) }
+        );
     }
 }

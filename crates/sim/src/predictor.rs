@@ -64,11 +64,37 @@ struct Entry {
     confidence: u8,
 }
 
+/// Storage behind the `(block, history)` → [`Entry`] mapping.
+///
+/// Both variants implement the *same exact map*: an entry exists for a key
+/// iff it was trained, so the prediction/misprediction trajectory — and
+/// with it every golden cycle count — is identical regardless of which
+/// variant backs a run. The direct variant exists purely because the
+/// timing core probes the table once per dynamic block, and two array
+/// indexes beat hashing a 12-byte key.
+#[derive(Clone, Debug)]
+enum Table {
+    /// `history_bits` small enough that each block's entries fit a dense
+    /// array indexed by the raw (already-masked) history value. Block rows
+    /// are allocated lazily on first training so a fresh predictor costs
+    /// nothing for untouched blocks.
+    Direct {
+        blocks: Vec<Option<Box<[Option<Entry>]>>>,
+        row_len: usize,
+    },
+    /// Wider histories fall back to the general hash map.
+    Map(FxHashMap<(BlockId, u64), Entry>),
+}
+
+/// Widest global history (bits) served by the dense [`Table::Direct`]
+/// rows; 2^8 entries per touched block is a few KiB.
+const DIRECT_BITS_MAX: u32 = 8;
+
 /// Predicts which exit a block will take next.
 #[derive(Clone, Debug)]
 pub struct ExitPredictor {
     kind: PredictorKind,
-    table: FxHashMap<(BlockId, u64), Entry>,
+    table: Table,
     history: u64,
     history_mask: u64,
     max_confidence: u8,
@@ -83,9 +109,19 @@ impl ExitPredictor {
             PredictorKind::Hybrid => config.history_bits.min(62),
             PredictorKind::Bimodal | PredictorKind::Static => 0,
         };
+        let table = if bits <= DIRECT_BITS_MAX {
+            Table::Direct {
+                blocks: Vec::new(),
+                row_len: 1usize << bits,
+            }
+        } else {
+            // Preallocated so the steady-state table (typically a few
+            // hundred `(block, history)` pairs) never rehashes mid-run.
+            Table::Map(FxHashMap::with_capacity_and_hasher(1024, Default::default()))
+        };
         ExitPredictor {
             kind: config.kind,
-            table: FxHashMap::default(),
+            table,
             history: 0,
             history_mask: (1u64 << bits) - 1,
             max_confidence: config.max_confidence,
@@ -103,9 +139,27 @@ impl ExitPredictor {
         if self.kind == PredictorKind::Static {
             return None;
         }
-        self.table
-            .get(&(block, self.history))
-            .map(|e| e.target)
+        match &self.table {
+            Table::Direct { blocks, .. } => blocks
+                .get(block.0 as usize)
+                .and_then(|row| row.as_ref())
+                .and_then(|row| row[self.history as usize].as_ref())
+                .map(|e| e.target),
+            Table::Map(m) => m.get(&(block, self.history)).map(|e| e.target),
+        }
+    }
+
+    /// The 2-bit global-history contribution of a taken target.
+    ///
+    /// The hash function is load-bearing: history values key every table
+    /// entry, so changing it changes the misprediction trajectory (and
+    /// with it the golden cycle counts). It is therefore exposed so the
+    /// lowered program representation can cache the tag per exit and the
+    /// hot path can skip the hasher ([`Self::update_tagged`]).
+    pub fn history_tag(target: &ExitTarget) -> u8 {
+        let mut h = DefaultHasher::new();
+        target.hash(&mut h);
+        (h.finish() & 0b11) as u8
     }
 
     /// Record the actual target taken and update state, given the static
@@ -117,30 +171,76 @@ impl ExitPredictor {
         fallback: ExitTarget,
         actual: ExitTarget,
     ) -> bool {
-        let predicted = self.predict(block).unwrap_or(fallback);
-        let correct = predicted == actual;
+        let tag = Self::history_tag(&actual);
+        self.update_tagged(block, fallback, actual, tag)
+    }
+
+    /// [`Self::update`] with the target's [`Self::history_tag`]
+    /// precomputed. One table probe serves both the prediction read and
+    /// the training write; the outcome is identical to `update`.
+    pub fn update_tagged(
+        &mut self,
+        block: BlockId,
+        fallback: ExitTarget,
+        actual: ExitTarget,
+        tag: u8,
+    ) -> bool {
+        let is_static = self.kind == PredictorKind::Static;
+        let max_conf = self.max_confidence;
+        // Train an occupied slot; returns whether the dynamic prediction
+        // (the entry's target) was correct. Identical under both table
+        // variants.
+        let train = |entry: &mut Entry| {
+            let predicted = if is_static { fallback } else { entry.target };
+            let correct = predicted == actual;
+            if entry.target == actual {
+                entry.confidence = (entry.confidence + 1).min(max_conf);
+            } else if entry.confidence > 0 {
+                entry.confidence -= 1;
+            } else {
+                entry.target = actual;
+            }
+            correct
+        };
+        // A fresh entry trains on `actual` immediately (insert at
+        // confidence 0, then the `target == actual` bump).
+        let fresh = || Entry {
+            target: actual,
+            confidence: 1u8.min(max_conf),
+        };
+        let correct = match &mut self.table {
+            Table::Direct { blocks, row_len } => {
+                let bi = block.0 as usize;
+                if bi >= blocks.len() {
+                    blocks.resize_with(bi + 1, || None);
+                }
+                let row = blocks[bi]
+                    .get_or_insert_with(|| vec![None; *row_len].into_boxed_slice());
+                // `history` is kept masked, so it always indexes in range.
+                match &mut row[self.history as usize] {
+                    Some(entry) => train(entry),
+                    slot @ None => {
+                        *slot = Some(fresh());
+                        fallback == actual
+                    }
+                }
+            }
+            Table::Map(m) => {
+                use std::collections::hash_map::Entry as MapEntry;
+                match m.entry((block, self.history)) {
+                    MapEntry::Occupied(mut o) => train(o.get_mut()),
+                    MapEntry::Vacant(v) => {
+                        v.insert(fresh());
+                        fallback == actual
+                    }
+                }
+            }
+        };
         self.predictions += 1;
         if !correct {
             self.mispredictions += 1;
         }
-
-        let key = (block, self.history);
-        let max_conf = self.max_confidence;
-        let entry = self.table.entry(key).or_insert(Entry {
-            target: actual,
-            confidence: 0,
-        });
-        if entry.target == actual {
-            entry.confidence = (entry.confidence + 1).min(max_conf);
-        } else if entry.confidence > 0 {
-            entry.confidence -= 1;
-        } else {
-            entry.target = actual;
-        }
-
-        let mut h = DefaultHasher::new();
-        actual.hash(&mut h);
-        self.history = ((self.history << 2) ^ (h.finish() & 0b11)) & self.history_mask;
+        self.history = ((self.history << 2) ^ u64::from(tag)) & self.history_mask;
         correct
     }
 

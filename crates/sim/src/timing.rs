@@ -1,4 +1,5 @@
-//! TRIPS-like cycle-level timing model.
+//! TRIPS-like cycle-level timing model, event-driven over the pre-decoded
+//! [`LoweredProgram`] representation.
 //!
 //! The model executes the program functionally (so it is exact on control
 //! flow and data) while charging cycles for the microarchitectural effects
@@ -25,12 +26,45 @@
 //!   adds a flush penalty (the parser_1 effect).
 //! * **In-flight window** — at most `window_blocks` blocks in flight; blocks
 //!   commit in order.
+//!
+//! # The event-driven core
+//!
+//! The engine processes three kinds of events, all in cycle order:
+//!
+//! * **Operand wake-up.** Each instruction is enqueued for issue at the
+//!   cycle its *last* operand or predicate arrives (`ready`, the max of the
+//!   producing availability times). Wake-ups are inserted into a calendar
+//!   **bucket queue** keyed by cycle ([`IssueRing`], a power-of-two ring of
+//!   per-cycle slot counters whose base rotates forward with block
+//!   dispatch); claiming an issue slot is a forward probe from the wake-up
+//!   bucket, O(1) amortized, replacing the legacy per-instruction hash-map
+//!   probe. Within a cycle, slots are granted in program order — exactly
+//!   the order the legacy first-fit scan granted them — so issue times are
+//!   identical by construction.
+//! * **Block fetch/dispatch.** The next block's dispatch event fires at
+//!   `fetch_ready`, delayed by the window-slot release event (the oldest
+//!   in-flight block's commit) when the 8-block window is full, and by the
+//!   flush event (`resolve + mispredict_penalty`) after a misprediction.
+//! * **Commit.** In-order: a block's commit event fires once its stores,
+//!   live-out register writes, and branch decision have all resolved, no
+//!   earlier than the previous commit plus the commit overhead.
+//!
+//! Because every event time is the max of already-known event times, the
+//! calendar never needs to revisit a bucket: the simulation advances
+//! monotonically, one pass over the dynamic instruction stream. The result
+//! is **cycle-for-cycle identical** to the legacy model
+//! ([`crate::timing_legacy::simulate_timing_legacy`], behind the
+//! `legacy-sim` feature), which `tests/differential.rs` and the table-1
+//! golden cycle snapshot enforce.
+//!
+//! Callers that simulate the same function many times should lower once
+//! via [`LoweredProgram::lower`] and call [`simulate_timing_lowered`];
+//! [`simulate_timing`] lowers internally per call.
 
-use crate::functional::{exec_inst, Machine, SimError};
+use crate::functional::{eval, SimError};
+use crate::lower::{LExitKind, LKind, LoweredProgram, NONE};
 use crate::predictor::{ExitPredictor, PredictorConfig};
-use chf_ir::block::ExitTarget;
 use chf_ir::function::Function;
-use chf_ir::instr::{Opcode, Operand};
 use chf_ir::fxhash::FxHashMap;
 use std::collections::VecDeque;
 
@@ -45,7 +79,9 @@ pub enum MemoryOrdering {
     /// (upper bound).
     Oracle,
     /// Loads wait only for earlier same-address stores in the block
-    /// (ideal conflict detection; the default).
+    /// (ideal conflict detection; the default). Implemented with a
+    /// per-address last-store map — O(1) per load, not a rescan of the
+    /// block's earlier stores.
     #[default]
     Exact,
     /// Loads wait for *all* earlier stores in the block (no speculation).
@@ -154,41 +190,98 @@ impl TimingResult {
     }
 }
 
-/// Tracks issue-slot occupancy per cycle, pruned as time advances.
-struct IssueSlots {
-    used: FxHashMap<u64, u32>,
-    width: u32,
-    prune_floor: u64,
+/// A register's current value together with the cycle it becomes
+/// available. Keeping both in one slot means each operand read performs a
+/// single (bounds-checked) array access and pulls value + timestamp in the
+/// same cache line.
+#[derive(Copy, Clone)]
+struct RegSlot {
+    val: i64,
+    t: u64,
 }
 
-impl IssueSlots {
+/// Calendar bucket queue of issue-slot occupancy: one counter per cycle in
+/// a power-of-two ring whose `base` rotates forward with block dispatch.
+///
+/// Every wake-up is enqueued at a cycle ≥ the current dispatch (readiness
+/// is clamped to `dispatch + 1`), and dispatch is monotone, so buckets
+/// behind `base` can never be probed again. Each bucket is *cycle-stamped*
+/// — the claimed-slot count packs with the cycle it belongs to, and a
+/// stamp mismatch reads as an empty bucket — so rotating the window
+/// forward is O(1): stale buckets are never cleared, merely reinterpreted.
+/// `issue_at` is the wake-up insertion: probe forward from the ready
+/// bucket for the first cycle with a free slot and claim it.
+struct IssueRing {
+    /// `(cycle << 8) | claimed` per bucket; the stamp makes stale buckets
+    /// self-invalidating. Valid for `claimed < 256` (issue widths are far
+    /// narrower) and cycles below 2^56.
+    slots: Vec<u64>,
+    mask: u64,
+    /// First cycle probeable; buckets logically cover
+    /// `[base, base + slots.len())`.
+    base: u64,
+    width: u64,
+}
+
+impl IssueRing {
     fn new(width: u32) -> Self {
-        IssueSlots {
-            used: FxHashMap::default(),
-            width,
-            prune_floor: 0,
+        IssueRing {
+            slots: vec![0; 1024],
+            mask: 1023,
+            base: 0,
+            // Clamp into the packed-count range; issue widths are single
+            // digits to low tens in practice.
+            width: u64::from(width).min(255),
+        }
+    }
+
+    /// Rotate the window forward so it starts at `floor`. Stale buckets
+    /// invalidate themselves via their stamps, so this is O(1).
+    #[inline]
+    fn advance_to(&mut self, floor: u64) {
+        if floor > self.base {
+            self.base = floor;
+        }
+    }
+
+    /// Double the ring until cycle `t` fits, re-placing live buckets (the
+    /// ones stamped within the current window).
+    #[cold]
+    fn grow_to(&mut self, t: u64) {
+        while t - self.base > self.mask {
+            let doubled = vec![0; self.slots.len() * 2];
+            let old = std::mem::replace(&mut self.slots, doubled);
+            self.mask = self.mask * 2 + 1;
+            for s in old {
+                let c = s >> 8;
+                if c >= self.base {
+                    self.slots[(c & self.mask) as usize] = s;
+                }
+            }
         }
     }
 
     /// First cycle ≥ `ready` with a free slot; claims it.
+    #[inline]
     fn issue_at(&mut self, ready: u64) -> u64 {
-        let mut t = ready;
+        let mut t = ready.max(self.base);
         loop {
-            let n = self.used.entry(t).or_insert(0);
-            if *n < self.width {
-                *n += 1;
+            if t - self.base > self.mask {
+                self.grow_to(t);
+            }
+            // Masking with `len - 1` (the ring is a power of two) keeps
+            // the index provably in bounds.
+            let m = self.slots.len() - 1;
+            let s = &mut self.slots[(t as usize) & m];
+            // A stamp from another cycle means the bucket is logically
+            // empty. Within the window the stamp can only equal `t` or
+            // belong to a rotated-out past cycle, never a future one.
+            let claimed = if *s >> 8 == t { *s & 0xff } else { 0 };
+            if claimed < self.width {
+                *s = (t << 8) | (claimed + 1);
                 return t;
             }
             t += 1;
-        }
-    }
-
-    /// Drop bookkeeping for cycles before `floor` (nothing issues in the
-    /// past).
-    fn prune_before(&mut self, floor: u64) {
-        if floor > self.prune_floor + 4096 {
-            self.used.retain(|t, _| *t >= floor);
-            self.prune_floor = floor;
         }
     }
 }
@@ -243,7 +336,8 @@ impl TimingTrace {
     }
 }
 
-/// Simulate `f` on the TRIPS-like timing model.
+/// Simulate `f` on the TRIPS-like timing model (lowering it internally;
+/// see [`simulate_timing_lowered`] to amortize the decode over many runs).
 ///
 /// # Errors
 /// Returns [`SimError::OutOfFuel`] if the block budget is exhausted, or a
@@ -256,7 +350,8 @@ pub fn simulate_timing(
     mem_init: &[(i64, i64)],
     config: &TimingConfig,
 ) -> Result<TimingResult, SimError> {
-    simulate_timing_impl(f, args, mem_init, config, None).map(|(r, _)| r)
+    let p = LoweredProgram::lower(f);
+    simulate_timing_lowered(&p, args, mem_init, config)
 }
 
 /// Like [`simulate_timing`], additionally recording a per-block
@@ -271,61 +366,313 @@ pub fn simulate_timing_traced(
     mem_init: &[(i64, i64)],
     config: &TimingConfig,
 ) -> Result<(TimingResult, TimingTrace), SimError> {
-    let mut trace = TimingTrace::default();
-    let r = simulate_timing_impl(f, args, mem_init, config, Some(&mut trace))?;
-    Ok((r.0, trace))
+    let p = LoweredProgram::lower(f);
+    simulate_timing_lowered_traced(&p, args, mem_init, config)
 }
 
-fn simulate_timing_impl(
-    f: &Function,
+/// Simulate an already-lowered program on the timing model.
+///
+/// # Errors
+/// As [`simulate_timing`].
+pub fn simulate_timing_lowered(
+    p: &LoweredProgram,
+    args: &[i64],
+    mem_init: &[(i64, i64)],
+    config: &TimingConfig,
+) -> Result<TimingResult, SimError> {
+    simulate_lowered_impl(p, args, mem_init, config, None)
+}
+
+/// [`simulate_timing_lowered`] with a per-block [`TimingTrace`].
+///
+/// # Errors
+/// As [`simulate_timing`].
+pub fn simulate_timing_lowered_traced(
+    p: &LoweredProgram,
+    args: &[i64],
+    mem_init: &[(i64, i64)],
+    config: &TimingConfig,
+) -> Result<(TimingResult, TimingTrace), SimError> {
+    let mut trace = TimingTrace::default();
+    let r = simulate_lowered_impl(p, args, mem_init, config, Some(&mut trace))?;
+    Ok((r, trace))
+}
+
+/// Number of words in [`SimMemory`]'s dense window. Sized to cover the
+/// address ranges the workloads actually touch (data segments at
+/// 1000/2000/3000 plus up to a few hundred words each).
+const DENSE_WORDS: usize = 1 << 12;
+
+/// Words per [`SimMemory`] touched-bitmap entry array.
+const TOUCHED_WORDS: usize = DENSE_WORDS / 64;
+
+/// Recycled [`SimMemory`] backing: dense window + touched bitmap.
+type MemScratch = (Box<[i64; DENSE_WORDS]>, Box<[u64; TOUCHED_WORDS]>);
+
+thread_local! {
+    /// Reusable [`SimMemory`] backing buffers. The dense window is *not*
+    /// zeroed between runs — the touched bitmap gates every read, so only
+    /// the bitmap (64 words) is cleared per simulation. Fixed-size boxed
+    /// arrays so dense indexing after the window range check is provably
+    /// in bounds.
+    static MEM_SCRATCH: std::cell::RefCell<Option<MemScratch>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// A zeroed fixed-size boxed array, heap-constructed (no large stack
+/// temporary).
+fn boxed_zeroed<T: Copy + Default, const N: usize>() -> Box<[T; N]> {
+    vec![T::default(); N]
+        .into_boxed_slice()
+        .try_into()
+        .unwrap_or_else(|_| unreachable!("length matches"))
+}
+
+/// Simulated data memory: a dense window over small non-negative addresses
+/// (the layout the workload generators and testgen programs overwhelmingly
+/// use) backed by a hash-map spill for everything else. Behaviourally
+/// identical to a plain map — unwritten cells read as zero and
+/// [`SimMemory::to_map`] reports exactly the written cells, including
+/// written zeros. Dense cells are only valid under their touched bit, so
+/// the buffers can be recycled across runs (see [`MEM_SCRATCH`]) without
+/// zeroing the window.
+struct SimMemory {
+    dense: Box<[i64; DENSE_WORDS]>,
+    /// Bitmap of dense cells written (or initialized) *this run*: the
+    /// final memory image distinguishes "wrote 0" from "never wrote", and
+    /// stale values from a recycled buffer are never observable.
+    touched: Box<[u64; TOUCHED_WORDS]>,
+    spill: FxHashMap<i64, i64>,
+}
+
+impl SimMemory {
+    fn new(init: &[(i64, i64)]) -> Self {
+        let (dense, mut touched) = MEM_SCRATCH
+            .with(|s| s.borrow_mut().take())
+            .unwrap_or_else(|| (boxed_zeroed(), boxed_zeroed()));
+        touched.iter_mut().for_each(|w| *w = 0);
+        let mut m = SimMemory {
+            dense,
+            touched,
+            spill: FxHashMap::default(),
+        };
+        for &(a, v) in init {
+            m.store(a, v);
+        }
+        m
+    }
+
+    /// Read `addr` (zero when unwritten). The `as u64` compare folds the
+    /// negative-address case into the spill path.
+    #[inline]
+    fn load(&self, addr: i64) -> i64 {
+        if (addr as u64) < DENSE_WORDS as u64 {
+            let a = addr as usize;
+            if self.touched[a >> 6] & (1u64 << (a & 63)) != 0 {
+                self.dense[a]
+            } else {
+                0
+            }
+        } else {
+            self.spill.get(&addr).copied().unwrap_or(0)
+        }
+    }
+
+    #[inline]
+    fn store(&mut self, addr: i64, v: i64) {
+        if (addr as u64) < DENSE_WORDS as u64 {
+            let a = addr as usize;
+            self.dense[a] = v;
+            self.touched[a >> 6] |= 1u64 << (a & 63);
+        } else {
+            self.spill.insert(addr, v);
+        }
+    }
+
+    /// The final memory image, exactly as a map-backed simulation would
+    /// have produced it. Sized up front (popcount of the touched bitmap)
+    /// so the build never rehashes.
+    fn to_map(&self) -> FxHashMap<i64, i64> {
+        let dense_cells: usize = self.touched.iter().map(|w| w.count_ones() as usize).sum();
+        let mut out =
+            FxHashMap::with_capacity_and_hasher(dense_cells + self.spill.len(), Default::default());
+        out.extend(self.spill.iter().map(|(&a, &v)| (a, v)));
+        for (w, &word) in self.touched.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let a = (w << 6) | bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                out.insert(a as i64, self.dense[a]);
+            }
+        }
+        out
+    }
+
+    /// Return the backing buffers to the thread-local scratch pool. Called
+    /// on the successful simulation path; error paths simply drop (and the
+    /// next run allocates fresh zeroed buffers — rare, and a fresh zeroed
+    /// buffer is always valid).
+    fn recycle(self) {
+        let SimMemory { dense, touched, .. } = self;
+        MEM_SCRATCH.with(|s| *s.borrow_mut() = Some((dense, touched)));
+    }
+}
+
+/// Recycled [`Lsq`] backing: stamp array, done array, next free epoch.
+type LsqScratch = (Box<[u64; DENSE_WORDS]>, Box<[u64; DENSE_WORDS]>, u64);
+
+thread_local! {
+    /// Reusable [`Lsq`] backing buffers plus the next free epoch token.
+    /// Tokens increase strictly across recycled runs, so a recycled stamp
+    /// array never needs clearing: stale stamps can never equal a live
+    /// token.
+    static LSQ_SCRATCH: std::cell::RefCell<Option<LsqScratch>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Per-address completion times of the current block's executed stores —
+/// the exact-LSQ wait discipline. A dense window over the same address
+/// range as [`SimMemory`] (epoch-stamped per dynamic block, so neither
+/// block transitions nor run boundaries ever clear it) with a hash-map
+/// spill for out-of-window addresses.
+struct Lsq {
+    stamp: Box<[u64; DENSE_WORDS]>,
+    done: Box<[u64; DENSE_WORDS]>,
+    spill: FxHashMap<i64, (u64, u64)>,
+    /// Token base for this run; block `gen` uses token `base + gen`.
+    base: u64,
+    /// Highest token handed out (sets the next run's `base`).
+    hi: u64,
+}
+
+impl Lsq {
+    fn new() -> Self {
+        let (stamp, done, base) = LSQ_SCRATCH
+            .with(|s| s.borrow_mut().take())
+            .unwrap_or_else(|| (boxed_zeroed(), boxed_zeroed(), 0));
+        Lsq {
+            stamp,
+            done,
+            spill: FxHashMap::default(),
+            base,
+            hi: base,
+        }
+    }
+
+    /// The epoch token for dynamic block number `gen` (`gen >= 1`).
+    #[inline]
+    fn token(&mut self, gen: u64) -> u64 {
+        let tok = self.base + gen;
+        self.hi = self.hi.max(tok);
+        tok
+    }
+
+    /// Record a store to `addr` completing at `done` under block token
+    /// `tok`; same-address stores within a block keep the latest time.
+    #[inline]
+    fn record(&mut self, addr: i64, tok: u64, done: u64) {
+        if (addr as u64) < DENSE_WORDS as u64 {
+            let a = addr as usize;
+            if self.stamp[a] == tok {
+                self.done[a] = self.done[a].max(done);
+            } else {
+                self.stamp[a] = tok;
+                self.done[a] = done;
+            }
+        } else {
+            let e = self.spill.entry(addr).or_insert((0, 0));
+            if e.0 == tok {
+                e.1 = e.1.max(done);
+            } else {
+                *e = (tok, done);
+            }
+        }
+    }
+
+    /// Completion time of this block's last store to `addr`, if any.
+    #[inline]
+    fn wait_for(&self, addr: i64, tok: u64) -> Option<u64> {
+        if (addr as u64) < DENSE_WORDS as u64 {
+            let a = addr as usize;
+            if self.stamp[a] == tok {
+                Some(self.done[a])
+            } else {
+                None
+            }
+        } else {
+            match self.spill.get(&addr) {
+                Some(&(g, t)) if g == tok => Some(t),
+                _ => None,
+            }
+        }
+    }
+}
+
+impl Lsq {
+    /// As [`SimMemory::recycle`]: return the buffers (and the next free
+    /// epoch) to the scratch pool on the successful path. A dropped `Lsq`
+    /// (error path) costs the next run a fresh zeroed allocation, which
+    /// restarts the epoch space consistently (zero stamps never match a
+    /// token, since tokens start at `base + 1`).
+    fn recycle(self) {
+        let Lsq { stamp, done, hi, .. } = self;
+        LSQ_SCRATCH.with(|s| *s.borrow_mut() = Some((stamp, done, hi + 1)));
+    }
+}
+
+/// Tag bit marking a `written` entry as a live-out definition. Register
+/// indices are always well below 2^31 (they are bounded by `nregs`), so the
+/// top bit is free to carry the commit-rule flag and each write event packs
+/// into a single word.
+const LIVE_OUT_BIT: u32 = 1 << 31;
+
+fn simulate_lowered_impl(
+    p: &LoweredProgram,
+    args: &[i64],
+    mem_init: &[(i64, i64)],
+    config: &TimingConfig,
+    trace: Option<&mut TimingTrace>,
+) -> Result<TimingResult, SimError> {
+    // TRIPS forwards operands over the operand network for free
+    // (`operand_latency == 0`, the default configuration). Specializing
+    // the hot loop on that case lets every `+ op_lat` in the per-operand
+    // wake-up arithmetic constant-fold away.
+    if config.operand_latency == 0 {
+        simulate_lowered_generic::<true>(p, args, mem_init, config, trace)
+    } else {
+        simulate_lowered_generic::<false>(p, args, mem_init, config, trace)
+    }
+}
+
+fn simulate_lowered_generic<const ZERO_OPLAT: bool>(
+    p: &LoweredProgram,
     args: &[i64],
     mem_init: &[(i64, i64)],
     config: &TimingConfig,
     mut trace: Option<&mut TimingTrace>,
-) -> Result<(TimingResult, ()), SimError> {
-    let mut m = Machine::new(f, args, mem_init);
-    let nregs = f.reg_count() as usize;
-    // Reject out-of-range register references up front: the dense `avail`
-    // vector below (and the liveness bitsets) index by register number, so
-    // this single O(insts) sweep makes every later lookup in-bounds by
-    // construction instead of a panic waiting for corrupted IR.
-    for (id, blk) in f.blocks() {
-        for inst in &blk.insts {
-            for r in inst.uses().chain(inst.def()) {
-                if r.index() >= nregs {
-                    return Err(SimError::RegisterOutOfRange { block: id, reg: r.0 });
-                }
-            }
-        }
-        for e in &blk.exits {
-            if let Some(p) = e.pred {
-                if p.reg.index() >= nregs {
-                    return Err(SimError::RegisterOutOfRange {
-                        block: id,
-                        reg: p.reg.0,
-                    });
-                }
-            }
-            if let ExitTarget::Return(Some(Operand::Reg(r))) = e.target {
-                if r.index() >= nregs {
-                    return Err(SimError::RegisterOutOfRange { block: id, reg: r.0 });
-                }
-            }
-        }
+) -> Result<TimingResult, SimError> {
+    // The legacy model's eager out-of-range sweep, precomputed at lowering
+    // in the same scan order: reject before executing anything.
+    if let Some(e) = &p.timing_reject {
+        return Err(e.clone());
     }
-    // Block outputs: a TRIPS block commits once it has produced its stores,
-    // its (live-out) register writes, and a branch decision — instructions
-    // feeding nothing observable never delay commit (paper §5: EDGE commits
-    // as soon as outputs are produced, so a long falsely-predicated or dead
-    // path does not stretch the schedule).
-    let liveness = chf_ir::liveness::Liveness::compute(f);
-    // Cycle at which each register's current value becomes available.
-    let mut avail: Vec<u64> = vec![0; nregs];
+    let nregs = p.nregs;
+    // One slot per architectural register holding both the current value
+    // and the cycle it becomes available: every operand read touches (and
+    // bounds-checks) a single array instead of parallel `regs`/`avail`
+    // vectors. Padded to at least one slot so the clamped (branchless)
+    // operand reads below always have a valid index to land on, even for
+    // register-free functions.
+    let mut rf: Vec<RegSlot> = vec![RegSlot { val: 0, t: 0 }; nregs.max(1)];
+    for (i, a) in args.iter().enumerate().take(p.params as usize) {
+        rf[i].val = *a;
+    }
+    let mut mem = SimMemory::new(mem_init);
     let mut predictor = ExitPredictor::new(&config.predictor);
-    let mut slots = IssueSlots::new(config.issue_width);
+    let mut ring = IssueRing::new(config.issue_width);
 
-    // In-order commit times of in-flight blocks.
-    let mut inflight: VecDeque<u64> = VecDeque::new();
+    // Pending commit events of in-flight blocks (in order).
+    let mut inflight: VecDeque<u64> = VecDeque::with_capacity(config.window_blocks + 1);
     let mut last_commit: u64 = 0;
     let mut fetch_ready: u64 = 0;
 
@@ -334,161 +681,212 @@ fn simulate_timing_impl(
     let mut insts_nullified = 0u64;
     let mut insts_fetched = 0u64;
 
-    let mut written_this_block: Vec<u32> = Vec::new();
-    let mut cur = f.entry;
+    // Registers written (or null-forwarded) this block, each packed with
+    // its def-is-live-out bit ([`LIVE_OUT_BIT`]) for the commit rule.
+    let mut written: Vec<u32> = Vec::new();
+    // Per-address completion time of this block's executed stores,
+    // epoch-stamped with the dynamic block number so it never needs
+    // clearing between blocks (or runs).
+    let mut lsq = Lsq::new();
+    let exact = config.memory_ordering == MemoryOrdering::Exact;
+    let op_lat = if ZERO_OPLAT { 0 } else { config.operand_latency };
+    // Per-block fetch/map latency, precomputed once per run so the block
+    // loop never divides.
+    let map_cycles: Vec<u64> = p
+        .blocks
+        .iter()
+        .map(|b| {
+            config.block_overhead + (b.size as u64).div_ceil(config.fetch_bandwidth as u64)
+        })
+        .collect();
 
-    let ret = 'outer: loop {
+    let mut cur = p.entry;
+    let ret: Option<i64> = 'outer: loop {
         if blocks_executed >= config.max_blocks {
             return Err(SimError::OutOfFuel {
                 executed: blocks_executed,
             });
         }
         blocks_executed += 1;
+        let tok = lsq.token(blocks_executed);
         let (exec_before, null_before) = (insts_executed, insts_nullified);
 
-        let blk = f
-            .try_block(cur)
-            .ok_or(SimError::DanglingTarget { target: cur })?;
-        let size = blk.size() as u64;
-        insts_fetched += size;
+        let lb = &p.blocks[cur as usize];
+        insts_fetched += lb.size as u64;
 
-        // --- Dispatch: wait for fetch, and for a window slot. ---
+        // --- Dispatch event: fetch-ready, delayed by the window-slot
+        // release (oldest in-flight commit) when the window is full. ---
         let mut dispatch = fetch_ready;
         if inflight.len() >= config.window_blocks {
-            let oldest = inflight.pop_front().unwrap();
-            dispatch = dispatch.max(oldest);
+            if let Some(oldest) = inflight.pop_front() {
+                dispatch = dispatch.max(oldest);
+            }
         }
-        slots.prune_before(dispatch);
+        ring.advance_to(dispatch);
 
         // Fetch/map of the *next* block is serialized behind this one.
-        let map_cycles = config.block_overhead + size.div_ceil(config.fetch_bandwidth as u64);
-        fetch_ready = dispatch + map_cycles;
+        fetch_ready = dispatch + map_cycles[cur as usize];
 
-        // --- Execute instructions in dataflow order. ---
-        written_this_block.clear();
-        // Executed stores in this block instance: (address, completion).
-        let mut block_stores: Vec<(i64, u64)> = Vec::new();
+        // --- Operand wake-up: one pass in program order, enqueueing each
+        // instruction at its last-operand-arrival cycle and claiming its
+        // issue slot from the calendar. ---
+        written.clear();
+        let mut any_store_done: u64 = 0;
         let mut outputs_done = dispatch;
-        for inst in &blk.insts {
+        // `rf` is never resized, so the clamp bound is loop-invariant.
+        let last = rf.len() - 1;
+        for inst in &p.insts[lb.inst_start as usize..lb.inst_end as usize] {
             // Resolve the predicate functionally and find its ready time.
-            let (executes, pred_ready) = match inst.pred {
-                None => (true, dispatch),
-                Some(p) => {
-                    let v = m.read(p.reg, cur, false)?;
-                    let t = avail[p.reg.index()] + config.operand_latency;
-                    (((v != 0) == p.if_true), t.max(dispatch))
-                }
+            // As with the operand reads below, the slot access is clamped
+            // to a valid index (lowering guarantees in-range registers, so
+            // the clamp is an identity) — the bounds check disappears and
+            // the unpredicated case becomes a select.
+            let sp = rf[(inst.pred_reg as usize).min(last)];
+            let (executes, pred_ready) = if inst.pred_reg == NONE {
+                (true, dispatch)
+            } else {
+                ((sp.val != 0) == inst.pred_if_true, (sp.t + op_lat).max(dispatch))
             };
 
             if !executes {
                 insts_nullified += 1;
                 // Null token: the old value of dst forwards once the
                 // predicate resolves.
-                if let Some(d) = inst.def() {
-                    if avail[d.index()] < pred_ready {
-                        avail[d.index()] = pred_ready;
-                        written_this_block.push(d.0);
+                if inst.dst != NONE {
+                    let s = &mut rf[(inst.dst as usize).min(last)];
+                    if s.t < pred_ready {
+                        s.t = pred_ready;
+                        written.push(inst.dst | (u32::from(inst.def_live_out) << 31));
                     }
                 }
                 continue;
             }
 
             insts_executed += 1;
-            let mut ready = pred_ready.max(dispatch + 1);
-            for o in [inst.a, inst.b].into_iter().flatten() {
-                if let Operand::Reg(r) = o {
-                    ready = ready.max(avail[r.index()] + config.operand_latency);
+            // Both operands' values and arrival times in one read each;
+            // immediates arrive at cycle 0 (never the max). The slot read
+            // is unconditional (clamped to a valid index) so the
+            // reg-vs-immediate selects lower to branchless moves instead of
+            // a data-dependent branch per operand.
+            let sa = rf[(inst.a_reg as usize).min(last)];
+            let (a, ta) = if inst.a_reg != NONE {
+                (sa.val, sa.t + op_lat)
+            } else {
+                (inst.a_imm, 0)
+            };
+            let sb = rf[(inst.b_reg as usize).min(last)];
+            let (b, tb) = if inst.b_reg != NONE {
+                (sb.val, sb.t + op_lat)
+            } else {
+                (inst.b_imm, 0)
+            };
+            let mut ready = pred_ready.max(dispatch + 1).max(ta).max(tb);
+
+            match inst.kind {
+                LKind::Alu => {
+                    let issue = ring.issue_at(ready);
+                    let done = issue + u64::from(inst.latency);
+                    rf[(inst.dst as usize).min(last)] = RegSlot {
+                        val: eval(inst.op, a, b),
+                        t: done,
+                    };
+                    written.push(inst.dst | (u32::from(inst.def_live_out) << 31));
                 }
-            }
-            // In-block memory ordering: a load may have to wait for earlier
-            // stores, per the configured LSQ discipline.
-            if inst.op == Opcode::Load {
-                match config.memory_ordering {
-                    MemoryOrdering::Oracle => {}
-                    MemoryOrdering::Exact => {
-                        let addr = m.operand(
-                            inst.a
-                                .ok_or(SimError::MalformedInstruction { block: cur })?,
-                            cur,
-                            false,
-                        )?;
-                        for &(sa, st) in &block_stores {
-                            if sa == addr {
-                                ready = ready.max(st);
+                LKind::Load => {
+                    // LSQ wait event, per the configured discipline (`a` is
+                    // the effective address).
+                    match config.memory_ordering {
+                        MemoryOrdering::Oracle => {}
+                        MemoryOrdering::Exact => {
+                            if inst.stores_before > 0 {
+                                if let Some(t) = lsq.wait_for(a, tok) {
+                                    ready = ready.max(t);
+                                }
                             }
                         }
-                    }
-                    MemoryOrdering::Conservative => {
-                        for &(_, st) in &block_stores {
-                            ready = ready.max(st);
+                        MemoryOrdering::Conservative => {
+                            ready = ready.max(any_store_done);
                         }
                     }
+                    let issue = ring.issue_at(ready);
+                    let done = issue + u64::from(inst.latency);
+                    rf[(inst.dst as usize).min(last)] = RegSlot {
+                        val: mem.load(a),
+                        t: done,
+                    };
+                    written.push(inst.dst | (u32::from(inst.def_live_out) << 31));
+                }
+                LKind::Store => {
+                    let issue = ring.issue_at(ready);
+                    let done = issue + u64::from(inst.latency);
+                    outputs_done = outputs_done.max(done);
+                    mem.store(a, b);
+                    if exact {
+                        lsq.record(a, tok, done);
+                    }
+                    any_store_done = any_store_done.max(done);
+                }
+                LKind::Slow(_) => {
+                    // An executed irregular instruction is missing a
+                    // required operand (out-of-range registers were
+                    // rejected eagerly above): the legacy model errors
+                    // inside its execution step, discarding all state, so
+                    // the error value is the only observable — the operand
+                    // reads and counter bumps above are pure and die with
+                    // the run.
+                    return Err(SimError::MalformedInstruction { block: lb.id });
                 }
             }
-            let issue = slots.issue_at(ready);
-            let done = issue + inst.op.latency();
-            if inst.op == Opcode::Store {
-                outputs_done = outputs_done.max(done);
-                let addr = m.operand(
-                    inst.a
-                        .ok_or(SimError::MalformedInstruction { block: cur })?,
-                    cur,
-                    false,
-                )?;
-                block_stores.push((addr, done));
-            }
-            if let Some(d) = inst.def() {
-                avail[d.index()] = done;
-                written_this_block.push(d.0);
-            }
-            exec_inst(&mut m, inst, cur, false)?;
         }
 
         // --- Resolve exits: find the fired exit and its resolve time. ---
         let mut resolve = dispatch + 1;
-        let mut fired: Option<(usize, ExitTarget)> = None;
-        for (i, e) in blk.exits.iter().enumerate() {
-            match e.pred {
-                None => {
-                    fired = Some((i, e.target));
-                    break;
-                }
-                Some(p) => {
-                    let v = m.read(p.reg, cur, false)?;
-                    let t = avail[p.reg.index()] + config.operand_latency;
-                    resolve = resolve.max(t);
-                    if (v != 0) == p.if_true {
-                        fired = Some((i, e.target));
-                        break;
-                    }
-                }
+        let mut fired = None;
+        for e in &p.exits[lb.exit_start as usize..lb.exit_end as usize] {
+            if let Some(r) = e.pred_oor {
+                // Unreachable when `timing_reject` is honored (the sweep
+                // found it first), but degrade identically regardless.
+                return Err(SimError::RegisterOutOfRange { block: lb.id, reg: r });
+            }
+            if e.pred_reg == NONE {
+                fired = Some(e);
+                break;
+            }
+            let s = rf[e.pred_reg as usize];
+            resolve = resolve.max(s.t + op_lat);
+            if (s.val != 0) == e.pred_if_true {
+                fired = Some(e);
+                break;
             }
         }
         // Verified IR always ends in an unpredicated default exit; injected
         // faults can leave the exit set non-total.
-        let (exit_idx, target) = fired.ok_or(SimError::NoFiringExit { block: cur })?;
+        let fe = *fired.ok_or(SimError::NoFiringExit { block: lb.id })?;
         // A returned value is a block output.
-        if let ExitTarget::Return(Some(Operand::Reg(r))) = target {
-            outputs_done = outputs_done.max(avail[r.index()]);
+        match fe.kind {
+            LExitKind::RetReg(r) => outputs_done = outputs_done.max(rf[r as usize].t),
+            LExitKind::RetRegOor(r) => {
+                // As with `pred_oor`: the eager sweep fires first.
+                return Err(SimError::RegisterOutOfRange { block: lb.id, reg: r });
+            }
+            _ => {}
         }
 
         // --- Prediction: next-block target (static fallback: the first
         // exit's target, the compiler's most-likely-first ordering). ---
-        let _ = exit_idx;
-        let fallback = blk.exits[0].target;
-        let correct = predictor.update(cur, fallback, target);
+        let fallback = lb.fallback.unwrap_or(fe.orig);
+        let correct = predictor.update_tagged(lb.id, fallback, fe.orig, fe.hist_tag);
         if !correct {
-            // Flush: the next block cannot even begin fetching until the
-            // exit resolves, plus the flush penalty.
+            // Flush event: the next block cannot even begin fetching until
+            // the exit resolves, plus the flush penalty.
             fetch_ready = fetch_ready.max(resolve + config.mispredict_penalty);
         }
 
-        // --- Commit (in order): branch decision, stores, and live-out
-        // register writes must all have resolved. ---
-        let live_out = liveness.live_out(cur);
-        for &r in written_this_block.iter() {
-            if live_out.contains(&chf_ir::ids::Reg(r)) {
-                outputs_done = outputs_done.max(avail[r as usize]);
+        // --- Commit event (in order): branch decision, stores, and
+        // live-out register writes must all have resolved. ---
+        for &w in &written {
+            if w & LIVE_OUT_BIT != 0 {
+                outputs_done = outputs_done.max(rf[((w & !LIVE_OUT_BIT) as usize).min(last)].t);
             }
         }
         let block_done = outputs_done.max(resolve);
@@ -496,14 +894,15 @@ fn simulate_timing_impl(
         last_commit = commit;
         inflight.push_back(commit);
 
-        // Cross-block register communication pays register-file latency.
-        for r in written_this_block.drain(..) {
-            avail[r as usize] += config.register_latency;
+        // Cross-block register communication pays register-file latency
+        // (once per write event, as in the legacy model).
+        for w in written.drain(..) {
+            rf[((w & !LIVE_OUT_BIT) as usize).min(last)].t += config.register_latency;
         }
 
         if let Some(t) = trace.as_deref_mut() {
             t.events.push(BlockEvent {
-                block: cur,
+                block: lb.id,
                 dispatch,
                 resolve,
                 commit,
@@ -513,34 +912,41 @@ fn simulate_timing_impl(
             });
         }
 
-        match target {
-            ExitTarget::Block(next) => {
+        match fe.kind {
+            LExitKind::Goto(next) => {
                 cur = next;
             }
-            ExitTarget::Return(v) => {
-                let ret = match v {
-                    None => None,
-                    Some(op) => Some(m.operand(op, cur, false)?),
-                };
-                break 'outer ret;
+            LExitKind::Dangling(target) => {
+                // The legacy model only discovers a dangling target at the
+                // top of the next iteration, after the fuel check.
+                if blocks_executed >= config.max_blocks {
+                    return Err(SimError::OutOfFuel {
+                        executed: blocks_executed,
+                    });
+                }
+                return Err(SimError::DanglingTarget { target });
             }
+            LExitKind::RetNone => break 'outer None,
+            LExitKind::RetImm(v) => break 'outer Some(v),
+            LExitKind::RetReg(r) => break 'outer Some(rf[r as usize].val),
+            LExitKind::RetRegOor(_) => unreachable!("handled at resolve"),
         }
     };
 
-    Ok((
-        TimingResult {
-            cycles: last_commit,
-            blocks_executed,
-            predictions: predictor.predictions(),
-            mispredictions: predictor.mispredictions(),
-            insts_executed,
-            insts_nullified,
-            insts_fetched,
-            ret,
-            memory: m.mem,
-        },
-        (),
-    ))
+    let memory = mem.to_map();
+    mem.recycle();
+    lsq.recycle();
+    Ok(TimingResult {
+        cycles: last_commit,
+        blocks_executed,
+        predictions: predictor.predictions(),
+        mispredictions: predictor.mispredictions(),
+        insts_executed,
+        insts_nullified,
+        insts_fetched,
+        ret,
+        memory,
+    })
 }
 
 #[cfg(test)]
@@ -823,5 +1229,35 @@ mod tests {
             simulate_timing(&f, &[], &[], &cfg),
             Err(SimError::OutOfFuel { .. })
         ));
+    }
+
+    #[test]
+    fn lowered_handle_is_reusable_and_deterministic() {
+        let f = sum_loop();
+        let p = LoweredProgram::lower(&f);
+        let a = simulate_timing_lowered(&p, &[30], &[], &TimingConfig::trips()).unwrap();
+        let b = simulate_timing_lowered(&p, &[30], &[], &TimingConfig::trips()).unwrap();
+        let c = simulate_timing(&f, &[30], &[], &TimingConfig::trips()).unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.cycles, c.cycles);
+        assert_eq!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn issue_ring_matches_first_fit_semantics() {
+        // Saturate a cycle and confirm spill to the next; then grow far
+        // beyond the initial capacity and confirm claims survive.
+        let mut ring = IssueRing::new(2);
+        assert_eq!(ring.issue_at(5), 5);
+        assert_eq!(ring.issue_at(5), 5);
+        assert_eq!(ring.issue_at(5), 6);
+        assert_eq!(ring.issue_at(3), 3);
+        // Far-future claim forces growth; earlier claims must persist.
+        assert_eq!(ring.issue_at(5000), 5000);
+        assert_eq!(ring.issue_at(5), 6, "cycle 5/6 claims survived the grow");
+        assert_eq!(ring.issue_at(5), 7, "cycle 6 is now saturated too");
+        ring.advance_to(5000);
+        assert_eq!(ring.issue_at(5000), 5000, "bucket 5000 kept one claim");
+        assert_eq!(ring.issue_at(5000), 5001);
     }
 }

@@ -5,9 +5,16 @@
 #   scripts/verify.sh
 #
 # The perf check (`bench_perf --check`) asserts the end-to-end Table 1
-# regeneration stays under a generous wall-time ceiling (default 160 ms;
-# override with CHF_BENCH_CEILING_MS for slower machines) and that the
+# regeneration stays under a generous wall-time ceiling (default 100 ms;
+# override with CHF_BENCH_CEILING_MS for slower machines), that per-call
+# simulator throughput stays above the post-event-core floor (default
+# 24 Mcycles/s; override with CHF_BENCH_SIM_FLOOR_MCPS), and that the
 # parallel harness produces byte-identical output to the sequential path.
+#
+# The whole-program smoke (`whole_program --smoke`) cycle-simulates a
+# bounded prefix of the SPEC-like composite workloads end-to-end through
+# the event-driven core and checks the measured-vs-model comparison is
+# produced, keeping whole-program simulation inside the CI time budget.
 #
 # The chaos smoke campaign injects 500 seeded faults (IR corruption,
 # profile corruption, mid-trial corruption) and fails on any process
@@ -28,6 +35,9 @@ cargo test -q
 
 echo "==> bench_perf --check"
 cargo run --release -p chf-bench --bin bench_perf -- --check
+
+echo "==> whole_program --smoke (whole-program cycle-simulation smoke)"
+cargo run --release -p chf-bench --bin whole_program -- --smoke
 
 echo "==> chaos 500 (fault-injection smoke campaign)"
 cargo run --release -p chf-bench --bin chaos -- 500
