@@ -42,9 +42,8 @@ fn main() {
     });
 
     let average = |policy: PolicyKind, config: &FormationConfig| -> f64 {
-        let cycles = chf_bench::parallel::par_map(&suite, workers, |w| {
-            compile_with(w, policy, config)
-        });
+        let cycles =
+            chf_bench::parallel::par_map(&suite, workers, |w| compile_with(w, policy, config));
         cycles
             .iter()
             .zip(&baselines)
@@ -59,7 +58,11 @@ fn main() {
     println!("{}", "-".repeat(48));
 
     let configs: Vec<(&str, PolicyKind, FormationConfig)> = vec![
-        ("full convergent (BF)", PolicyKind::BreadthFirst, full.clone()),
+        (
+            "full convergent (BF)",
+            PolicyKind::BreadthFirst,
+            full.clone(),
+        ),
         (
             "  - speculation (guard everything)",
             PolicyKind::BreadthFirst,
@@ -129,9 +132,11 @@ fn main() {
 
     // --- Timing-model sensitivity: how much of the hyperblock win depends
     // on the microarchitectural assumptions? ---
-    println!("
+    println!(
+        "
 Timing-model sensitivity (convergent BF vs BB under each model)
-");
+"
+    );
     println!("{:<38} {:>8}", "timing model", "avg %");
     println!("{}", "-".repeat(48));
     let timing_variants: Vec<(&str, TimingConfig)> = vec![
@@ -178,7 +183,9 @@ Timing-model sensitivity (convergent BF vs BB under each model)
             let mut base = w.function.clone();
             w.profile.apply(&mut base);
             chf_opt::optimize(&mut base);
-            let bb = simulate_timing(&base, &w.args, &w.memory, &tcfg).unwrap().cycles;
+            let bb = simulate_timing(&base, &w.args, &w.memory, &tcfg)
+                .unwrap()
+                .cycles;
             // Convergent under this model.
             let mut f = w.function.clone();
             w.profile.apply(&mut f);
@@ -187,7 +194,9 @@ Timing-model sensitivity (convergent BF vs BB under each model)
             chf_opt::optimize(&mut f);
             split_oversized(&mut f, &full.constraints);
             chf_ir::cfg::remove_unreachable(&mut f);
-            let c = simulate_timing(&f, &w.args, &w.memory, &tcfg).unwrap().cycles;
+            let c = simulate_timing(&f, &w.args, &w.memory, &tcfg)
+                .unwrap()
+                .cycles;
             (bb as f64 - c as f64) / bb as f64 * 100.0
         });
         let total: f64 = improvements.iter().sum();

@@ -181,10 +181,17 @@ fn main() {
         println!("  compile {label:>7}: {ms:8.2} ms");
     }
     println!("  compile   total: {compile_total:8.2} ms");
-    println!("  lowering  total: {lowering_ms:8.2} ms  ({} programs)", compiled.len());
-    println!("  sim       total: {sim_ms:8.2} ms  ({sim_cycles} cycles, {mcps:.2} Mcycles/s per-call)");
+    println!(
+        "  lowering  total: {lowering_ms:8.2} ms  ({} programs)",
+        compiled.len()
+    );
+    println!(
+        "  sim       total: {sim_ms:8.2} ms  ({sim_cycles} cycles, {mcps:.2} Mcycles/s per-call)"
+    );
     println!("  sim (pre-lowered): {sim_event_ms:6.2} ms  ({event_mcps:.2} Mcycles/s event core)");
-    println!("  table1 end-to-end: {wall_ms:.2} ms ({workers} worker(s)); sequential: {seq_ms:.2} ms");
+    println!(
+        "  table1 end-to-end: {wall_ms:.2} ms ({workers} worker(s)); sequential: {seq_ms:.2} ms"
+    );
     println!(
         "  vs seed ({SEED_TABLE1_WALL_MS:.0} ms): {speedup:.2}x; parallel/sequential outputs identical: {identical}"
     );
@@ -205,7 +212,10 @@ fn main() {
     let _ = writeln!(json, "  \"table1_sequential_ms\": {seq_ms:.2},");
     let _ = writeln!(json, "  \"speedup_vs_seed\": {speedup:.2},");
     let _ = writeln!(json, "  \"workers\": {workers},");
-    let _ = writeln!(json, "  \"outputs_identical_parallel_vs_sequential\": {identical},");
+    let _ = writeln!(
+        json,
+        "  \"outputs_identical_parallel_vs_sequential\": {identical},"
+    );
     let _ = writeln!(json, "  \"compile_ms_total\": {compile_total:.2},");
     json.push_str("  \"compile_ms_per_ordering\": {");
     for (i, (label, ms)) in per_ordering.iter().enumerate() {

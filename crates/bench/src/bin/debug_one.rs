@@ -10,7 +10,10 @@ fn main() {
     let show_ir = std::env::args().any(|a| a == "--ir");
     let show_trace = std::env::args().any(|a| a == "--trace");
     let all = chf_workloads::microbenchmarks();
-    let w = all.iter().find(|w| w.name == name).expect("unknown benchmark");
+    let w = all
+        .iter()
+        .find(|w| w.name == name)
+        .expect("unknown benchmark");
 
     for ordering in [
         PhaseOrdering::BasicBlocks,
@@ -19,7 +22,11 @@ fn main() {
         PhaseOrdering::IupThenO,
         PhaseOrdering::Iupo_,
     ] {
-        let c = compile(&w.function, &w.profile, &CompileConfig::with_ordering(ordering));
+        let c = compile(
+            &w.function,
+            &w.profile,
+            &CompileConfig::with_ordering(ordering),
+        );
         let t = simulate_timing(&c.function, &w.args, &w.memory, &TimingConfig::trips()).unwrap();
         println!(
             "{:8} cycles={:7} blocks={:6} fetched={:7} exec={:7} nullified={:6} mispred={:5}/{:5} static_blocks={} mtup={}",
@@ -46,7 +53,10 @@ fn main() {
             rows.sort_by_key(|(_, (total, _))| std::cmp::Reverse(*total));
             println!("hottest blocks by total residency (cycles, executions, mean):");
             for (b, (total, n)) in rows.into_iter().take(5) {
-                println!("  {b}: {total} cycles over {n} runs ({:.1}/run)", total as f64 / n as f64);
+                println!(
+                    "  {b}: {total} cycles over {n} runs ({:.1}/run)",
+                    total as f64 / n as f64
+                );
             }
         }
     }

@@ -11,6 +11,11 @@ fn main() {
     let t2 = chf_bench::table2::run();
     print!("{}", chf_bench::table2::render(&t2));
 
+    let budget = chf_bench::table2::DEFAULT_TRIAL_BUDGET;
+    println!("\n=== Table 2 budget ablation (cap: {budget} trials/function) ===\n");
+    let t2b = chf_bench::table2::run_budget();
+    print!("{}", chf_bench::table2::render_budget(&t2b, budget));
+
     println!("\n=== Table 3 ===\n");
     let t3 = chf_bench::table3::run();
     print!("{}", chf_bench::table3::render(&t3));
@@ -29,6 +34,10 @@ fn main() {
     for (name, data) in [
         ("results/table1.csv", chf_bench::csv::table1_csv(&t1)),
         ("results/table2.csv", chf_bench::csv::table2_csv(&t2)),
+        (
+            "results/table2_budget.csv",
+            chf_bench::csv::table2_budget_csv(&t2b),
+        ),
         ("results/table3.csv", chf_bench::csv::table3_csv(&t3)),
         ("results/fig7.csv", chf_bench::csv::fig7_csv(&pts, &fit)),
     ] {

@@ -1,8 +1,16 @@
-//! Regenerate the paper's Table 2.
+//! Regenerate the paper's Table 2, plus the equal-budget policy ablation.
 
 fn main() {
     let rows = chf_bench::table2::run();
     println!("Table 2: % cycle-count improvement over basic blocks (BB) using");
-    println!("VLIW, convergent VLIW, depth-first (DF) and breadth-first (BF) heuristics.\n");
+    println!("VLIW, convergent VLIW, depth-first (DF), breadth-first (BF), and");
+    println!("profile-guided hot-first (HF) heuristics.\n");
     print!("{}", chf_bench::table2::render(&rows));
+
+    let budget = chf_bench::table2::DEFAULT_TRIAL_BUDGET;
+    println!("\nBudget ablation: % dynamic-block improvement on the SPEC-like");
+    println!("composites with formation capped at {budget} trials per function");
+    println!("(ledger column: trials spent / candidates skipped for budget).\n");
+    let brows = chf_bench::table2::run_budget();
+    print!("{}", chf_bench::table2::render_budget(&brows, budget));
 }

@@ -56,7 +56,10 @@ pub fn table2_csv(rows: &[table2::Row]) -> String {
     if let Some(first) = rows.iter().find(|r| r.error.is_none()) {
         for (label, ..) in &first.results {
             let safe = label.replace(' ', "_");
-            let _ = write!(out, ",{safe}_cycles,{safe}_improvement,{safe}_mispredict_rate");
+            let _ = write!(
+                out,
+                ",{safe}_cycles,{safe}_improvement,{safe}_mispredict_rate"
+            );
         }
     }
     out.push('\n');
@@ -68,6 +71,41 @@ pub fn table2_csv(rows: &[table2::Row]) -> String {
         let _ = write!(out, "{},{}", r.name, r.bb_cycles);
         for (_, cycles, improvement, mr) in &r.results {
             let _ = write!(out, ",{cycles},{improvement:.2},{mr:.4}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Budget-ablation rows as CSV: per policy, the dynamic block count, the
+/// improvement over basic blocks, and the trial ledger (trials spent,
+/// candidates skipped for budget, and the full `m/t/u/p` string).
+/// Poisoned rows as in [`table1_csv`].
+pub fn table2_budget_csv(rows: &[table2::BudgetRow]) -> String {
+    let mut out = String::from("benchmark,bb_blocks");
+    if let Some(first) = rows.iter().find(|r| r.error.is_none()) {
+        for (label, ..) in &first.results {
+            let _ = write!(
+                out,
+                ",{label}_blocks,{label}_improvement,{label}_trials,{label}_skipped,{label}_mtup"
+            );
+        }
+    }
+    out.push('\n');
+    for r in rows {
+        if let Some(err) = &r.error {
+            let _ = writeln!(out, "{},{},{}", r.name, POISONED_SENTINEL, csv_safe(err));
+            continue;
+        }
+        let _ = write!(out, "{},{}", r.name, r.bb_blocks);
+        for (_, blocks, improvement, stats) in &r.results {
+            let _ = write!(
+                out,
+                ",{blocks},{improvement:.2},{},{},{}",
+                stats.trials,
+                stats.budget_skipped,
+                stats.mtup()
+            );
         }
         out.push('\n');
     }

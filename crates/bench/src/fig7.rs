@@ -107,9 +107,7 @@ pub fn render(points: &[Point], fit: &Fit) -> String {
         "\nlinear fit: cycles_saved = {:.2} * blocks_saved + {:.1}   (r^2 = {:.3})\n",
         fit.slope, fit.intercept, fit.r2
     ));
-    out.push_str(
-        "paper: r^2 = 0.78 — block-count reduction is a good but imperfect predictor\n",
-    );
+    out.push_str("paper: r^2 = 0.78 — block-count reduction is a good but imperfect predictor\n");
     out
 }
 

@@ -59,11 +59,11 @@ pub struct Config {
 /// configuration poisons the whole row (partial rows would skew the
 /// averages invisibly).
 pub fn measure(w: &Workload) -> Row {
-    let bb = match try_compile_and_time(w, &CompileConfig::with_ordering(PhaseOrdering::BasicBlocks))
-    {
-        Ok((t, _)) => t,
-        Err(e) => return Row::poisoned(w.name.clone(), e),
-    };
+    let bb =
+        match try_compile_and_time(w, &CompileConfig::with_ordering(PhaseOrdering::BasicBlocks)) {
+            Ok((t, _)) => t,
+            Err(e) => return Row::poisoned(w.name.clone(), e),
+        };
     let mut configs = Vec::new();
     for ordering in PhaseOrdering::table1() {
         let (t, stats) = match try_compile_and_time(w, &CompileConfig::with_ordering(ordering)) {
@@ -137,7 +137,10 @@ pub fn render(rows: &[Row]) -> String {
         let mut avg = vec!["Average".to_string(), String::new()];
         let n = first.configs.len();
         for k in 0..n {
-            let mean: f64 = healthy.iter().map(|r| r.configs[k].improvement).sum::<f64>()
+            let mean: f64 = healthy
+                .iter()
+                .map(|r| r.configs[k].improvement)
+                .sum::<f64>()
                 / healthy.len() as f64;
             avg.push(String::new());
             avg.push(pct(mean));
@@ -181,11 +184,20 @@ mod tests {
 
         assert!(rows[0].error.is_none());
         let err = rows[1].error.as_ref().expect("sabotaged row is poisoned");
-        assert!(err.contains("vadd_sabotaged"), "error names the workload: {err}");
+        assert!(
+            err.contains("vadd_sabotaged"),
+            "error names the workload: {err}"
+        );
 
         let text = render(&rows);
-        assert!(text.contains("FAILED"), "table marks the poisoned row:\n{text}");
-        assert!(text.contains("Average"), "healthy rows still average:\n{text}");
+        assert!(
+            text.contains("FAILED"),
+            "table marks the poisoned row:\n{text}"
+        );
+        assert!(
+            text.contains("Average"),
+            "healthy rows still average:\n{text}"
+        );
 
         let csv = crate::csv::table1_csv(&rows);
         let poisoned_line = csv

@@ -73,10 +73,7 @@ impl Row {
 
 /// Compile one form of `w`, lower it once, and run both simulators over
 /// the shared handle, cross-checking their digests.
-fn measure_form(
-    w: &Workload,
-    config: &CompileConfig,
-) -> Result<(u64, u64, u64), String> {
+fn measure_form(w: &Workload, config: &CompileConfig) -> Result<(u64, u64, u64), String> {
     let compiled = try_compile(&w.function, &w.profile, config)
         .map_err(|e| format!("{}: compilation failed: {e}", w.name))?;
     let lowered = LoweredProgram::lower(&compiled.function);
@@ -167,8 +164,15 @@ pub fn render(rows: &[Row], fit: &Fit) -> String {
         .iter()
         .map(|r| {
             if let Some(e) = &r.error {
-                return vec![r.name.clone(), format!("FAILED: {e}"), String::new(),
-                            String::new(), String::new(), String::new(), String::new()];
+                return vec![
+                    r.name.clone(),
+                    format!("FAILED: {e}"),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ];
             }
             vec![
                 r.name.clone(),
@@ -186,9 +190,7 @@ pub fn render(rows: &[Row], fit: &Fit) -> String {
         "\nmeasured-vs-model fit: cycles_saved = {:.2} * blocks_saved + {:.1}   (r^2 = {:.3})\n",
         fit.slope, fit.intercept, fit.r2
     ));
-    out.push_str(
-        "model = Table-3 block-count proxy; measured = end-to-end cycle simulation\n",
-    );
+    out.push_str("model = Table-3 block-count proxy; measured = end-to-end cycle simulation\n");
     out
 }
 

@@ -19,9 +19,9 @@
 //! whole campaign, so a failure reported by CI is replayable locally with
 //! one environment variable.
 
-use crate::convergent::{form_hyperblocks_with_profile, FormationConfig};
+use crate::convergent::{form_hyperblocks_with_profile, FormationConfig, SeedOrder};
 use crate::oracle::{self, OracleConfig};
-use crate::policy::BreadthFirst;
+use crate::policy::{BreadthFirst, HotFirst, Policy};
 use chf_ir::block::{Exit, ExitTarget};
 use chf_ir::function::Function;
 use chf_ir::ids::{BlockId, Reg};
@@ -92,6 +92,12 @@ pub enum FaultKind {
     /// Half the edge-profile entries vanish, as from a truncated profile
     /// file; formation sees zero counts on real edges and must cope.
     TruncatedEdgeProfile,
+    /// The edge and block counts are rotated among entries and scaled to
+    /// extremes — exactly the signals the profile-guided ordering (the
+    /// hot-first policy and hot seed order) consumes. The campaign runs
+    /// this kind under the hot-first policy: a scrambled profile may
+    /// mis-prioritize formation but must never miscompile.
+    ScrambledEdgeProfile,
     /// No up-front corruption: the trial-window injection point inside
     /// `merge_blocks` corrupts the merged block *mid-formation*, which the
     /// verify-and-rollback net must contain.
@@ -100,13 +106,14 @@ pub enum FaultKind {
 
 impl FaultKind {
     /// Every member of the registry, for seeded selection and reporting.
-    pub const ALL: [FaultKind; 7] = [
+    pub const ALL: [FaultKind; 8] = [
         FaultKind::DanglingExit,
         FaultKind::PredicatedDefault,
         FaultKind::RegisterOutOfRange,
         FaultKind::ZeroTripCount,
         FaultKind::OverflowedTripCount,
         FaultKind::TruncatedEdgeProfile,
+        FaultKind::ScrambledEdgeProfile,
         FaultKind::MidTrial,
     ];
 }
@@ -120,6 +127,7 @@ impl fmt::Display for FaultKind {
             FaultKind::ZeroTripCount => "zero-trip-count",
             FaultKind::OverflowedTripCount => "overflowed-trip-count",
             FaultKind::TruncatedEdgeProfile => "truncated-edge-profile",
+            FaultKind::ScrambledEdgeProfile => "scrambled-edge-profile",
             FaultKind::MidTrial => "mid-trial",
         };
         f.write_str(s)
@@ -197,6 +205,26 @@ pub fn inject(f: &mut Function, profile: &mut ProfileData, kind: FaultKind, rng:
                 i = i.wrapping_add(1);
                 (keep >> (i % 64)) & 1 == 0
             });
+        }
+        FaultKind::ScrambledEdgeProfile => {
+            // Rotate the edge counts among entries (sorted keys, so the
+            // permutation is seed-stable) and scale each to an extreme,
+            // then push block counts to 0 or `u64::MAX`. The IR stays
+            // valid; only the ordering signals are garbage.
+            let mut keys: Vec<(BlockId, usize)> = profile.exit_counts.keys().copied().collect();
+            keys.sort_unstable();
+            if !keys.is_empty() {
+                let mut vals: Vec<u64> = keys.iter().map(|k| profile.exit_counts[k]).collect();
+                let rot = rng.next_range(vals.len() as u64) as usize;
+                vals.rotate_left(rot);
+                for (k, v) in keys.iter().zip(vals) {
+                    let scale = 1 + rng.next_range(1_000_000);
+                    profile.exit_counts.insert(*k, v.saturating_mul(scale));
+                }
+            }
+            for n in profile.block_counts.values_mut() {
+                *n = if rng.next_range(2) == 0 { 0 } else { u64::MAX };
+            }
         }
         FaultKind::MidTrial => {}
     }
@@ -304,20 +332,30 @@ impl fmt::Display for CampaignReport {
         write!(
             f,
             "{} faults: {} detected, {} rolled back, {} survived, {} aborts, {} miscompiles",
-            self.total, self.detected, self.rolled_back, self.survived, self.aborts, self.miscompiles
+            self.total,
+            self.detected,
+            self.rolled_back,
+            self.survived,
+            self.aborts,
+            self.miscompiles
         )
     }
 }
 
 /// Run one seeded fault end to end; `None` means the fault escaped as a
 /// panic (counted as an abort by the caller).
-fn run_one_fault(fault_seed: u64, repro_dir: Option<&PathBuf>) -> Option<(FaultOutcome, Vec<PathBuf>)> {
+fn run_one_fault(
+    fault_seed: u64,
+    repro_dir: Option<&PathBuf>,
+) -> Option<(FaultOutcome, Vec<PathBuf>)> {
     let dir = repro_dir.cloned();
     catch_unwind(AssertUnwindSafe(move || {
         let mut rng = ChaosRng::new(fault_seed);
         let prog_seed = rng.next_u64();
         let mut f = generate(prog_seed, &GenConfig::default());
-        let train: Vec<i64> = (0..f.params).map(|_| rng.next_range(24) as i64 - 4).collect();
+        let train: Vec<i64> = (0..f.params)
+            .map(|_| rng.next_range(24) as i64 - 4)
+            .collect();
         let mut profile = profile_run(&f, &train, &[]).unwrap_or_default();
 
         let kind = FaultKind::ALL[rng.next_range(FaultKind::ALL.len() as u64) as usize];
@@ -340,6 +378,15 @@ fn run_one_fault(fault_seed: u64, repro_dir: Option<&PathBuf>) -> Option<(FaultO
         } else {
             inject(&mut f, &mut profile, kind, &mut rng);
         }
+        // Scrambled ordering inputs are only interesting to the policy
+        // that consumes them: run that kind under the profile-guided
+        // hot-first policy and seed order, breadth-first otherwise.
+        let mut policy: Box<dyn Policy> = if kind == FaultKind::ScrambledEdgeProfile {
+            config.seed_order = SeedOrder::HotFirst;
+            Box::new(HotFirst)
+        } else {
+            Box::new(BreadthFirst)
+        };
 
         // Gate 1: the full verifier. IR corruptions must be refused here —
         // a compiler front end is entitled to reject garbage outright.
@@ -350,12 +397,7 @@ fn run_one_fault(fault_seed: u64, repro_dir: Option<&PathBuf>) -> Option<(FaultO
         // Gate 2: formation under the safety net.
         profile.apply(&mut f);
         let orig = f.clone();
-        let stats = form_hyperblocks_with_profile(
-            &mut f,
-            &mut BreadthFirst,
-            &config,
-            Some(&profile),
-        );
+        let stats = form_hyperblocks_with_profile(&mut f, policy.as_mut(), &config, Some(&profile));
 
         // Gate 3: whole-pipeline differential check.
         let repros: Vec<PathBuf> = Vec::new();
@@ -437,6 +479,7 @@ mod tests {
             FaultKind::ZeroTripCount,
             FaultKind::OverflowedTripCount,
             FaultKind::TruncatedEdgeProfile,
+            FaultKind::ScrambledEdgeProfile,
         ] {
             let mut rng = ChaosRng::new(9);
             let mut f = generate(9, &GenConfig::default());

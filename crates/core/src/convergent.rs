@@ -82,6 +82,36 @@ pub struct FormationConfig {
     /// the verify-and-rollback path is exercised. Requires `verify_trials`;
     /// `None` (the default) injects nothing.
     pub chaos: Option<ChaosSpec>,
+    /// Trial-budget ledger: cap on merge *trials* (attempted merges,
+    /// successful or not) per formation run — one whole-function
+    /// [`form_hyperblocks`] call, or one [`expand_block`] call when driven
+    /// block-at-a-time. `None` (the default) reproduces today's unbounded
+    /// behaviour exactly. When the ledger runs dry, remaining candidates
+    /// are skipped and counted in [`FormationStats::budget_skipped`]; the
+    /// trials actually spent are in [`FormationStats::trials`] either way.
+    /// Profile-guided orderings ([`SeedOrder::HotFirst`] seeds plus the
+    /// [`crate::policy::HotFirst`] candidate policy) exist to spend this
+    /// budget on the hottest merges first.
+    pub trial_budget: Option<usize>,
+    /// In which order [`form_hyperblocks`] visits seed blocks — who gets
+    /// first claim on the trial budget.
+    pub seed_order: SeedOrder,
+}
+
+/// Order in which [`form_hyperblocks`] processes seed blocks.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum SeedOrder {
+    /// Descending profiled block frequency, ties on block id — the
+    /// historical behaviour and the default.
+    #[default]
+    Frequency,
+    /// Profile-weighted: descending `freq + hottest outgoing edge weight`
+    /// ([`chf_ir::block::Block::hottest_edge_weight`]), ties on block id.
+    /// Seeds that head hot *edges* — whose expansion will merge profiled
+    /// flow rather than merely sit on a hot block — claim the trial budget
+    /// first. With an unprofiled (all-zero-edge) CFG this degenerates to
+    /// [`SeedOrder::Frequency`] exactly.
+    HotFirst,
 }
 
 impl Default for FormationConfig {
@@ -98,6 +128,8 @@ impl Default for FormationConfig {
             verify_trials: true,
             oracle: None,
             chaos: None,
+            trial_budget: None,
+            seed_order: SeedOrder::Frequency,
         }
     }
 }
@@ -122,6 +154,15 @@ pub struct FormationStats {
     /// committed transformations, and the golden snapshots must stay
     /// byte-identical when nothing is skipped.
     pub skipped: usize,
+    /// Trial-budget ledger: merge trials actually attempted (every
+    /// [`merge_blocks`] call made by the expansion loop, whatever its
+    /// outcome).
+    pub trials: usize,
+    /// Trial-budget ledger: candidates the expansion loop *wanted* to try
+    /// but dropped because [`FormationConfig::trial_budget`] was exhausted.
+    /// Always 0 under the default unbounded budget, so the default `mtup`
+    /// rendering (and every golden snapshot) is unchanged.
+    pub budget_skipped: usize,
 }
 
 impl FormationStats {
@@ -133,14 +174,32 @@ impl FormationStats {
         self.peels += other.peels;
         self.failures += other.failures;
         self.skipped += other.skipped;
+        self.trials += other.trials;
+        self.budget_skipped += other.budget_skipped;
     }
 
-    /// Render as the paper's `m/t/u/p` column.
+    /// Render as the paper's `m/t/u/p` column. When a trial budget was in
+    /// play and actually bit (`budget_skipped > 0`), the ledger is appended
+    /// as `(b:spent/skipped)`; unbounded runs render exactly as before, so
+    /// archived tables and golden snapshots stay byte-identical.
     pub fn mtup(&self) -> String {
-        format!(
+        let base = format!(
             "{}/{}/{}/{}",
             self.merges, self.tail_dups, self.unrolls, self.peels
-        )
+        );
+        if self.budget_skipped > 0 {
+            format!("{base}(b:{}/{})", self.trials, self.budget_skipped)
+        } else {
+            base
+        }
+    }
+
+    /// The trial-budget ledger as a stable `spent/skipped` pair, for CSV
+    /// columns that want the ledger unconditionally (unlike
+    /// [`FormationStats::mtup`], which only appends it when the budget
+    /// bit).
+    pub fn ledger(&self) -> String {
+        format!("{}/{}", self.trials, self.budget_skipped)
     }
 }
 
@@ -180,6 +239,11 @@ struct FormationCtx {
     /// draws one reproducible fault sequence regardless of how trials are
     /// batched.
     chaos: Option<ChaosRng>,
+    /// Trial-budget ledger: merge trials spent so far in this formation
+    /// run. Lives in the context (not per-seed stats) so the cap in
+    /// [`FormationConfig::trial_budget`] is a *function-level* budget that
+    /// hot seeds, processed first, get first claim on.
+    trials_spent: usize,
 }
 
 impl FormationCtx {
@@ -189,7 +253,15 @@ impl FormationCtx {
             liveness: None,
             peel_budgets: chf_ir::fxhash::FxHashMap::default(),
             chaos: None,
+            trials_spent: 0,
         }
+    }
+
+    /// Whether the budget (if any) still has room for another trial.
+    fn budget_open(&self, config: &FormationConfig) -> bool {
+        config
+            .trial_budget
+            .is_none_or(|cap| self.trials_spent < cap)
     }
 
     /// The fault-injection PRNG, created on first use from the spec's seed.
@@ -278,7 +350,11 @@ fn append_saved_iteration(
         .filter(|e| e.target == ExitTarget::Block(hb))
         .map(|e| e.count)
         .sum();
-    let scale = if copy.freq > 0.0 { inflow / copy.freq } else { 0.0 };
+    let scale = if copy.freq > 0.0 {
+        inflow / copy.freq
+    } else {
+        0.0
+    };
     copy.freq = inflow;
     for e in &mut copy.exits {
         e.count *= scale;
@@ -599,10 +675,10 @@ fn expand_block_inner(
     let mut failed: Vec<BlockId> = Vec::new();
 
     let push_successors = |f: &Function,
-                               candidates: &mut Vec<Candidate>,
-                               order: &mut usize,
-                               depth: usize,
-                               failed: &[BlockId]| {
+                           candidates: &mut Vec<Candidate>,
+                           order: &mut usize,
+                           depth: usize,
+                           failed: &[BlockId]| {
         let blk = f.block(hb);
         for (i, e) in blk.exits.iter().enumerate() {
             let Some(t) = e.target.block() else { continue };
@@ -644,15 +720,23 @@ fn expand_block_inner(
         if !f.contains_block(cand.block) {
             continue; // merged into another block meanwhile
         }
+        // Trial-budget ledger: the policy wanted this candidate, but the
+        // function-level budget is spent. Charge the whole remaining
+        // frontier (this candidate plus everything still queued — none of
+        // it will be tried) to the skip column and stop expanding. The
+        // check sits *after* the liveness filters so the ledger counts
+        // candidates that would genuinely have produced a trial.
+        if !ctx.budget_open(config) {
+            stats.budget_skipped += 1 + candidates.len();
+            break;
+        }
         if cand.block == hb {
-            if saved_body.is_none()
-                && classify(f, ctx.forest(f), hb, hb) == DuplicationKind::Unroll
+            if saved_body.is_none() && classify(f, ctx.forest(f), hb, hb) == DuplicationKind::Unroll
             {
                 saved_body = Some(f.block(hb).clone());
             }
-            let budget = *unroll_budget.get_or_insert_with(|| {
-                expected_unroll_budget(f, hb, profile, original_header)
-            });
+            let budget = *unroll_budget
+                .get_or_insert_with(|| expected_unroll_budget(f, hb, profile, original_header));
             if config.trip_aware_unroll && unrolls_done >= budget {
                 failed.push(cand.block);
                 continue;
@@ -669,6 +753,8 @@ fn expand_block_inner(
                 }
             }
         }
+        ctx.trials_spent += 1;
+        stats.trials += 1;
         match merge_blocks_in_ctx(f, hb, cand.block, config, saved_body.as_ref(), ctx) {
             MergeOutcome::Success(kind) => {
                 stats.merges += 1;
@@ -737,7 +823,20 @@ pub fn form_hyperblocks_with_profile(
     // expansion (it stays valid until the first committed merge).
     let mut ctx = FormationCtx::new();
     let headers = original_headers(f, &mut ctx);
-    let mut seeds: Vec<(BlockId, f64)> = f.blocks().map(|(b, blk)| (b, blk.freq)).collect();
+    // Seed ordering decides who gets first claim on the trial budget. The
+    // weight is computed before any merge rewrites the CFG, and the sort is
+    // total (descending weight, ascending block id), so the visit order —
+    // and therefore every downstream table — is byte-stable.
+    let mut seeds: Vec<(BlockId, f64)> = f
+        .blocks()
+        .map(|(b, blk)| {
+            let w = match config.seed_order {
+                SeedOrder::Frequency => blk.freq,
+                SeedOrder::HotFirst => blk.freq + blk.hottest_edge_weight(),
+            };
+            (b, w)
+        })
+        .collect();
     seeds.sort_by(|a, b| {
         b.1.partial_cmp(&a.1)
             .unwrap_or(std::cmp::Ordering::Equal)
@@ -749,7 +848,15 @@ pub fn form_hyperblocks_with_profile(
         if !f.contains_block(b) {
             continue;
         }
-        let s = expand_block_inner(f, b, policy, config, profile, headers.get(&b).copied(), &mut ctx);
+        let s = expand_block_inner(
+            f,
+            b,
+            policy,
+            config,
+            profile,
+            headers.get(&b).copied(),
+            &mut ctx,
+        );
         stats.merge(&s);
     }
     chf_ir::cfg::remove_unreachable(f);
@@ -999,5 +1106,82 @@ mod tests {
             after_total * 2 <= before_total,
             "formation should at least halve dynamic blocks: {after_total} vs {before_total}"
         );
+    }
+
+    /// Count the trials an unbounded formation of `f` performs.
+    fn unbounded_trials(f: &Function) -> usize {
+        let mut g = f.clone();
+        form_hyperblocks(&mut g, &mut BreadthFirst, &FormationConfig::default()).trials
+    }
+
+    #[test]
+    fn trial_budget_stops_exactly_at_cap() {
+        use chf_ir::testgen::{generate, GenConfig};
+        let mut base = generate(3, &GenConfig::default());
+        let p = profile_run(&base, &[3, 7], &[]).unwrap();
+        p.apply(&mut base);
+        let full = unbounded_trials(&base);
+        assert!(full > 2, "program too small to constrain: {full} trials");
+        let cap = full / 2;
+        let mut f = base.clone();
+        let config = FormationConfig {
+            trial_budget: Some(cap),
+            ..FormationConfig::default()
+        };
+        let stats = form_hyperblocks(&mut f, &mut BreadthFirst, &config);
+        verify(&f).unwrap();
+        assert_eq!(
+            stats.trials, cap,
+            "ledger must stop exactly at the cap ({cap})"
+        );
+        assert!(
+            stats.budget_skipped > 0,
+            "a binding budget must record skipped candidates"
+        );
+        // The ledger surfaces in the m/t/u/p string only when it bit.
+        assert!(
+            stats.mtup().contains(&format!("(b:{cap}/")),
+            "mtup must carry the ledger: {}",
+            stats.mtup()
+        );
+        // Behaviour is still preserved under a binding budget.
+        for args in [[3, 7], [0, 0], [9, 2]] {
+            let a = run(&base, &args, &[], &RunConfig::default()).unwrap();
+            let b = run(&f, &args, &[], &RunConfig::default()).unwrap();
+            assert_eq!(a.digest(), b.digest(), "args {args:?}");
+        }
+    }
+
+    #[test]
+    fn unbounded_budget_leaves_ledger_silent() {
+        let mut f = diamond();
+        with_profile(&mut f, &[5]);
+        let stats = form_hyperblocks(&mut f, &mut BreadthFirst, &FormationConfig::default());
+        assert!(stats.trials > 0);
+        assert_eq!(stats.budget_skipped, 0);
+        // Without a binding budget the m/t/u/p string must be exactly the
+        // historical four-field format (golden snapshots depend on it).
+        assert!(
+            !stats.mtup().contains("(b:"),
+            "silent ledger leaked into mtup: {}",
+            stats.mtup()
+        );
+    }
+
+    #[test]
+    fn zero_budget_forms_nothing() {
+        let mut f = diamond();
+        with_profile(&mut f, &[5]);
+        let before = f.block_count();
+        let config = FormationConfig {
+            trial_budget: Some(0),
+            ..FormationConfig::default()
+        };
+        let stats = form_hyperblocks(&mut f, &mut BreadthFirst, &config);
+        verify(&f).unwrap();
+        assert_eq!(stats.trials, 0);
+        assert_eq!(stats.merges, 0);
+        assert!(stats.budget_skipped > 0);
+        assert_eq!(f.block_count(), before, "zero budget must not transform");
     }
 }

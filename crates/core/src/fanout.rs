@@ -214,7 +214,8 @@ pub fn insert_fanout(f: &mut Function, max_targets: usize) -> FanoutStats {
                     (blk.insts.len(), blk.insts.len(), keep - inst_uses.len())
                 };
                 retarget_uses(blk, split_pos, d, copy, skip_exits);
-                blk.insts.insert(insert_at, Instr::mov(copy, Operand::Reg(d)));
+                blk.insts
+                    .insert(insert_at, Instr::mov(copy, Operand::Reg(d)));
                 stats.movs_inserted += 1;
             }
             idx += 1;
@@ -283,7 +284,11 @@ mod tests {
         for a in [0, 5, -3] {
             assert_eq!(digest(&f, &[a]), digest(&orig, &[a]), "arg {a}");
         }
-        assert!(worst_fanout(&f) <= 3, "residual fanout {}", worst_fanout(&f));
+        assert!(
+            worst_fanout(&f) <= 3,
+            "residual fanout {}",
+            worst_fanout(&f)
+        );
     }
 
     #[test]

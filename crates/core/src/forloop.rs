@@ -174,12 +174,17 @@ pub fn unroll_for_loop(f: &mut Function, fl: &ForLoop, factor: usize) -> bool {
     let mut guard = chf_ir::block::Block::new();
     let probe = f.new_reg();
     let cond = f.new_reg();
-    guard
-        .insts
-        .push(Instr::add(probe, Operand::Reg(fl.induction), Operand::Imm(lookahead)));
-    guard
-        .insts
-        .push(Instr::binary(Opcode::CmpLt, cond, Operand::Reg(probe), fl.bound));
+    guard.insts.push(Instr::add(
+        probe,
+        Operand::Reg(fl.induction),
+        Operand::Imm(lookahead),
+    ));
+    guard.insts.push(Instr::binary(
+        Opcode::CmpLt,
+        cond,
+        Operand::Reg(probe),
+        fl.bound,
+    ));
     guard.name = Some("for.guard".into());
 
     // Big body: factor copies of the body's instructions.
@@ -260,7 +265,11 @@ mod tests {
         let acc = fb.mov(Operand::Imm(0));
         fb.jump(h);
         fb.switch_to(h);
-        let bound = if n_param { reg(fb.param(0)) } else { Operand::Imm(17) };
+        let bound = if n_param {
+            reg(fb.param(0))
+        } else {
+            Operand::Imm(17)
+        };
         let c = fb.cmp_lt(reg(i), bound);
         fb.branch(c, b, x);
         fb.switch_to(b);

@@ -22,9 +22,9 @@
 
 use chf_ir::block::{Exit, ExitTarget};
 use chf_ir::function::Function;
+use chf_ir::fxhash::{FxHashMap, FxHashSet};
 use chf_ir::ids::{BlockId, Reg};
 use chf_ir::instr::{Instr, Opcode, Operand, Pred};
-use chf_ir::fxhash::{FxHashMap, FxHashSet};
 use std::fmt;
 
 /// Why a combine was refused.
@@ -346,10 +346,7 @@ pub(crate) fn combine_with_liveness(
         // Speculate when safe: skip guarding entirely.
         let speculate = speculation
             && !inst.has_side_effect()
-            && inst
-                .def()
-                .map(|d| !protected.contains(&d))
-                .unwrap_or(false);
+            && inst.def().map(|d| !protected.contains(&d)).unwrap_or(false);
         if speculate {
             if let Some(d) = inst.def() {
                 conj_cache.retain(|(p, _)| p.reg != d);
@@ -366,8 +363,7 @@ pub(crate) fn combine_with_liveness(
                 let gq = match cached {
                     Some(r) => r,
                     None => {
-                        let dst =
-                            bools.conjoin(f, g.reg, q, &mut merged_insts, &no_forbid);
+                        let dst = bools.conjoin(f, g.reg, q, &mut merged_insts, &no_forbid);
                         conj_cache.push((q, dst));
                         dst
                     }

@@ -46,7 +46,9 @@ pub mod unroll;
 
 pub use chaos::{campaign, CampaignReport, ChaosSpec, FaultKind};
 pub use constraints::BlockConstraints;
-pub use convergent::{form_hyperblocks, form_hyperblocks_with_profile, FormationConfig, FormationStats};
+pub use convergent::{
+    form_hyperblocks, form_hyperblocks_with_profile, FormationConfig, FormationStats, SeedOrder,
+};
 pub use error::ChfError;
 pub use oracle::OracleConfig;
 pub use pipeline::{compile, try_compile, CompileConfig, Compiled, PhaseOrdering};

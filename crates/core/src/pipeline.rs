@@ -14,7 +14,9 @@
 //! `(IUPO)` optimizes inside the formation loop.
 
 use crate::constraints::BlockConstraints;
-use crate::convergent::{form_hyperblocks_with_profile, FormationConfig, FormationStats};
+use crate::convergent::{
+    form_hyperblocks_with_profile, FormationConfig, FormationStats, SeedOrder,
+};
 use crate::fanout::insert_fanout;
 use crate::policy::PolicyKind;
 use crate::regalloc::{allocate_registers, RegFileSpec};
@@ -80,6 +82,12 @@ pub struct CompileConfig {
     /// Maximum consumers one instruction may feed before fanout movs are
     /// inserted (TRIPS encodes a small fixed number of targets).
     pub fanout_targets: usize,
+    /// Per-function cap on formation trials (merge attempts). `None`
+    /// reproduces the historical unbounded behavior; `Some(k)` makes the
+    /// formation phases share a ledger of `k` trials per function, with
+    /// skipped work recorded in [`FormationStats::budget_skipped`]. Used
+    /// by the Table 2 budget ablation to compare policies at equal cost.
+    pub trial_budget: Option<usize>,
 }
 
 impl CompileConfig {
@@ -93,6 +101,7 @@ impl CompileConfig {
             unroll: UnrollParams::default(),
             backend: true,
             fanout_targets: 4,
+            trial_budget: None,
         }
     }
 
@@ -134,16 +143,21 @@ pub struct Compiled {
     pub stats: FormationStats,
 }
 
-fn formation_config(
-    constraints: &BlockConstraints,
-    head: bool,
-    iterative_opt: bool,
-) -> FormationConfig {
+fn formation_config(config: &CompileConfig, head: bool, iterative_opt: bool) -> FormationConfig {
     FormationConfig {
-        constraints: constraints.clone(),
+        constraints: config.constraints.clone(),
         head_duplication: head,
         tail_duplication: true,
         iterative_opt,
+        trial_budget: config.trial_budget,
+        // The profile-guided policy also reorders the expansion *seeds* by
+        // hot-edge weight, so under a constrained trial budget the ledger
+        // is spent on the hottest regions first.
+        seed_order: if config.policy == PolicyKind::HotFirst {
+            SeedOrder::HotFirst
+        } else {
+            SeedOrder::Frequency
+        },
         // `verify_trials` (and the disabled oracle/chaos hooks) come from
         // the default: every pipeline formation runs under the mid-trial
         // verify-and-rollback safety net.
@@ -200,7 +214,7 @@ pub fn try_compile(
             let fs = form_hyperblocks_with_profile(
                 &mut f,
                 policy.as_mut(),
-                &formation_config(&config.constraints, false, false),
+                &formation_config(config, false, false),
                 Some(profile),
             );
             stats.merge(&fs);
@@ -212,13 +226,12 @@ pub fn try_compile(
             let fs = form_hyperblocks_with_profile(
                 &mut f,
                 policy.as_mut(),
-                &formation_config(&config.constraints, false, false),
+                &formation_config(config, false, false),
                 Some(profile),
             );
             stats.merge(&fs);
             // U, P at hyperblock granularity (accurate size estimates).
-            let up =
-                hyperblock_unroll_peel(&mut f, profile, &config.constraints, &config.unroll);
+            let up = hyperblock_unroll_peel(&mut f, profile, &config.constraints, &config.unroll);
             stats.unrolls += up.unrolls;
             stats.peels += up.peels;
             // O.
@@ -228,7 +241,7 @@ pub fn try_compile(
             let fs = form_hyperblocks_with_profile(
                 &mut f,
                 policy.as_mut(),
-                &formation_config(&config.constraints, true, false),
+                &formation_config(config, true, false),
                 Some(profile),
             );
             stats.merge(&fs);
@@ -238,7 +251,7 @@ pub fn try_compile(
             let fs = form_hyperblocks_with_profile(
                 &mut f,
                 policy.as_mut(),
-                &formation_config(&config.constraints, true, true),
+                &formation_config(config, true, true),
                 Some(profile),
             );
             stats.merge(&fs);

@@ -158,9 +158,10 @@ impl Policy for BreadthFirstLookahead {
             })
             .collect();
         let reconverges = |i: usize| -> bool {
-            regions.iter().enumerate().any(|(j, r)| {
-                j != i && !r.is_disjoint(&regions[i])
-            })
+            regions
+                .iter()
+                .enumerate()
+                .any(|(j, r)| j != i && !r.is_disjoint(&regions[i]))
         };
         candidates
             .iter()
@@ -253,8 +254,7 @@ impl Policy for Vliw {
             self.heights.insert(b, dependence_height(f, b));
         }
         let n = self.heights.len().max(1);
-        self.mean_height =
-            self.heights.values().sum::<u64>() as f64 / n as f64;
+        self.mean_height = self.heights.values().sum::<u64>() as f64 / n as f64;
     }
 
     fn select(&mut self, _f: &Function, _hb: BlockId, candidates: &[Candidate]) -> Option<usize> {
@@ -284,6 +284,58 @@ impl Policy for Vliw {
     }
 }
 
+/// Profile-guided selection: hottest candidate first.
+///
+/// Orders candidates by **profiled reach probability × successor edge
+/// weight** — `prob` is the driver's estimate that a dynamic execution of
+/// the hyperblock reaches the candidate, and the edge weight is the
+/// profiled taken count summed over the hyperblock's current exits into
+/// the candidate ([`chf_ir::block::Block::edge_weight_to`]). The product
+/// concentrates a constrained trial budget
+/// ([`crate::convergent::FormationConfig::trial_budget`]) on the merges
+/// the training run actually executed, instead of burning it in CFG
+/// discovery order the way [`BreadthFirst`] does.
+///
+/// Determinism: ties (including the all-zero scores of an unprofiled or
+/// edge-uniform CFG) break on `(depth, order)` ascending — exactly the
+/// breadth-first rule — so with no differential profile signal `HotFirst`
+/// selects *identically* to [`BreadthFirst`] and output stays byte-stable
+/// (property-tested in `crates/core/tests/policy_props.rs`).
+#[derive(Debug, Default)]
+pub struct HotFirst;
+
+impl HotFirst {
+    /// The selection score: reach probability × profiled weight of the
+    /// hyperblock's current edges into the candidate. A candidate whose
+    /// block has been merged away (or an absent hyperblock) scores 0 and
+    /// loses to any live profiled candidate.
+    fn score(f: &Function, hb: BlockId, c: &Candidate) -> f64 {
+        if !f.contains_block(hb) || !f.contains_block(c.block) {
+            return 0.0;
+        }
+        c.prob * f.block(hb).edge_weight_to(c.block)
+    }
+}
+
+impl Policy for HotFirst {
+    fn name(&self) -> &'static str {
+        "hot-first"
+    }
+
+    fn select(&mut self, f: &Function, hb: BlockId, candidates: &[Candidate]) -> Option<usize> {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                let (sa, sb) = (Self::score(f, hb, a), Self::score(f, hb, b));
+                sb.partial_cmp(&sa)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| (a.depth, a.order).cmp(&(b.depth, b.order)))
+            })
+            .map(|(i, _)| i)
+    }
+}
+
 /// Which policy to instantiate, for configuration tables.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum PolicyKind {
@@ -295,6 +347,8 @@ pub enum PolicyKind {
     DepthFirst,
     /// [`Vliw`] with default parameters.
     Vliw,
+    /// [`HotFirst`]: profile-guided merge ordering.
+    HotFirst,
 }
 
 impl PolicyKind {
@@ -305,6 +359,7 @@ impl PolicyKind {
             PolicyKind::BreadthFirstLookahead => Box::new(BreadthFirstLookahead::default()),
             PolicyKind::DepthFirst => Box::new(DepthFirst),
             PolicyKind::Vliw => Box::new(Vliw::default()),
+            PolicyKind::HotFirst => Box::new(HotFirst),
         }
     }
 
@@ -315,6 +370,7 @@ impl PolicyKind {
             PolicyKind::BreadthFirstLookahead => "BF+look",
             PolicyKind::DepthFirst => "DF",
             PolicyKind::Vliw => "VLIW",
+            PolicyKind::HotFirst => "HF",
         }
     }
 }
@@ -449,10 +505,62 @@ mod tests {
             PolicyKind::BreadthFirstLookahead,
             PolicyKind::DepthFirst,
             PolicyKind::Vliw,
+            PolicyKind::HotFirst,
         ] {
             let p = kind.instantiate();
             assert!(!p.name().is_empty());
             assert!(!kind.label().is_empty());
         }
+    }
+
+    /// A diamond whose hot arm carries almost all of the profiled flow.
+    fn profiled_diamond(hot_count: f64, cold_count: f64) -> (Function, BlockId, BlockId, BlockId) {
+        let mut fb = FunctionBuilder::new("hot", 1);
+        let e = fb.create_block();
+        let hot = fb.create_block();
+        let cold = fb.create_block();
+        fb.switch_to(e);
+        let c = fb.cmp_lt(Operand::Reg(fb.param(0)), Operand::Imm(0));
+        fb.branch(c, hot, cold);
+        fb.switch_to(hot);
+        fb.ret(None);
+        fb.switch_to(cold);
+        fb.ret(None);
+        let mut f = fb.build().unwrap();
+        f.block_mut(e).exits[0].count = hot_count;
+        f.block_mut(e).exits[1].count = cold_count;
+        (f, e, hot, cold)
+    }
+
+    #[test]
+    fn hot_first_prefers_hot_edges_regardless_of_discovery_order() {
+        let (f, e, hot, cold) = profiled_diamond(900.0, 100.0);
+        // The cold arm was discovered first; BF would take it, HotFirst
+        // must jump to the hot one.
+        let cs = vec![cand(cold.0, 0, 0, 0.1), cand(hot.0, 1, 0, 0.9)];
+        assert_eq!(BreadthFirst.select(&f, e, &cs), Some(0));
+        assert_eq!(HotFirst.select(&f, e, &cs), Some(1));
+    }
+
+    #[test]
+    fn hot_first_falls_back_to_breadth_first_without_profile_signal() {
+        // Zero edge weights (unprofiled CFG): every score is 0, so the
+        // (depth, order) tie-break must reproduce breadth-first exactly.
+        let (f, e, hot, cold) = profiled_diamond(0.0, 0.0);
+        let cs = vec![
+            cand(hot.0, 2, 1, 0.9),
+            cand(cold.0, 0, 0, 0.1),
+            cand(hot.0, 1, 0, 0.8),
+        ];
+        assert_eq!(HotFirst.select(&f, e, &cs), BreadthFirst.select(&f, e, &cs));
+    }
+
+    #[test]
+    fn hot_first_scores_dead_candidates_zero() {
+        let (f, e, hot, _) = profiled_diamond(900.0, 100.0);
+        // A candidate whose block no longer exists must lose to a live one
+        // even with a huge reach probability.
+        let cs = vec![cand(4242, 0, 0, 1.0), cand(hot.0, 1, 0, 0.2)];
+        assert_eq!(HotFirst.select(&f, e, &cs), Some(1));
     }
 }

@@ -81,10 +81,7 @@ fn spill_register(f: &mut Function, r: Reg, slot: i64, lv: &Liveness) -> usize {
     let is_param = r.0 < f.params;
     for b in &ids {
         let needs_reload = lv.live_in(*b).contains(&r)
-            && f.block(*b)
-                .insts
-                .iter()
-                .any(|i| i.uses().any(|u| u == r))
+            && f.block(*b).insts.iter().any(|i| i.uses().any(|u| u == r))
             || f.block(*b).exits.iter().any(|e| {
                 e.pred.map(|p| p.reg == r).unwrap_or(false)
                     || matches!(e.target, ExitTarget::Return(Some(Operand::Reg(x))) if x == r)

@@ -72,8 +72,7 @@ pub fn best_split_point(f: &Function, b: BlockId) -> usize {
         if let Some(p) = e.pred {
             last_use.insert(p.reg, n);
         }
-        if let chf_ir::block::ExitTarget::Return(Some(chf_ir::instr::Operand::Reg(r))) = e.target
-        {
+        if let chf_ir::block::ExitTarget::Return(Some(chf_ir::instr::Operand::Reg(r))) = e.target {
             last_use.insert(r, n);
         }
     }

@@ -64,10 +64,7 @@ pub struct UnrollStats {
 /// Back edges (to `header`) are left pointing at the *original* header; the
 /// caller rewires them as peeling or unrolling requires.
 fn copy_body(f: &mut Function, body: &[BlockId], header: BlockId) -> HashMap<BlockId, BlockId> {
-    let map: HashMap<BlockId, BlockId> = body
-        .iter()
-        .map(|&b| (b, f.duplicate_block(b)))
-        .collect();
+    let map: HashMap<BlockId, BlockId> = body.iter().map(|&b| (b, f.duplicate_block(b))).collect();
     for (&old, &new) in &map {
         let _ = old;
         let blk = f.block_mut(new);
@@ -104,12 +101,7 @@ pub fn peel_one(f: &mut Function, header: BlockId) -> bool {
     };
     let entry_preds: Vec<BlockId> = f
         .block_ids()
-        .filter(|&p| {
-            !l.body.contains(&p)
-                && f.block(p)
-                    .successors()
-                    .any(|s| s == header)
-        })
+        .filter(|&p| !l.body.contains(&p) && f.block(p).successors().any(|s| s == header))
         .collect();
     if entry_preds.is_empty() {
         return false;

@@ -120,8 +120,7 @@ impl Block {
 
     /// Whether any instruction or exit is predicated.
     pub fn is_predicated(&self) -> bool {
-        self.insts.iter().any(|i| i.pred.is_some())
-            || self.exits.iter().any(|e| e.pred.is_some())
+        self.insts.iter().any(|i| i.pred.is_some()) || self.exits.iter().any(|e| e.pred.is_some())
     }
 
     /// Whether the block ends in a return on every path out.
@@ -129,6 +128,33 @@ impl Block {
         self.exits
             .iter()
             .all(|e| matches!(e.target, ExitTarget::Return(_)))
+    }
+
+    /// Profiled weight of this block's edges into `target`: the sum of the
+    /// recorded taken counts over every exit whose target is `target`.
+    /// Zero when the edge exists but was never profiled — callers that need
+    /// a probability should use [`Block::exit_probability`], which falls
+    /// back to a uniform split.
+    pub fn edge_weight_to(&self, target: BlockId) -> f64 {
+        self.exits
+            .iter()
+            .filter(|e| e.target == ExitTarget::Block(target))
+            .map(|e| e.count)
+            .sum()
+    }
+
+    /// Total profiled outflow of the block: the sum of all exit counts
+    /// (including returns). Equals the profiled execution count of the
+    /// block when the profile is internally consistent.
+    pub fn outflow(&self) -> f64 {
+        self.exits.iter().map(|e| e.count).sum()
+    }
+
+    /// The largest profiled count on any single out-edge of this block —
+    /// the "hottest successor edge" the profile-guided orderings consult.
+    /// Zero for blocks with no exits or an unprofiled exit set.
+    pub fn hottest_edge_weight(&self) -> f64 {
+        self.exits.iter().map(|e| e.count).fold(0.0, f64::max)
     }
 
     /// Replace every exit targeting `from` with an exit targeting `to`.
@@ -305,7 +331,8 @@ mod tests {
     fn memory_ops_counted() {
         let mut b = Block::new();
         b.insts.push(Instr::load(Reg(1), Operand::Imm(0)));
-        b.insts.push(Instr::store(Operand::Imm(0), Operand::Reg(Reg(1))));
+        b.insts
+            .push(Instr::store(Operand::Imm(0), Operand::Reg(Reg(1))));
         b.insts.push(Instr::mov(Reg(2), Operand::Imm(5)));
         assert_eq!(b.memory_ops(), 2);
     }
@@ -317,6 +344,34 @@ mod tests {
         b.exits.push(Exit::jump(BlockId(3)));
         assert_eq!(b.retarget_exits(BlockId(3), BlockId(7)), 2);
         assert!(b.successors().all(|s| s == BlockId(7)));
+    }
+
+    #[test]
+    fn edge_weight_sums_parallel_edges() {
+        let mut b = Block::new();
+        let mut e0 = Exit::when(Pred::on_true(Reg(0)), BlockId(1));
+        e0.count = 30.0;
+        let mut e1 = Exit::when(Pred::on_true(Reg(1)), BlockId(1));
+        e1.count = 12.0;
+        let mut e2 = Exit::jump(BlockId(2));
+        e2.count = 58.0;
+        b.exits.push(e0);
+        b.exits.push(e1);
+        b.exits.push(e2);
+        assert!((b.edge_weight_to(BlockId(1)) - 42.0).abs() < 1e-9);
+        assert!((b.edge_weight_to(BlockId(2)) - 58.0).abs() < 1e-9);
+        assert_eq!(b.edge_weight_to(BlockId(9)), 0.0);
+        assert!((b.outflow() - 100.0).abs() < 1e-9);
+        assert!((b.hottest_edge_weight() - 58.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edge_weight_zero_without_profile() {
+        let mut b = Block::new();
+        b.exits.push(Exit::jump(BlockId(1)));
+        assert_eq!(b.edge_weight_to(BlockId(1)), 0.0);
+        assert_eq!(b.outflow(), 0.0);
+        assert_eq!(b.hottest_edge_weight(), 0.0);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! CFG traversal utilities: successor/predecessor maps, orders, reachability.
 
 use crate::function::Function;
-use crate::ids::BlockId;
 use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::ids::BlockId;
 use std::collections::VecDeque;
 
 /// Deduplicated successor list of a block, in first-appearance order.
@@ -153,8 +153,7 @@ mod tests {
         let f = diamond_with_dead();
         let rpo = reverse_postorder(&f);
         assert_eq!(rpo[0], f.entry);
-        let pos: FxHashMap<BlockId, usize> =
-            rpo.iter().enumerate().map(|(i, b)| (*b, i)).collect();
+        let pos: FxHashMap<BlockId, usize> = rpo.iter().enumerate().map(|(i, b)| (*b, i)).collect();
         // join must come after both arms
         assert!(pos[&BlockId(3)] > pos[&BlockId(1)]);
         assert!(pos[&BlockId(3)] > pos[&BlockId(2)]);

@@ -52,8 +52,7 @@ impl DomTree {
             pred_off[i] += pred_off[i - 1];
         }
         let mut cursor: Vec<u32> = pred_off[..rpo.len()].to_vec();
-        let mut pred_flat: Vec<BlockId> =
-            vec![BlockId(0); *pred_off.last().unwrap() as usize];
+        let mut pred_flat: Vec<BlockId> = vec![BlockId(0); *pred_off.last().unwrap() as usize];
         for &b in &rpo {
             for s in successors(f, b) {
                 let i = rpo_index[s.index()];

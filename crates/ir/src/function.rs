@@ -286,7 +286,7 @@ mod tests {
         let nregs = f.reg_count();
 
         let snap = f.snapshot_blocks([e, b, b]); // duplicate id: saved once
-        // Mutate e, remove b, add a block, allocate registers.
+                                                 // Mutate e, remove b, add a block, allocate registers.
         let r2 = f.new_reg();
         f.block_mut(e).insts.push(Instr::mov(r2, Operand::Imm(2)));
         f.remove_block(b);

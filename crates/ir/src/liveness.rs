@@ -381,7 +381,10 @@ mod tests {
         let lv = Liveness::compute(&f);
         assert!(lv.live_in(e).contains(&Reg(0)));
         assert!(lv.live_out(e).contains(&x));
-        assert_eq!(lv.register_reads(e).to_set(), [Reg(0)].into_iter().collect());
+        assert_eq!(
+            lv.register_reads(e).to_set(),
+            [Reg(0)].into_iter().collect()
+        );
         assert_eq!(lv.register_writes(e).to_set(), [x].into_iter().collect());
         assert_eq!(lv.register_reads(b).to_set(), [x].into_iter().collect());
         assert!(lv.register_writes(b).is_empty());

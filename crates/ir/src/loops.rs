@@ -14,8 +14,8 @@
 use crate::cfg::successors;
 use crate::dom::DomTree;
 use crate::function::Function;
-use crate::ids::BlockId;
 use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::ids::BlockId;
 
 /// A natural loop.
 #[derive(Clone, Debug)]
@@ -100,7 +100,12 @@ impl LoopForest {
 
         let mut loops: Vec<Loop> = by_header.into_values().collect();
         // Sort by body size descending so parents precede children.
-        loops.sort_by(|a, b| b.body.len().cmp(&a.body.len()).then(a.header.cmp(&b.header)));
+        loops.sort_by(|a, b| {
+            b.body
+                .len()
+                .cmp(&a.body.len())
+                .then(a.header.cmp(&b.header))
+        });
 
         // 3. nesting: the parent of L is the smallest loop strictly
         // containing L's header that is not L itself.
@@ -130,7 +135,10 @@ impl LoopForest {
             .enumerate()
             .map(|(i, l)| (l.header, i))
             .collect();
-        LoopForest { loops, header_index }
+        LoopForest {
+            loops,
+            header_index,
+        }
     }
 
     /// Convenience: compute dominators then loops.

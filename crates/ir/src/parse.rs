@@ -78,29 +78,22 @@ fn opcode_from_mnemonic(m: &str) -> Option<Opcode> {
 }
 
 fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
-    let digits = tok
-        .strip_prefix('r')
-        .ok_or_else(|| ParseError {
-            line,
-            message: format!("expected register, got `{tok}`"),
-        })?;
-    digits
-        .parse::<u32>()
-        .map(Reg)
-        .map_err(|_| ParseError {
-            line,
-            message: format!("bad register `{tok}`"),
-        })
+    let digits = tok.strip_prefix('r').ok_or_else(|| ParseError {
+        line,
+        message: format!("expected register, got `{tok}`"),
+    })?;
+    digits.parse::<u32>().map(Reg).map_err(|_| ParseError {
+        line,
+        message: format!("bad register `{tok}`"),
+    })
 }
 
 fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseError> {
     if let Some(v) = tok.strip_prefix('#') {
-        v.parse::<i64>()
-            .map(Operand::Imm)
-            .map_err(|_| ParseError {
-                line,
-                message: format!("bad immediate `{tok}`"),
-            })
+        v.parse::<i64>().map(Operand::Imm).map_err(|_| ParseError {
+            line,
+            message: format!("bad immediate `{tok}`"),
+        })
     } else {
         parse_reg(tok, line).map(Operand::Reg)
     }
@@ -457,7 +450,8 @@ mod tests {
 
     #[test]
     fn errors_carry_line_numbers() {
-        let text = "fn bad(params: 0, regs: 2)\nB0:\n    r1 = frobnicate r0, #1\n  exits:\n    -> ret\n";
+        let text =
+            "fn bad(params: 0, regs: 2)\nB0:\n    r1 = frobnicate r0, #1\n  exits:\n    -> ret\n";
         let e = parse_function(text).unwrap_err();
         assert_eq!(e.line, 3);
         assert!(e.to_string().contains("frobnicate"));

@@ -94,8 +94,8 @@ mod tests {
     fn instr_display_forms() {
         let i = Instr::add(Reg(3), Operand::Reg(Reg(1)), Operand::Imm(4));
         assert_eq!(i.to_string(), "r3 = add r1, #4");
-        let s = Instr::store(Operand::Reg(Reg(0)), Operand::Imm(7))
-            .predicated(Pred::on_false(Reg(2)));
+        let s =
+            Instr::store(Operand::Reg(Reg(0)), Operand::Imm(7)).predicated(Pred::on_false(Reg(2)));
         assert_eq!(s.to_string(), "[!r2] store r0, #7");
         let m = Instr::mov(Reg(1), Operand::Imm(0));
         assert_eq!(m.to_string(), "r1 = mov #0");

@@ -123,6 +123,30 @@ impl ProfileData {
     pub fn trip_histogram(&self, header: BlockId) -> Option<&TripHistogram> {
         self.trip_histograms.get(&header)
     }
+
+    /// Profiled execution count of `b` (0 when unprofiled).
+    pub fn block_count(&self, b: BlockId) -> u64 {
+        self.block_counts.get(&b).copied().unwrap_or(0)
+    }
+
+    /// Profiled taken count of exit `exit` of block `b` (0 when
+    /// unprofiled) — the raw edge weight the profile-guided orderings
+    /// consume before [`ProfileData::apply`] stamps it onto the CFG.
+    pub fn edge_count(&self, b: BlockId, exit: usize) -> u64 {
+        self.exit_counts.get(&(b, exit)).copied().unwrap_or(0)
+    }
+
+    /// Index of the hottest recorded out-edge of `b`, if any edge of `b`
+    /// was profiled. Deterministic: ties break toward the lowest exit
+    /// index, so profile-guided orderings built on top stay byte-stable.
+    pub fn hottest_exit(&self, b: BlockId) -> Option<usize> {
+        self.exit_counts
+            .iter()
+            .filter(|((blk, _), n)| *blk == b && **n > 0)
+            .map(|((_, i), n)| (*i, *n))
+            .max_by(|(i, n), (j, m)| n.cmp(m).then(j.cmp(i)))
+            .map(|(i, _)| i)
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +203,31 @@ mod tests {
         assert_eq!(f.block(a).freq, 80.0);
         assert_eq!(f.block(b).freq, 0.0);
         assert!((f.block(e).exit_probability(0) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn raw_count_accessors() {
+        let mut p = ProfileData::default();
+        p.block_counts.insert(BlockId(3), 44);
+        p.exit_counts.insert((BlockId(3), 0), 11);
+        p.exit_counts.insert((BlockId(3), 1), 33);
+        p.exit_counts.insert((BlockId(4), 0), 99);
+        assert_eq!(p.block_count(BlockId(3)), 44);
+        assert_eq!(p.block_count(BlockId(9)), 0);
+        assert_eq!(p.edge_count(BlockId(3), 1), 33);
+        assert_eq!(p.edge_count(BlockId(9), 0), 0);
+        assert_eq!(p.hottest_exit(BlockId(3)), Some(1));
+        assert_eq!(p.hottest_exit(BlockId(4)), Some(0));
+        assert_eq!(p.hottest_exit(BlockId(9)), None);
+    }
+
+    #[test]
+    fn hottest_exit_ties_break_low() {
+        let mut p = ProfileData::default();
+        p.exit_counts.insert((BlockId(0), 2), 7);
+        p.exit_counts.insert((BlockId(0), 0), 7);
+        p.exit_counts.insert((BlockId(0), 1), 7);
+        assert_eq!(p.hottest_exit(BlockId(0)), Some(0));
     }
 
     #[test]

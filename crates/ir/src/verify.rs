@@ -59,7 +59,10 @@ impl fmt::Display for VerifyError {
                 write!(f, "block {b} is unreachable from the entry")
             }
             VerifyError::PredicateUseBeforeDef(b, r) => {
-                write!(f, "block {b} consumes predicate register r{r} before any definition")
+                write!(
+                    f,
+                    "block {b} consumes predicate register r{r} before any definition"
+                )
             }
         }
     }
@@ -147,10 +150,7 @@ pub fn verify_full(f: &Function) -> Result<(), VerifyError> {
     for (id, blk) in f.blocks() {
         let mut defined_here: Vec<u32> = Vec::new();
         let check = |reg: u32, defined_here: &[u32]| -> Result<(), VerifyError> {
-            if reg < f.params
-                || defined_here.contains(&reg)
-                || defined_in_other_block(f, id, reg)
-            {
+            if reg < f.params || defined_here.contains(&reg) || defined_in_other_block(f, id, reg) {
                 Ok(())
             } else {
                 Err(VerifyError::PredicateUseBeforeDef(id, reg))
@@ -176,7 +176,11 @@ pub fn verify_full(f: &Function) -> Result<(), VerifyError> {
 /// Does `reg` have a definition in any block other than `excluded`?
 fn defined_in_other_block(f: &Function, excluded: BlockId, reg: u32) -> bool {
     f.blocks().any(|(id, blk)| {
-        id != excluded && blk.insts.iter().any(|i| i.def().is_some_and(|r| r.0 == reg))
+        id != excluded
+            && blk
+                .insts
+                .iter()
+                .any(|i| i.def().is_some_and(|r| r.0 == reg))
     })
 }
 
@@ -263,10 +267,7 @@ mod tests {
         f.block_mut(entry)
             .insts
             .push(Instr::mov(Reg(500), Operand::Imm(1)));
-        assert_eq!(
-            verify(&f),
-            Err(VerifyError::RegisterOutOfRange(entry, 500))
-        );
+        assert_eq!(verify(&f), Err(VerifyError::RegisterOutOfRange(entry, 500)));
     }
 
     #[test]
@@ -349,9 +350,7 @@ mod tests {
         let mut guarded = Instr::mov(dst, Operand::Imm(1));
         guarded.pred = Some(Pred::on_true(p));
         f.block_mut(e).insts.push(guarded);
-        f.block_mut(e)
-            .insts
-            .push(Instr::mov(p, Operand::Imm(0)));
+        f.block_mut(e).insts.push(Instr::mov(p, Operand::Imm(0)));
         assert_eq!(
             verify_full(&f),
             Err(VerifyError::PredicateUseBeforeDef(e, p.0))

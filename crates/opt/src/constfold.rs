@@ -286,8 +286,8 @@ mod tests {
 
     #[test]
     fn preserves_predicate() {
-        let i = Instr::add(Reg(0), Operand::Imm(1), Operand::Imm(1))
-            .predicated(Pred::on_false(Reg(3)));
+        let i =
+            Instr::add(Reg(0), Operand::Imm(1), Operand::Imm(1)).predicated(Pred::on_false(Reg(3)));
         let s = fold_one(i).unwrap();
         assert_eq!(s.pred, Some(Pred::on_false(Reg(3))));
         assert_eq!(s.a, Some(Operand::Imm(2)));
@@ -302,10 +302,7 @@ mod tests {
     #[test]
     fn division_by_zero_folds_to_zero() {
         let i = Instr::binary(Opcode::Div, Reg(0), Operand::Imm(9), Operand::Imm(0));
-        assert_eq!(
-            fold_one(i).unwrap(),
-            Instr::mov(Reg(0), Operand::Imm(0))
-        );
+        assert_eq!(fold_one(i).unwrap(), Instr::mov(Reg(0), Operand::Imm(0)));
     }
 
     #[test]

@@ -8,9 +8,9 @@
 
 use crate::Pass;
 use chf_ir::function::Function;
+use chf_ir::fxhash::FxHashMap;
 use chf_ir::ids::Reg;
 use chf_ir::instr::{Opcode, Operand, Pred};
-use chf_ir::fxhash::FxHashMap;
 
 #[derive(Copy, Clone, Debug)]
 struct CopyInfo {
@@ -187,8 +187,16 @@ mod tests {
         let mut f = fb.build().unwrap();
         CopyProp.run(&mut f);
         let insts = &f.block(f.entry).insts;
-        assert_eq!(insts[2].a, Some(Operand::Reg(src)), "same-pred use forwarded");
-        assert_eq!(insts[3].a, Some(Operand::Reg(x)), "other-pred use untouched");
+        assert_eq!(
+            insts[2].a,
+            Some(Operand::Reg(src)),
+            "same-pred use forwarded"
+        );
+        assert_eq!(
+            insts[3].a,
+            Some(Operand::Reg(x)),
+            "other-pred use untouched"
+        );
     }
 
     #[test]

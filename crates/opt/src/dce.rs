@@ -8,8 +8,8 @@
 use crate::Pass;
 use chf_ir::block::ExitTarget;
 use chf_ir::function::Function;
-use chf_ir::ids::Reg;
 use chf_ir::fxhash::FxHashSet;
+use chf_ir::ids::Reg;
 use chf_ir::liveness::Liveness;
 
 /// The dead-code-elimination pass.

@@ -20,10 +20,10 @@ use crate::Pass;
 use chf_ir::block::Block;
 use chf_ir::dom::DomTree;
 use chf_ir::function::Function;
+use chf_ir::fxhash::{FxHashMap, FxHashSet};
 use chf_ir::ids::{BlockId, Reg};
 use chf_ir::instr::{Instr, Opcode, Operand, Pred};
 use chf_ir::loops::LoopForest;
-use chf_ir::fxhash::{FxHashMap, FxHashSet};
 
 /// The value-numbering pass.
 #[derive(Debug, Default)]
@@ -133,7 +133,11 @@ pub fn value_number_block(blk: &mut Block) -> bool {
             Opcode::Mov => {
                 let d = inst.dst.expect("mov dst");
                 let src_vn = vn.operand(inst.a.expect("mov src"));
-                let new_vn = if inst.pred.is_none() { src_vn } else { vn.fresh() };
+                let new_vn = if inst.pred.is_none() {
+                    src_vn
+                } else {
+                    vn.fresh()
+                };
                 vn.reg_vn.insert(d, new_vn);
                 continue;
             }
@@ -184,7 +188,11 @@ pub fn value_number_block(blk: &mut Block) -> bool {
             new.pred = inst.pred;
             *inst = new;
             changed = true;
-            let new_vn = if inst.pred.is_none() { res_vn } else { vn.fresh() };
+            let new_vn = if inst.pred.is_none() {
+                res_vn
+            } else {
+                vn.fresh()
+            };
             vn.reg_vn.insert(d, new_vn);
         } else {
             let res_vn = vn.fresh();
@@ -196,7 +204,11 @@ pub fn value_number_block(blk: &mut Block) -> bool {
                 pred: pk,
             };
             vn.exprs.insert(key, (d, res_vn));
-            let new_vn = if inst.pred.is_none() { res_vn } else { vn.fresh() };
+            let new_vn = if inst.pred.is_none() {
+                res_vn
+            } else {
+                vn.fresh()
+            };
             vn.reg_vn.insert(d, new_vn);
         }
     }

@@ -171,7 +171,10 @@ pub(crate) mod testutil {
 
     /// Assert that `transform` preserves observable behaviour on a swarm of
     /// generated programs and inputs.
-    pub fn assert_preserves_behaviour(transform: impl Fn(&mut Function), seeds: std::ops::Range<u64>) {
+    pub fn assert_preserves_behaviour(
+        transform: impl Fn(&mut Function),
+        seeds: std::ops::Range<u64>,
+    ) {
         let cfg = GenConfig::default();
         for seed in seeds {
             let f0 = generate(seed, &cfg);

@@ -19,9 +19,9 @@
 use crate::Pass;
 use chf_ir::block::Block;
 use chf_ir::function::Function;
+use chf_ir::fxhash::FxHashMap;
 use chf_ir::ids::Reg;
 use chf_ir::instr::{Instr, Opcode, Operand};
-use chf_ir::fxhash::FxHashMap;
 
 /// The predicate-optimization pass.
 #[derive(Debug, Default)]
@@ -73,9 +73,7 @@ fn merge_complementary(blk: &mut Block) -> bool {
                 continue;
             }
             for j in i + 1..n {
-                if mergeable(&blk.insts[i], &blk.insts[j])
-                    && !merge_blocked(&blk.insts, i, j)
-                {
+                if mergeable(&blk.insts[i], &blk.insts[j]) && !merge_blocked(&blk.insts, i, j) {
                     blk.insts[i].pred = None;
                     blk.insts.remove(j);
                     changed = true;
@@ -249,12 +247,10 @@ mod tests {
         fb.switch_to(e);
         let p = fb.cmp_ne(Operand::Reg(fb.param(1)), Operand::Imm(0));
         fb.push(
-            Instr::store(Operand::Imm(3), Operand::Reg(fb.param(0)))
-                .predicated(Pred::on_true(p)),
+            Instr::store(Operand::Imm(3), Operand::Reg(fb.param(0))).predicated(Pred::on_true(p)),
         );
         fb.push(
-            Instr::store(Operand::Imm(3), Operand::Reg(fb.param(0)))
-                .predicated(Pred::on_false(p)),
+            Instr::store(Operand::Imm(3), Operand::Reg(fb.param(0))).predicated(Pred::on_false(p)),
         );
         fb.ret(None);
         let mut f = fb.build().unwrap();

@@ -59,20 +59,16 @@ pub fn reduce_block(blk: &mut Block) -> bool {
                         b: Some(Operand::Imm(k as i64)),
                         ..inst.clone()
                     }),
-                    Opcode::Div if operand_non_negative(&non_negative, Some(a)) => {
-                        Some(Instr {
-                            op: Opcode::Shr,
-                            b: Some(Operand::Imm(k as i64)),
-                            ..inst.clone()
-                        })
-                    }
-                    Opcode::Rem if operand_non_negative(&non_negative, Some(a)) => {
-                        Some(Instr {
-                            op: Opcode::And,
-                            b: Some(Operand::Imm(c - 1)),
-                            ..inst.clone()
-                        })
-                    }
+                    Opcode::Div if operand_non_negative(&non_negative, Some(a)) => Some(Instr {
+                        op: Opcode::Shr,
+                        b: Some(Operand::Imm(k as i64)),
+                        ..inst.clone()
+                    }),
+                    Opcode::Rem if operand_non_negative(&non_negative, Some(a)) => Some(Instr {
+                        op: Opcode::And,
+                        b: Some(Operand::Imm(c - 1)),
+                        ..inst.clone()
+                    }),
                     _ => None,
                 };
                 if let Some(new) = rewritten {

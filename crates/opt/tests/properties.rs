@@ -4,14 +4,11 @@
 
 use chf_ir::testgen::{generate, GenConfig};
 use chf_ir::verify::verify;
-use chf_opt::{constfold, copyprop, dce, gvn, predopt, optimize, Pass};
+use chf_opt::{constfold, copyprop, dce, gvn, optimize, predopt, Pass};
 use chf_sim::functional::{run, RunConfig};
 use proptest::prelude::*;
 
-fn digest(
-    f: &chf_ir::function::Function,
-    args: [i64; 2],
-) -> (Option<i64>, Vec<(i64, i64)>) {
+fn digest(f: &chf_ir::function::Function, args: [i64; 2]) -> (Option<i64>, Vec<(i64, i64)>) {
     run(f, &args, &[], &RunConfig::default()).unwrap().digest()
 }
 

@@ -63,7 +63,9 @@ pub struct TestCaseError {
 
 impl TestCaseError {
     pub fn fail(message: impl Into<String>) -> Self {
-        TestCaseError { message: message.into() }
+        TestCaseError {
+            message: message.into(),
+        }
     }
 }
 
@@ -144,7 +146,9 @@ pub fn any<T>() -> Any<T>
 where
     Any<T>: Strategy<Value = T>,
 {
-    Any { _marker: std::marker::PhantomData }
+    Any {
+        _marker: std::marker::PhantomData,
+    }
 }
 
 /// Always produces the same value (proptest's `Just`).
@@ -262,8 +266,8 @@ pub mod collection {
 /// Everything the tests `use proptest::prelude::*` for.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just,
-        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
     };
 }
 
@@ -324,14 +328,12 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&$left, &$right);
         if *l == *r {
-            return ::core::result::Result::Err($crate::TestCaseError::fail(
-                format!(
-                    "assertion failed: `{} != {}`\n  both: {:?}",
-                    stringify!($left),
-                    stringify!($right),
-                    l
-                ),
-            ));
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
         }
     }};
 }

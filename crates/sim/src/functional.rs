@@ -144,7 +144,10 @@ impl fmt::Display for SimError {
                 write!(f, "block {block} references unallocated register r{reg}")
             }
             SimError::MalformedInstruction { block } => {
-                write!(f, "block {block} contains an instruction missing a required operand")
+                write!(
+                    f,
+                    "block {block} contains an instruction missing a required operand"
+                )
             }
             SimError::NoFiringExit { block } => {
                 write!(f, "no exit of block {block} fired (exit set is not total)")
@@ -532,7 +535,10 @@ fn run_lowered_impl<const CHECK: bool>(
         for j in lb.exit_start..lb.exit_end {
             let e = &p.exits[j as usize];
             if let Some(r) = e.pred_oor {
-                return Err(SimError::RegisterOutOfRange { block: lb.id, reg: r });
+                return Err(SimError::RegisterOutOfRange {
+                    block: lb.id,
+                    reg: r,
+                });
             }
             if e.pred_reg != NONE {
                 let pi = e.pred_reg as usize;
@@ -575,7 +581,10 @@ fn run_lowered_impl<const CHECK: bool>(
                     break 'outer Some(m.regs[ri]);
                 }
                 LExitKind::RetRegOor(r) => {
-                    return Err(SimError::RegisterOutOfRange { block: lb.id, reg: r });
+                    return Err(SimError::RegisterOutOfRange {
+                        block: lb.id,
+                        reg: r,
+                    });
                 }
             }
         }
@@ -748,8 +757,14 @@ mod tests {
         fb.push(Instr::mov(out, Operand::Imm(2)).predicated(Pred::on_false(p)));
         fb.ret(Some(reg(out)));
         let f = fb.build().unwrap();
-        assert_eq!(run(&f, &[9], &[], &RunConfig::strict()).unwrap().ret, Some(1));
-        assert_eq!(run(&f, &[3], &[], &RunConfig::strict()).unwrap().ret, Some(2));
+        assert_eq!(
+            run(&f, &[9], &[], &RunConfig::strict()).unwrap().ret,
+            Some(1)
+        );
+        assert_eq!(
+            run(&f, &[3], &[], &RunConfig::strict()).unwrap().ret,
+            Some(2)
+        );
     }
 
     #[test]
@@ -783,7 +798,10 @@ mod tests {
             Err(ExecError::UninitializedRead { .. })
         ));
         // Non-strict mode reads 0.
-        assert_eq!(run(&f, &[], &[], &RunConfig::default()).unwrap().ret, Some(1));
+        assert_eq!(
+            run(&f, &[], &[], &RunConfig::default()).unwrap().ret,
+            Some(1)
+        );
     }
 
     #[test]
@@ -796,8 +814,14 @@ mod tests {
         let s = fb.add(reg(d), reg(r));
         fb.ret(Some(reg(s)));
         let f = fb.build().unwrap();
-        assert_eq!(run(&f, &[0], &[], &RunConfig::default()).unwrap().ret, Some(0));
-        assert_eq!(run(&f, &[3], &[], &RunConfig::default()).unwrap().ret, Some(4));
+        assert_eq!(
+            run(&f, &[0], &[], &RunConfig::default()).unwrap().ret,
+            Some(0)
+        );
+        assert_eq!(
+            run(&f, &[3], &[], &RunConfig::default()).unwrap().ret,
+            Some(4)
+        );
     }
 
     #[test]
@@ -839,7 +863,10 @@ mod tests {
         // Corrupt the cold block: missing operand.
         f.block_mut(BlockId(1)).insts[0].a = None;
         // Not reached: runs fine.
-        assert_eq!(run(&f, &[0], &[], &RunConfig::default()).unwrap().ret, Some(7));
+        assert_eq!(
+            run(&f, &[0], &[], &RunConfig::default()).unwrap().ret,
+            Some(7)
+        );
         // Reached: the legacy error, lazily.
         assert_eq!(
             run(&f, &[99], &[], &RunConfig::default()).unwrap_err(),

@@ -208,7 +208,10 @@ impl LoweredProgram {
             for inst in &blk.insts {
                 for r in inst.uses().chain(inst.def()) {
                     if r.index() >= nregs as usize {
-                        timing_reject = Some(SimError::RegisterOutOfRange { block: id, reg: r.0 });
+                        timing_reject = Some(SimError::RegisterOutOfRange {
+                            block: id,
+                            reg: r.0,
+                        });
                         break 'sweep;
                     }
                 }
@@ -216,14 +219,19 @@ impl LoweredProgram {
             for e in &blk.exits {
                 if let Some(pr) = e.pred {
                     if pr.reg.index() >= nregs as usize {
-                        timing_reject =
-                            Some(SimError::RegisterOutOfRange { block: id, reg: pr.reg.0 });
+                        timing_reject = Some(SimError::RegisterOutOfRange {
+                            block: id,
+                            reg: pr.reg.0,
+                        });
                         break 'sweep;
                     }
                 }
                 if let ExitTarget::Return(Some(Operand::Reg(r))) = e.target {
                     if r.index() >= nregs as usize {
-                        timing_reject = Some(SimError::RegisterOutOfRange { block: id, reg: r.0 });
+                        timing_reject = Some(SimError::RegisterOutOfRange {
+                            block: id,
+                            reg: r.0,
+                        });
                         break 'sweep;
                     }
                 }
@@ -485,8 +493,7 @@ impl TripInfo {
                 }
             }
         }
-        let dominates =
-            |dom: &[u64], v: usize, u: usize| dom[u * bw + v / 64] >> (v % 64) & 1 != 0;
+        let dominates = |dom: &[u64], v: usize, u: usize| dom[u * bw + v / 64] >> (v % 64) & 1 != 0;
         // Back edges and loops merged by header (headers ascending).
         let mut header_loop = vec![NONE; n];
         let mut headers: Vec<u32> = Vec::new();
@@ -517,7 +524,8 @@ impl TripInfo {
             let bit = |member: &mut [u64], b: usize| {
                 member[b * words + li / 64] |= 1u64 << (li % 64);
             };
-            let in_body = |member: &[u64], b: usize| member[b * words + li / 64] >> (li % 64) & 1 != 0;
+            let in_body =
+                |member: &[u64], b: usize| member[b * words + li / 64] >> (li % 64) & 1 != 0;
             bit(&mut member, h as usize);
             let mut stack: Vec<u32> = ls.clone();
             while let Some(b) = stack.pop() {
@@ -540,7 +548,10 @@ impl TripInfo {
             words,
             member,
             header_loop,
-            headers: headers.into_iter().map(|d| p.blocks[d as usize].id).collect(),
+            headers: headers
+                .into_iter()
+                .map(|d| p.blocks[d as usize].id)
+                .collect(),
         }
     }
 }
@@ -630,4 +641,3 @@ mod tests {
         }
     }
 }
-

@@ -9,9 +9,9 @@
 //! (e.g., parser_1's 11× misprediction-rate swing between heuristics).
 
 use chf_ir::block::ExitTarget;
+use chf_ir::fxhash::FxHashMap;
 use chf_ir::ids::BlockId;
 use std::collections::hash_map::DefaultHasher;
-use chf_ir::fxhash::FxHashMap;
 use std::hash::{Hash, Hasher};
 
 /// Which prediction scheme to model.
@@ -117,7 +117,10 @@ impl ExitPredictor {
         } else {
             // Preallocated so the steady-state table (typically a few
             // hundred `(block, history)` pairs) never rehashes mid-run.
-            Table::Map(FxHashMap::with_capacity_and_hasher(1024, Default::default()))
+            Table::Map(FxHashMap::with_capacity_and_hasher(
+                1024,
+                Default::default(),
+            ))
         };
         ExitPredictor {
             kind: config.kind,
@@ -165,12 +168,7 @@ impl ExitPredictor {
     /// Record the actual target taken and update state, given the static
     /// fallback prediction for untrained entries. Returns whether the
     /// prediction was correct.
-    pub fn update(
-        &mut self,
-        block: BlockId,
-        fallback: ExitTarget,
-        actual: ExitTarget,
-    ) -> bool {
+    pub fn update(&mut self, block: BlockId, fallback: ExitTarget, actual: ExitTarget) -> bool {
         let tag = Self::history_tag(&actual);
         self.update_tagged(block, fallback, actual, tag)
     }
@@ -214,8 +212,7 @@ impl ExitPredictor {
                 if bi >= blocks.len() {
                     blocks.resize_with(bi + 1, || None);
                 }
-                let row = blocks[bi]
-                    .get_or_insert_with(|| vec![None; *row_len].into_boxed_slice());
+                let row = blocks[bi].get_or_insert_with(|| vec![None; *row_len].into_boxed_slice());
                 // `history` is kept masked, so it always indexes in range.
                 match &mut row[self.history as usize] {
                     Some(entry) => train(entry),
@@ -329,7 +326,9 @@ mod tests {
         let mut p = ExitPredictor::new(&PredictorConfig::default());
         let mut x = 12345u64;
         for _ in 0..1000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let actual = t(10 + ((x >> 33) % 2) as u32);
             p.update(b(9), t(10), actual);
         }

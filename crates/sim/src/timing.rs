@@ -615,7 +615,9 @@ impl Lsq {
     /// restarts the epoch space consistently (zero stamps never match a
     /// token, since tokens start at `base + 1`).
     fn recycle(self) {
-        let Lsq { stamp, done, hi, .. } = self;
+        let Lsq {
+            stamp, done, hi, ..
+        } = self;
         LSQ_SCRATCH.with(|s| *s.borrow_mut() = Some((stamp, done, hi + 1)));
     }
 }
@@ -689,15 +691,17 @@ fn simulate_lowered_generic<const ZERO_OPLAT: bool>(
     // clearing between blocks (or runs).
     let mut lsq = Lsq::new();
     let exact = config.memory_ordering == MemoryOrdering::Exact;
-    let op_lat = if ZERO_OPLAT { 0 } else { config.operand_latency };
+    let op_lat = if ZERO_OPLAT {
+        0
+    } else {
+        config.operand_latency
+    };
     // Per-block fetch/map latency, precomputed once per run so the block
     // loop never divides.
     let map_cycles: Vec<u64> = p
         .blocks
         .iter()
-        .map(|b| {
-            config.block_overhead + (b.size as u64).div_ceil(config.fetch_bandwidth as u64)
-        })
+        .map(|b| config.block_overhead + (b.size as u64).div_ceil(config.fetch_bandwidth as u64))
         .collect();
 
     let mut cur = p.entry;
@@ -745,7 +749,10 @@ fn simulate_lowered_generic<const ZERO_OPLAT: bool>(
             let (executes, pred_ready) = if inst.pred_reg == NONE {
                 (true, dispatch)
             } else {
-                ((sp.val != 0) == inst.pred_if_true, (sp.t + op_lat).max(dispatch))
+                (
+                    (sp.val != 0) == inst.pred_if_true,
+                    (sp.t + op_lat).max(dispatch),
+                )
             };
 
             if !executes {
@@ -846,7 +853,10 @@ fn simulate_lowered_generic<const ZERO_OPLAT: bool>(
             if let Some(r) = e.pred_oor {
                 // Unreachable when `timing_reject` is honored (the sweep
                 // found it first), but degrade identically regardless.
-                return Err(SimError::RegisterOutOfRange { block: lb.id, reg: r });
+                return Err(SimError::RegisterOutOfRange {
+                    block: lb.id,
+                    reg: r,
+                });
             }
             if e.pred_reg == NONE {
                 fired = Some(e);
@@ -867,7 +877,10 @@ fn simulate_lowered_generic<const ZERO_OPLAT: bool>(
             LExitKind::RetReg(r) => outputs_done = outputs_done.max(rf[r as usize].t),
             LExitKind::RetRegOor(r) => {
                 // As with `pred_oor`: the eager sweep fires first.
-                return Err(SimError::RegisterOutOfRange { block: lb.id, reg: r });
+                return Err(SimError::RegisterOutOfRange {
+                    block: lb.id,
+                    reg: r,
+                });
             }
             _ => {}
         }

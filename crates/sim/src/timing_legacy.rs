@@ -93,7 +93,10 @@ pub fn simulate_timing_legacy(
         for inst in &blk.insts {
             for r in inst.uses().chain(inst.def()) {
                 if r.index() >= nregs {
-                    return Err(SimError::RegisterOutOfRange { block: id, reg: r.0 });
+                    return Err(SimError::RegisterOutOfRange {
+                        block: id,
+                        reg: r.0,
+                    });
                 }
             }
         }
@@ -108,7 +111,10 @@ pub fn simulate_timing_legacy(
             }
             if let ExitTarget::Return(Some(Operand::Reg(r))) = e.target {
                 if r.index() >= nregs {
-                    return Err(SimError::RegisterOutOfRange { block: id, reg: r.0 });
+                    return Err(SimError::RegisterOutOfRange {
+                        block: id,
+                        reg: r.0,
+                    });
                 }
             }
         }
@@ -219,10 +225,7 @@ pub fn simulate_timing_legacy(
                                     scan = scan.max(st);
                                 }
                             }
-                            debug_assert_eq!(
-                                scan, wait,
-                                "LSQ map diverged from the legacy rescan"
-                            );
+                            debug_assert_eq!(scan, wait, "LSQ map diverged from the legacy rescan");
                         }
                         ready = ready.max(wait);
                     }

@@ -34,7 +34,10 @@ fn assert_timing_eq(
     assert_eq!(ev.cycles, lg.cycles, "cycles diverged: {ctx}");
     assert_eq!(ev.blocks_executed, lg.blocks_executed, "blocks: {ctx}");
     assert_eq!(ev.predictions, lg.predictions, "predictions: {ctx}");
-    assert_eq!(ev.mispredictions, lg.mispredictions, "mispredictions: {ctx}");
+    assert_eq!(
+        ev.mispredictions, lg.mispredictions,
+        "mispredictions: {ctx}"
+    );
     assert_eq!(ev.insts_executed, lg.insts_executed, "executed: {ctx}");
     assert_eq!(ev.insts_nullified, lg.insts_nullified, "nullified: {ctx}");
     assert_eq!(ev.insts_fetched, lg.insts_fetched, "fetched: {ctx}");
@@ -158,9 +161,9 @@ fn corrupted_ir_errors_agree() {
         ("oor-return", |f| {
             let e = f.entry;
             f.block_mut(e).exits.clear();
-            f.block_mut(e).exits.push(chf_ir::block::Exit::ret(Some(
-                Operand::Reg(Reg(4444)),
-            )));
+            f.block_mut(e)
+                .exits
+                .push(chf_ir::block::Exit::ret(Some(Operand::Reg(Reg(4444)))));
         }),
     ];
     for (name, corrupt) in cases {
@@ -170,7 +173,10 @@ fn corrupted_ir_errors_agree() {
         // `LoopForest::of` eagerly, which is not total over dangling exits
         // (it panics), whereas the lowered `TripInfo` tolerates them. The
         // comparison below is about *execution* semantics.
-        let rc = RunConfig { collect_trip_counts: false, ..RunConfig::default() };
+        let rc = RunConfig {
+            collect_trip_counts: false,
+            ..RunConfig::default()
+        };
         let tc = TimingConfig::trips();
         for args in [[0i64, 0], [5, 0]] {
             let ev_f = run(&f, &args, &[], &rc);
@@ -202,8 +208,14 @@ fn corrupted_ir_errors_agree() {
 #[test]
 fn out_of_fuel_payload_matches() {
     let f = looped();
-    let rc = RunConfig { max_blocks: 3, ..RunConfig::default() };
-    let tc = TimingConfig { max_blocks: 3, ..TimingConfig::trips() };
+    let rc = RunConfig {
+        max_blocks: 3,
+        ..RunConfig::default()
+    };
+    let tc = TimingConfig {
+        max_blocks: 3,
+        ..TimingConfig::trips()
+    };
     let ev = run(&f, &[100, 0], &[], &rc).unwrap_err();
     let lg = run_legacy(&f, &[100, 0], &[], &rc).unwrap_err();
     assert_eq!(ev, lg);

@@ -68,11 +68,7 @@ pub fn while_loop(
 }
 
 /// Emit `if cond { then }` — the builder continues in the join block.
-pub fn if_then(
-    fb: &mut FunctionBuilder,
-    cond: Reg,
-    then: impl FnOnce(&mut FunctionBuilder),
-) {
+pub fn if_then(fb: &mut FunctionBuilder, cond: Reg, then: impl FnOnce(&mut FunctionBuilder)) {
     let t = fb.create_block();
     let join = fb.create_block();
     fb.branch(cond, t, join);
@@ -205,8 +201,14 @@ mod tests {
         let plus = fb.add(Operand::Reg(out), Operand::Imm(1));
         fb.ret(Some(Operand::Reg(plus)));
         let f = fb.build().unwrap();
-        assert_eq!(run(&f, &[1], &[], &RunConfig::default()).unwrap().ret, Some(21));
-        assert_eq!(run(&f, &[-1], &[], &RunConfig::default()).unwrap().ret, Some(11));
+        assert_eq!(
+            run(&f, &[1], &[], &RunConfig::default()).unwrap().ret,
+            Some(21)
+        );
+        assert_eq!(
+            run(&f, &[-1], &[], &RunConfig::default()).unwrap().ret,
+            Some(11)
+        );
     }
 
     #[test]
@@ -233,6 +235,9 @@ mod tests {
         });
         fb.ret(Some(Operand::Reg(acc)));
         let f = fb.build().unwrap();
-        assert_eq!(run(&f, &[], &[], &RunConfig::default()).unwrap().ret, Some(12));
+        assert_eq!(
+            run(&f, &[], &[], &RunConfig::default()).unwrap().ret,
+            Some(12)
+        );
     }
 }

@@ -81,9 +81,14 @@ impl Workload {
 
     /// Dynamic block count of the basic-block form on the reference input.
     pub fn baseline_blocks(&self) -> u64 {
-        run(&self.function, &self.args, &self.memory, &RunConfig::default())
-            .expect("validated at construction")
-            .blocks_executed
+        run(
+            &self.function,
+            &self.args,
+            &self.memory,
+            &RunConfig::default(),
+        )
+        .expect("validated at construction")
+        .blocks_executed
     }
 }
 

@@ -265,19 +265,15 @@ mod tests {
     fn transpose_is_memory_dense() {
         let w = transpose_gmti();
         // Inner body: 1 load + 1 store out of ~10 instructions.
-        let mems: usize = w
-            .function
-            .blocks()
-            .map(|(_, b)| b.memory_ops())
-            .sum();
+        let mems: usize = w.function.blocks().map(|(_, b)| b.memory_ops()).sum();
         assert!(mems >= 2);
     }
 
     #[test]
     fn fft_kernels_touch_expected_memory() {
         let w = fft2_gmti();
-        let r = chf_sim::functional::run(&w.function, &w.args, &w.memory, &Default::default())
-            .unwrap();
+        let r =
+            chf_sim::functional::run(&w.function, &w.args, &w.memory, &Default::default()).unwrap();
         // The butterfly writes both halves back.
         assert!(r.memory.len() >= 128);
     }

@@ -355,8 +355,8 @@ mod tests {
     #[test]
     fn vadd_memory_result_written() {
         let w = vadd();
-        let r = chf_sim::functional::run(&w.function, &w.args, &w.memory, &Default::default())
-            .unwrap();
+        let r =
+            chf_sim::functional::run(&w.function, &w.args, &w.memory, &Default::default()).unwrap();
         assert_eq!(r.memory.iter().filter(|(k, _)| **k >= C).count(), 400);
     }
 }

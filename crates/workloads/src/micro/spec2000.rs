@@ -139,10 +139,7 @@ pub fn art_1() -> Workload {
     let inputs = random_memory(A, N, 21, 100);
     let weights = random_memory(B, N, 22, 50);
 
-    let expected: i64 = (0..N)
-        .map(|k| inputs[k].1 * weights[k].1)
-        .sum::<i64>()
-        >> 6;
+    let expected: i64 = (0..N).map(|k| inputs[k].1 * weights[k].1).sum::<i64>() >> 6;
 
     let mut fb = FunctionBuilder::new("art_1", 0);
     start(&mut fb);

@@ -41,7 +41,12 @@ enum Phase {
     /// `for i in 0..n: m[dst + (i*stride) % n] = i`, acc += stored
     StrideStore { dst: i64, n: i64, stride: i64 },
     /// Pointer-chasing-ish: `acc += m[tbl + (m[idx+i] & mask)]`
-    Indirect { idx: i64, tbl: i64, n: i64, mask: i64 },
+    Indirect {
+        idx: i64,
+        tbl: i64,
+        n: i64,
+        mask: i64,
+    },
     /// Running maximum with an increasingly-rare update branch
     MaxScan { src: i64, n: i64 },
     /// A hot loop with a rare event arm ahead of the induction update
@@ -366,27 +371,60 @@ pub fn all() -> Vec<Workload> {
             &[
                 Phase::WhileHalve { src: M0, n: 120 },
                 Phase::Mac { src: M1, n: 200 },
-                Phase::RareEvent { src: M0, n: 150, rare: 3 },
+                Phase::RareEvent {
+                    src: M0,
+                    n: 150,
+                    rare: 3,
+                },
             ],
-            [random_memory(M0, 200, 301, 15), random_memory(M1, 200, 302, 64)].concat(),
+            [
+                random_memory(M0, 200, 301, 15),
+                random_memory(M1, 200, 302, 64),
+            ]
+            .concat(),
         ),
         // applu: PDE solver — dense small matmuls plus stencils.
         compose(
             "applu",
             &[
-                Phase::Matmul { a: M0, b: M1, c: M2, dim: 8 },
-                Phase::Fir { src: M0, n: 120, taps: 5 },
+                Phase::Matmul {
+                    a: M0,
+                    b: M1,
+                    c: M2,
+                    dim: 8,
+                },
+                Phase::Fir {
+                    src: M0,
+                    n: 120,
+                    taps: 5,
+                },
                 Phase::Mac { src: M2, n: 64 },
             ],
-            [random_memory(M0, 160, 311, 20), random_memory(M1, 64, 312, 20)].concat(),
+            [
+                random_memory(M0, 160, 311, 20),
+                random_memory(M1, 64, 312, 20),
+            ]
+            .concat(),
         ),
         // apsi: weather — stencil, corner turn, conditional scan.
         compose(
             "apsi",
             &[
-                Phase::Fir { src: M0, n: 150, taps: 4 },
-                Phase::Transpose { src: M0, dst: M1, dim: 12 },
-                Phase::CondScan { src: M1, n: 144, thr: 40 },
+                Phase::Fir {
+                    src: M0,
+                    n: 150,
+                    taps: 4,
+                },
+                Phase::Transpose {
+                    src: M0,
+                    dst: M1,
+                    dim: 12,
+                },
+                Phase::CondScan {
+                    src: M1,
+                    n: 144,
+                    thr: 40,
+                },
             ],
             random_memory(M0, 160, 321, 80),
         ),
@@ -398,14 +436,26 @@ pub fn all() -> Vec<Workload> {
                 Phase::MaxScan { src: M0, n: 300 },
                 Phase::Mac { src: M1, n: 200 },
             ],
-            [random_memory(M0, 300, 331, 100), random_memory(M1, 200, 332, 60)].concat(),
+            [
+                random_memory(M0, 300, 331, 100),
+                random_memory(M1, 200, 332, 60),
+            ]
+            .concat(),
         ),
         // bzip2: compression — data-dependent branches, rare escapes, hash.
         compose(
             "bzip2",
             &[
-                Phase::CondScan { src: M0, n: 250, thr: 128 },
-                Phase::RareEvent { src: M0, n: 250, rare: 0 },
+                Phase::CondScan {
+                    src: M0,
+                    n: 250,
+                    thr: 128,
+                },
+                Phase::RareEvent {
+                    src: M0,
+                    n: 250,
+                    rare: 0,
+                },
                 Phase::Hash { src: M0, n: 250 },
             ],
             random_memory(M0, 250, 341, 256),
@@ -414,21 +464,47 @@ pub fn all() -> Vec<Workload> {
         compose(
             "crafty",
             &[
-                Phase::Indirect { idx: M0, tbl: M1, n: 200, mask: 63 },
-                Phase::CondScan { src: M0, n: 200, thr: 30 },
+                Phase::Indirect {
+                    idx: M0,
+                    tbl: M1,
+                    n: 200,
+                    mask: 63,
+                },
+                Phase::CondScan {
+                    src: M0,
+                    n: 200,
+                    thr: 30,
+                },
                 Phase::MaxScan { src: M1, n: 64 },
             ],
-            [random_memory(M0, 200, 351, 64), random_memory(M1, 64, 352, 500)].concat(),
+            [
+                random_memory(M0, 200, 351, 64),
+                random_memory(M1, 64, 352, 500),
+            ]
+            .concat(),
         ),
         // equake: sparse solver — indirection plus MAC.
         compose(
             "equake",
             &[
-                Phase::Indirect { idx: M0, tbl: M1, n: 220, mask: 127 },
+                Phase::Indirect {
+                    idx: M0,
+                    tbl: M1,
+                    n: 220,
+                    mask: 127,
+                },
                 Phase::Mac { src: M1, n: 128 },
-                Phase::Fir { src: M1, n: 100, taps: 3 },
+                Phase::Fir {
+                    src: M1,
+                    n: 100,
+                    taps: 3,
+                },
             ],
-            [random_memory(M0, 220, 361, 128), random_memory(M1, 140, 362, 64)].concat(),
+            [
+                random_memory(M0, 220, 361, 128),
+                random_memory(M1, 140, 362, 64),
+            ]
+            .concat(),
         ),
         // gap: group theory — hashing and small-integer arithmetic.
         compose(
@@ -436,7 +512,11 @@ pub fn all() -> Vec<Workload> {
             &[
                 Phase::Hash { src: M0, n: 300 },
                 Phase::WhileHalve { src: M0, n: 100 },
-                Phase::CondScan { src: M0, n: 200, thr: 100 },
+                Phase::CondScan {
+                    src: M0,
+                    n: 200,
+                    thr: 100,
+                },
             ],
             random_memory(M0, 300, 371, 200),
         ),
@@ -445,8 +525,16 @@ pub fn all() -> Vec<Workload> {
             "gzip",
             &[
                 Phase::Hash { src: M0, n: 350 },
-                Phase::CondScan { src: M0, n: 300, thr: 150 },
-                Phase::RareEvent { src: M0, n: 200, rare: 1 },
+                Phase::CondScan {
+                    src: M0,
+                    n: 300,
+                    thr: 150,
+                },
+                Phase::RareEvent {
+                    src: M0,
+                    n: 200,
+                    rare: 1,
+                },
             ],
             random_memory(M0, 350, 381, 256),
         ),
@@ -454,39 +542,81 @@ pub fn all() -> Vec<Workload> {
         compose(
             "mcf",
             &[
-                Phase::Indirect { idx: M0, tbl: M1, n: 260, mask: 255 },
+                Phase::Indirect {
+                    idx: M0,
+                    tbl: M1,
+                    n: 260,
+                    mask: 255,
+                },
                 Phase::MaxScan { src: M1, n: 256 },
                 Phase::WhileHalve { src: M0, n: 120 },
             ],
-            [random_memory(M0, 260, 391, 256), random_memory(M1, 256, 392, 900)].concat(),
+            [
+                random_memory(M0, 260, 391, 256),
+                random_memory(M1, 256, 392, 900),
+            ]
+            .concat(),
         ),
         // mesa: 3D graphics — transform matmuls and buffer moves.
         compose(
             "mesa",
             &[
-                Phase::Matmul { a: M0, b: M1, c: M2, dim: 10 },
-                Phase::Transpose { src: M2, dst: M3, dim: 10 },
+                Phase::Matmul {
+                    a: M0,
+                    b: M1,
+                    c: M2,
+                    dim: 10,
+                },
+                Phase::Transpose {
+                    src: M2,
+                    dst: M3,
+                    dim: 10,
+                },
                 Phase::Mac { src: M3, n: 100 },
             ],
-            [random_memory(M0, 100, 401, 15), random_memory(M1, 100, 402, 15)].concat(),
+            [
+                random_memory(M0, 100, 401, 15),
+                random_memory(M1, 100, 402, 15),
+            ]
+            .concat(),
         ),
         // mgrid: multigrid — stencils upon stencils (few branches: the paper
         // reports tiny improvements for mgrid).
         compose(
             "mgrid",
             &[
-                Phase::Fir { src: M0, n: 200, taps: 6 },
-                Phase::Fir { src: M1, n: 150, taps: 4 },
+                Phase::Fir {
+                    src: M0,
+                    n: 200,
+                    taps: 6,
+                },
+                Phase::Fir {
+                    src: M1,
+                    n: 150,
+                    taps: 4,
+                },
                 Phase::Mac { src: M0, n: 150 },
             ],
-            [random_memory(M0, 210, 411, 50), random_memory(M1, 160, 412, 50)].concat(),
+            [
+                random_memory(M0, 210, 411, 50),
+                random_memory(M1, 160, 412, 50),
+            ]
+            .concat(),
         ),
         // parser: NL parsing — rare heavy paths and low-trip scans.
         compose(
             "parser",
             &[
-                Phase::RareEvent { src: M0, n: 280, rare: 7 },
-                Phase::CondScan { src: M0, n: 250, thr: 20 },
+                Phase::RareEvent {
+                    src: M0,
+                    n: 280,
+                    rare: 7,
+                },
+                Phase::CondScan {
+                    src: M0,
+                    n: 250,
+                    thr: 20,
+                },
                 Phase::WhileHalve { src: M0, n: 130 },
             ],
             random_memory(M0, 280, 421, 100),
@@ -495,18 +625,39 @@ pub fn all() -> Vec<Workload> {
         compose(
             "sixtrack",
             &[
-                Phase::Matmul { a: M0, b: M1, c: M2, dim: 9 },
-                Phase::Fir { src: M2, n: 81, taps: 5 },
+                Phase::Matmul {
+                    a: M0,
+                    b: M1,
+                    c: M2,
+                    dim: 9,
+                },
+                Phase::Fir {
+                    src: M2,
+                    n: 81,
+                    taps: 5,
+                },
                 Phase::Mac { src: M0, n: 81 },
             ],
-            [random_memory(M0, 90, 431, 25), random_memory(M1, 90, 432, 25)].concat(),
+            [
+                random_memory(M0, 90, 431, 25),
+                random_memory(M1, 90, 432, 25),
+            ]
+            .concat(),
         ),
         // swim: shallow water — strided stores and stencils.
         compose(
             "swim",
             &[
-                Phase::StrideStore { dst: M2, n: 240, stride: 7 },
-                Phase::Fir { src: M2, n: 200, taps: 4 },
+                Phase::StrideStore {
+                    dst: M2,
+                    n: 240,
+                    stride: 7,
+                },
+                Phase::Fir {
+                    src: M2,
+                    n: 200,
+                    taps: 4,
+                },
                 Phase::Mac { src: M2, n: 200 },
             ],
             random_memory(M0, 16, 441, 10),
@@ -515,28 +666,58 @@ pub fn all() -> Vec<Workload> {
         compose(
             "twolf",
             &[
-                Phase::CondScan { src: M0, n: 220, thr: 90 },
-                Phase::Indirect { idx: M0, tbl: M1, n: 180, mask: 63 },
+                Phase::CondScan {
+                    src: M0,
+                    n: 220,
+                    thr: 90,
+                },
+                Phase::Indirect {
+                    idx: M0,
+                    tbl: M1,
+                    n: 180,
+                    mask: 63,
+                },
                 Phase::MaxScan { src: M0, n: 220 },
             ],
-            [random_memory(M0, 220, 451, 180), random_memory(M1, 64, 452, 700)].concat(),
+            [
+                random_memory(M0, 220, 451, 180),
+                random_memory(M1, 64, 452, 700),
+            ]
+            .concat(),
         ),
         // vortex: OO database — hashing and table dispatch.
         compose(
             "vortex",
             &[
                 Phase::Hash { src: M0, n: 260 },
-                Phase::Indirect { idx: M0, tbl: M1, n: 200, mask: 127 },
-                Phase::CondScan { src: M1, n: 128, thr: 300 },
+                Phase::Indirect {
+                    idx: M0,
+                    tbl: M1,
+                    n: 200,
+                    mask: 127,
+                },
+                Phase::CondScan {
+                    src: M1,
+                    n: 128,
+                    thr: 300,
+                },
             ],
-            [random_memory(M0, 260, 461, 128), random_memory(M1, 128, 462, 600)].concat(),
+            [
+                random_memory(M0, 260, 461, 128),
+                random_memory(M1, 128, 462, 600),
+            ]
+            .concat(),
         ),
         // vpr: FPGA place & route — maxima, branchy scans, retries.
         compose(
             "vpr",
             &[
                 Phase::MaxScan { src: M0, n: 240 },
-                Phase::CondScan { src: M0, n: 240, thr: 55 },
+                Phase::CondScan {
+                    src: M0,
+                    n: 240,
+                    thr: 55,
+                },
                 Phase::WhileHalve { src: M0, n: 110 },
             ],
             random_memory(M0, 240, 471, 110),
@@ -545,11 +726,24 @@ pub fn all() -> Vec<Workload> {
         compose(
             "wupwise",
             &[
-                Phase::Matmul { a: M0, b: M1, c: M2, dim: 11 },
+                Phase::Matmul {
+                    a: M0,
+                    b: M1,
+                    c: M2,
+                    dim: 11,
+                },
                 Phase::Mac { src: M2, n: 121 },
-                Phase::Fir { src: M0, n: 110, taps: 3 },
+                Phase::Fir {
+                    src: M0,
+                    n: 110,
+                    taps: 3,
+                },
             ],
-            [random_memory(M0, 125, 481, 12), random_memory(M1, 125, 482, 12)].concat(),
+            [
+                random_memory(M0, 125, 481, 12),
+                random_memory(M1, 125, 482, 12),
+            ]
+            .concat(),
         ),
     ]
 }
@@ -584,16 +778,46 @@ mod tests {
         let mem = random_memory(M0, 64, 999, 50);
         let phases = [
             Phase::Mac { src: M0, n: 64 },
-            Phase::CondScan { src: M0, n: 64, thr: 25 },
+            Phase::CondScan {
+                src: M0,
+                n: 64,
+                thr: 25,
+            },
             Phase::WhileHalve { src: M0, n: 32 },
-            Phase::Transpose { src: M0, dst: M1, dim: 8 },
-            Phase::Matmul { a: M0, b: M0, c: M2, dim: 6 },
-            Phase::Fir { src: M0, n: 40, taps: 4 },
+            Phase::Transpose {
+                src: M0,
+                dst: M1,
+                dim: 8,
+            },
+            Phase::Matmul {
+                a: M0,
+                b: M0,
+                c: M2,
+                dim: 6,
+            },
+            Phase::Fir {
+                src: M0,
+                n: 40,
+                taps: 4,
+            },
             Phase::Hash { src: M0, n: 64 },
-            Phase::StrideStore { dst: M2, n: 40, stride: 3 },
-            Phase::Indirect { idx: M0, tbl: M0, n: 40, mask: 31 },
+            Phase::StrideStore {
+                dst: M2,
+                n: 40,
+                stride: 3,
+            },
+            Phase::Indirect {
+                idx: M0,
+                tbl: M0,
+                n: 40,
+                mask: 31,
+            },
             Phase::MaxScan { src: M0, n: 64 },
-            Phase::RareEvent { src: M0, n: 64, rare: 5 },
+            Phase::RareEvent {
+                src: M0,
+                n: 64,
+                rare: 5,
+            },
         ];
         for (k, p) in phases.iter().enumerate() {
             let name = format!("phase_{k}");

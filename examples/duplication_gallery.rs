@@ -75,7 +75,10 @@ fn main() {
     assert_eq!(classify(&f, &forest, a, b), DuplicationKind::Peel);
     show("Figure 3a: original CFG (B is a loop header)", &f);
     let b_copy = duplicate_for_merge(&mut f, a, b);
-    show("Figure 3b/3c: B peeled to B' (B' -> B is a loop entrance)", &f);
+    show(
+        "Figure 3b/3c: B peeled to B' (B' -> B is a loop entrance)",
+        &f,
+    );
     combine(&mut f, a, b_copy).unwrap();
     show("Figure 3d: peeled iteration if-converted into A", &f);
 
@@ -85,7 +88,10 @@ fn main() {
     assert_eq!(classify(&f, &forest, b, b), DuplicationKind::Unroll);
     show("Figure 4a: original CFG (B's back edge targets itself)", &f);
     let b_copy = duplicate_for_merge(&mut f, b, b);
-    show("Figure 4b/4c: body copied, back edge rewired through B'", &f);
+    show(
+        "Figure 4b/4c: body copied, back edge rewired through B'",
+        &f,
+    );
     combine(&mut f, b, b_copy).unwrap();
     show("Figure 4d: unrolled iteration if-converted into B", &f);
 

@@ -95,7 +95,10 @@ fn main() {
         f.block_count(),
         base.blocks_executed
     );
-    println!("{:<10} {:>8} {:>8} {:>8} {:>10}  m/t/u/p", "ordering", "static", "dynamic", "cycles", "improve%");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>10}  m/t/u/p",
+        "ordering", "static", "dynamic", "cycles", "improve%"
+    );
 
     let mut bb_cycles = 0;
     for ordering in [

@@ -23,7 +23,10 @@ fn main() {
     );
     let base_t =
         simulate_timing(&base.function, &w.args, &w.memory, &TimingConfig::trips()).unwrap();
-    println!("benchmark: {}   basic blocks: {} cycles\n", w.name, base_t.cycles);
+    println!(
+        "benchmark: {}   basic blocks: {} cycles\n",
+        w.name, base_t.cycles
+    );
     println!(
         "{:<18} {:>8} {:>10} {:>9} {:>12}  m/t/u/p",
         "policy", "cycles", "improve%", "mispred%", "nullified"

@@ -26,7 +26,10 @@ fn main() {
     let conv_t =
         simulate_timing(&conv.function, &w.args, &w.memory, &TimingConfig::trips()).unwrap();
 
-    assert_eq!(base_t.ret, conv_t.ret, "compilation must preserve behaviour");
+    assert_eq!(
+        base_t.ret, conv_t.ret,
+        "compilation must preserve behaviour"
+    );
 
     println!("                      basic blocks    convergent (IUPO)");
     println!(

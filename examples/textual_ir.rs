@@ -30,7 +30,10 @@ fn main() {
     println!("parsed:\n{f}");
 
     let r = run(&f, &[252, 105], &[], &RunConfig::default()).unwrap();
-    println!("gcd(252, 105) = {:?}  ({} blocks executed)", r.ret, r.blocks_executed);
+    println!(
+        "gcd(252, 105) = {:?}  ({} blocks executed)",
+        r.ret, r.blocks_executed
+    );
     assert_eq!(r.ret, Some(21));
 
     // Compile it like any workload: profile, form hyperblocks, compare.

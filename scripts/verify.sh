@@ -1,45 +1,126 @@
 #!/usr/bin/env sh
-# Repo verification gate: build, lint, full test suite, performance
-# regression check, and a bounded fault-injection smoke campaign.
+# Repo verification gate, split into composable steps so CI can run (and
+# report) each one separately while local use stays one command:
 #
-#   scripts/verify.sh
+#   scripts/verify.sh            # everything, in order (same as `all`)
+#   scripts/verify.sh all        # fmt, build, lint, test, perf, smoke, chaos
+#   scripts/verify.sh fmt        # cargo fmt --check (first CI step)
+#   scripts/verify.sh build      # cargo build --release
+#   scripts/verify.sh lint       # cargo clippy --workspace -- -D warnings
+#   scripts/verify.sh test       # cargo test -q (tier-1 suite)
+#   scripts/verify.sh perf       # bench_perf --check (perf regression gate)
+#   scripts/verify.sh smoke      # whole_program --smoke
+#   scripts/verify.sh chaos [N]  # fault-injection campaign (default 500)
 #
-# The perf check (`bench_perf --check`) asserts the end-to-end Table 1
-# regeneration stays under a generous wall-time ceiling (default 100 ms;
-# override with CHF_BENCH_CEILING_MS for slower machines), that per-call
-# simulator throughput stays above the post-event-core floor (default
-# 24 Mcycles/s; override with CHF_BENCH_SIM_FLOOR_MCPS), and that the
-# parallel harness produces byte-identical output to the sequential path.
+# Steps may be chained: `scripts/verify.sh fmt build lint`.
 #
-# The whole-program smoke (`whole_program --smoke`) cycle-simulates a
-# bounded prefix of the SPEC-like composite workloads end-to-end through
-# the event-driven core and checks the measured-vs-model comparison is
-# produced, keeping whole-program simulation inside the CI time budget.
+# Environment knobs (all optional):
 #
-# The chaos smoke campaign injects 500 seeded faults (IR corruption,
-# profile corruption, mid-trial corruption) and fails on any process
-# abort or undetected miscompile. Pin a failing stream with
-# CHF_FAULT_SEED to replay it.
+#   CHF_BENCH_CEILING_MS     Wall-time ceiling for the end-to-end Table 1
+#                            regeneration in `perf` (default 100). Raise on
+#                            slow or shared machines, e.g. CI runners.
+#   CHF_BENCH_SIM_FLOOR_MCPS Per-call simulator throughput floor in
+#                            Mcycles/s for `perf` (default 23.8). Lower on
+#                            slow machines.
+#   CHF_JOBS                 Worker count for the parallel evaluation
+#                            harness (default: available parallelism).
+#   CHF_FAULT_SEED           Pins the `chaos` campaign's fault stream so a
+#                            CI failure is replayable locally.
+#   CHF_BLESS                Set to re-capture golden snapshots under
+#                            `test` after an intentional formation change.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+run_fmt() {
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
+}
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace -- -D warnings
+run_build() {
+    echo "==> cargo build --release"
+    cargo build --release
+}
 
-echo "==> cargo test -q"
-cargo test -q
+run_lint() {
+    echo "==> cargo clippy --workspace -- -D warnings"
+    cargo clippy --workspace -- -D warnings
+}
 
-echo "==> bench_perf --check"
-cargo run --release -p chf-bench --bin bench_perf -- --check
+run_test() {
+    echo "==> cargo test -q"
+    cargo test -q
+}
 
-echo "==> whole_program --smoke (whole-program cycle-simulation smoke)"
-cargo run --release -p chf-bench --bin whole_program -- --smoke
+# Asserts the end-to-end Table 1 regeneration stays under a generous
+# wall-time ceiling, that per-call simulator throughput stays above the
+# post-event-core floor, and that the parallel harness produces
+# byte-identical output to the sequential path.
+run_perf() {
+    echo "==> bench_perf --check"
+    cargo run --release -p chf-bench --bin bench_perf -- --check
+}
 
-echo "==> chaos 500 (fault-injection smoke campaign)"
-cargo run --release -p chf-bench --bin chaos -- 500
+# Cycle-simulates a bounded prefix of the SPEC-like composite workloads
+# end-to-end through the event-driven core and checks the
+# measured-vs-model comparison is produced.
+run_smoke() {
+    echo "==> whole_program --smoke (whole-program cycle-simulation smoke)"
+    cargo run --release -p chf-bench --bin whole_program -- --smoke
+}
 
-echo "verify.sh: all checks passed"
+# Injects N seeded faults (IR corruption, profile corruption, scrambled
+# ordering inputs, mid-trial corruption) and fails on any process abort
+# or undetected miscompile.
+run_chaos() {
+    faults="${1:-500}"
+    echo "==> chaos ${faults} (fault-injection smoke campaign)"
+    cargo run --release -p chf-bench --bin chaos -- "${faults}"
+}
+
+run_all() {
+    run_fmt
+    run_build
+    run_lint
+    run_test
+    run_perf
+    run_smoke
+    run_chaos "${1:-500}"
+}
+
+if [ "$#" -eq 0 ]; then
+    run_all
+    echo "verify.sh: all checks passed"
+    exit 0
+fi
+
+while [ "$#" -gt 0 ]; do
+    step="$1"
+    shift
+    case "${step}" in
+        fmt) run_fmt ;;
+        build) run_build ;;
+        lint) run_lint ;;
+        test) run_test ;;
+        perf) run_perf ;;
+        smoke) run_smoke ;;
+        chaos)
+            # Optional numeric fault count following `chaos`.
+            case "${1:-}" in
+                '' | *[!0-9]*) run_chaos ;;
+                *)
+                    run_chaos "$1"
+                    shift
+                    ;;
+            esac
+            ;;
+        all) run_all ;;
+        *)
+            echo "verify.sh: unknown step '${step}'" >&2
+            echo "usage: scripts/verify.sh [fmt|build|lint|test|perf|smoke|chaos [N]|all]..." >&2
+            exit 2
+            ;;
+    esac
+done
+
+echo "verify.sh: requested checks passed"

@@ -53,7 +53,10 @@ fn tiny_register_file_spills_correctly() {
         assert_eq!(before, after, "{} changed behaviour after spilling", w.name);
         assert_eq!(after.0, Some(w.expected), "{}", w.name);
     }
-    assert!(spilled_somewhere, "three registers should force some spills");
+    assert!(
+        spilled_somewhere,
+        "three registers should force some spills"
+    );
 }
 
 /// Fanout insertion over compiled workloads stays within the constraints'
@@ -69,7 +72,12 @@ fn fanout_fits_headroom_on_compiled_workloads() {
         let before = digest(&c.function, &w.args, &w.memory);
         let stats = insert_fanout(&mut c.function, 4);
         verify(&c.function).unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        assert_eq!(digest(&c.function, &w.args, &w.memory), before, "{}", w.name);
+        assert_eq!(
+            digest(&c.function, &w.args, &w.memory),
+            before,
+            "{}",
+            w.name
+        );
         // Any block pushed over the budget must be recoverable by reverse
         // if-conversion.
         split_oversized(&mut c.function, &constraints);
@@ -82,7 +90,12 @@ fn fanout_fits_headroom_on_compiled_workloads() {
                 stats.movs_inserted
             );
         }
-        assert_eq!(digest(&c.function, &w.args, &w.memory), before, "{}", w.name);
+        assert_eq!(
+            digest(&c.function, &w.args, &w.memory),
+            before,
+            "{}",
+            w.name
+        );
     }
 }
 

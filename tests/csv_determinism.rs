@@ -53,6 +53,22 @@ fn table2_csv_is_reproducible() {
     assert_eq!(csv::table2_csv(&rows), committed("table2.csv"));
 }
 
+/// Regenerate the Table 2 budget ablation through the parallel harness
+/// (two worker counts) and diff — the trial-budget ledger must be as
+/// deterministic as the formation results themselves.
+#[test]
+fn table2_budget_csv_is_reproducible() {
+    let expected = committed("table2_budget.csv");
+    for workers in [1, 4] {
+        let rows = table2::run_budget_with(workers, table2::DEFAULT_TRIAL_BUDGET);
+        assert_eq!(
+            csv::table2_budget_csv(&rows),
+            expected,
+            "table2_budget.csv drifted (workers={workers})"
+        );
+    }
+}
+
 /// Regenerate Table 3 through the parallel harness and diff.
 #[test]
 fn table3_csv_is_reproducible() {

@@ -25,9 +25,12 @@ fn all_microbenchmarks_all_orderings_preserve_behaviour() {
         let base = run(&w.function, &w.args, &w.memory, &RunConfig::default()).unwrap();
         assert_eq!(base.ret, Some(w.expected), "{} baseline", w.name);
         for ordering in all_orderings() {
-            let c = compile(&w.function, &w.profile, &CompileConfig::with_ordering(ordering));
-            verify(&c.function)
-                .unwrap_or_else(|e| panic!("{} {}: {e}", w.name, ordering.label()));
+            let c = compile(
+                &w.function,
+                &w.profile,
+                &CompileConfig::with_ordering(ordering),
+            );
+            verify(&c.function).unwrap_or_else(|e| panic!("{} {}: {e}", w.name, ordering.label()));
             let r = run(&c.function, &w.args, &w.memory, &RunConfig::default()).unwrap();
             assert_eq!(
                 r.digest(),
@@ -84,8 +87,7 @@ fn timing_simulator_agrees_with_functional_on_compiled_code() {
     for w in chf::workloads::microbenchmarks() {
         let c = compile(&w.function, &w.profile, &CompileConfig::convergent());
         let fr = run(&c.function, &w.args, &w.memory, &RunConfig::default()).unwrap();
-        let tr =
-            simulate_timing(&c.function, &w.args, &w.memory, &TimingConfig::trips()).unwrap();
+        let tr = simulate_timing(&c.function, &w.args, &w.memory, &TimingConfig::trips()).unwrap();
         assert_eq!(fr.digest(), tr.digest(), "{}", w.name);
         assert_eq!(fr.blocks_executed, tr.blocks_executed, "{}", w.name);
     }
@@ -96,7 +98,11 @@ fn compiled_blocks_respect_trips_constraints() {
     let constraints = BlockConstraints::trips();
     for w in chf::workloads::microbenchmarks() {
         for ordering in all_orderings() {
-            let c = compile(&w.function, &w.profile, &CompileConfig::with_ordering(ordering));
+            let c = compile(
+                &w.function,
+                &w.profile,
+                &CompileConfig::with_ordering(ordering),
+            );
             // Size and memory constraints must hold everywhere; register
             // constraints are best-effort after splitting (see §6), so only
             // check the hard structural ones here.

@@ -23,7 +23,10 @@ fn table1_convergent_beats_discrete_on_average() {
         "(IUP)O must beat UPIO: {iup_o:.1} vs {upio:.1}"
     );
     // Hyperblock formation must be broadly profitable.
-    assert!(iupo_full > 15.0, "average improvement too low: {iupo_full:.1}");
+    assert!(
+        iupo_full > 15.0,
+        "average improvement too low: {iupo_full:.1}"
+    );
 }
 
 /// Table 2's headline: breadth-first is the best EDGE heuristic; iterative
@@ -32,11 +35,13 @@ fn table1_convergent_beats_discrete_on_average() {
 #[test]
 fn table2_policy_ordering_matches_paper() {
     let rows = table2::run();
-    let avg = |k: usize| -> f64 {
-        rows.iter().map(|r| r.results[k].2).sum::<f64>() / rows.len() as f64
-    };
+    let avg =
+        |k: usize| -> f64 { rows.iter().map(|r| r.results[k].2).sum::<f64>() / rows.len() as f64 };
     let (vliw, conv_vliw, df, bf) = (avg(0), avg(1), avg(2), avg(3));
-    assert!(bf > vliw && bf > df, "BF must be best: {bf:.1} vs {vliw:.1}/{df:.1}");
+    assert!(
+        bf > vliw && bf > df,
+        "BF must be best: {bf:.1} vs {vliw:.1}/{df:.1}"
+    );
     assert!(
         conv_vliw >= vliw,
         "iterative optimization must not hurt VLIW: {conv_vliw:.1} vs {vliw:.1}"
@@ -65,17 +70,50 @@ fn table2_policy_ordering_matches_paper() {
 fn table3_block_count_ordering() {
     let rows = table3::run();
     assert_eq!(rows.len(), 19);
-    let avg = |k: usize| -> f64 {
-        rows.iter().map(|r| r.results[k].2).sum::<f64>() / rows.len() as f64
-    };
+    let avg =
+        |k: usize| -> f64 { rows.iter().map(|r| r.results[k].2).sum::<f64>() / rows.len() as f64 };
     let (upio, iupo, iup_o, iupo_full) = (avg(0), avg(1), avg(2), avg(3));
     assert!(iupo > upio, "IUPO {iupo:.1} !> UPIO {upio:.1}");
     assert!(iup_o > iupo, "(IUP)O {iup_o:.1} !> IUPO {iupo:.1}");
-    assert!(iupo_full >= iup_o, "(IUPO) {iupo_full:.1} !>= (IUP)O {iup_o:.1}");
+    assert!(
+        iupo_full >= iup_o,
+        "(IUPO) {iupo_full:.1} !>= (IUP)O {iup_o:.1}"
+    );
     // Every composite must improve under the convergent ordering.
     for r in &rows {
         let conv = r.results[3].2;
         assert!(conv > 0.0, "{} did not improve: {conv:.1}", r.name);
+    }
+}
+
+/// Budget-ablation headline: under an equal, constrained trial budget the
+/// profile-guided hot-first policy spends its ledger on the hot regions
+/// first, so its total dynamic-block reduction over the 19 composites is
+/// never worse than breadth-first's.
+#[test]
+fn table2_budget_hotfirst_at_least_matches_breadth_first() {
+    let rows = table2::run_budget_with(4, table2::DEFAULT_TRIAL_BUDGET);
+    assert_eq!(rows.len(), 19);
+    let total = |k: usize| -> u64 {
+        rows.iter()
+            .filter(|r| r.error.is_none())
+            .map(|r| r.results[k].1)
+            .sum()
+    };
+    let (bf, hf) = (total(0), total(1));
+    assert!(
+        hf <= bf,
+        "HF dynamic blocks {hf} must not exceed BF {bf} at equal budget"
+    );
+    // The budget must genuinely constrain the suite: the ledger should
+    // record skipped candidates somewhere, for every policy column.
+    for k in 0..3 {
+        assert!(
+            rows.iter()
+                .filter(|r| r.error.is_none())
+                .any(|r| r.results[k].3.budget_skipped > 0),
+            "column {k}: budget never binds — ablation is vacuous"
+        );
     }
 }
 

@@ -119,7 +119,10 @@ fn figure4_head_duplication_unrolls() {
     let b2 = duplicate_for_merge(&mut f, b, b);
     verify(&f).unwrap();
     assert!(f.block(b).successors().any(|s| s == b2));
-    assert!(!f.block(b).successors().any(|s| s == b), "self edge removed");
+    assert!(
+        !f.block(b).successors().any(|s| s == b),
+        "self edge removed"
+    );
     assert!(f.block(b2).successors().any(|s| s == b), "new back edge");
     assert!(f.block(b2).successors().any(|s| s == c));
 
@@ -184,13 +187,7 @@ fn figure1_convergence_on_nested_while_loops() {
 
     let compiled = compile(&f, &profile, &CompileConfig::convergent());
     verify(&compiled.function).unwrap();
-    let after = run(
-        &compiled.function,
-        &[],
-        &[],
-        &RunConfig::default(),
-    )
-    .unwrap();
+    let after = run(&compiled.function, &[], &[], &RunConfig::default()).unwrap();
     assert_eq!(after.digest(), base.digest());
     assert!(
         after.blocks_executed * 2 < base.blocks_executed,

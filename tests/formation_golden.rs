@@ -17,9 +17,11 @@
 //! ```
 
 use chf_core::pipeline::{compile, CompileConfig, PhaseOrdering};
+use chf_core::PolicyKind;
 use std::fmt::Write as _;
 
 const GOLDEN_PATH: &str = "tests/golden/formation_stats.txt";
+const GOLDEN_HOTFIRST_PATH: &str = "tests/golden/formation_stats_hotfirst.txt";
 
 /// Render the full formation trajectory of the micro suite as stable text:
 /// one line per (benchmark, ordering) with m/t/u/p/failures and the final
@@ -35,7 +37,11 @@ fn snapshot() -> String {
             PhaseOrdering::IupThenO,
             PhaseOrdering::Iupo_,
         ] {
-            let c = compile(&w.function, &w.profile, &CompileConfig::with_ordering(ordering));
+            let c = compile(
+                &w.function,
+                &w.profile,
+                &CompileConfig::with_ordering(ordering),
+            );
             let s = c.stats;
             writeln!(
                 out,
@@ -55,13 +61,46 @@ fn snapshot() -> String {
     out
 }
 
-#[test]
-fn formation_stats_match_golden() {
-    let actual = snapshot();
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+/// Render the hot-first policy's formation trajectory on the micro suite:
+/// one line per (benchmark, iterative-opt flag) with the full `m/t/u/p`
+/// (plus rejected-trial counts) and the final block count. Pins the
+/// profile-guided ordering byte-for-byte, separately from the historical
+/// breadth-first golden.
+fn snapshot_hotfirst() -> String {
+    let mut out = String::new();
+    out.push_str("# benchmark iter_opt m t u p failures blocks\n");
+    for w in chf_workloads::microbenchmarks() {
+        for iter_opt in [false, true] {
+            let c = compile(
+                &w.function,
+                &w.profile,
+                &CompileConfig::with_policy(PolicyKind::HotFirst, iter_opt),
+            );
+            let s = c.stats;
+            writeln!(
+                out,
+                "{} {} {} {} {} {} {} {}",
+                w.name,
+                iter_opt,
+                s.merges,
+                s.tail_dups,
+                s.unrolls,
+                s.peels,
+                s.failures,
+                c.function.block_count(),
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Compare (or, under `CHF_BLESS`, re-capture) one golden snapshot.
+fn check_golden(golden_path: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(golden_path);
     if std::env::var_os("CHF_BLESS").is_some() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, &actual).unwrap();
+        std::fs::write(&path, actual).unwrap();
         eprintln!("blessed {} ({} bytes)", path.display(), actual.len());
         return;
     }
@@ -84,8 +123,18 @@ fn formation_stats_match_golden() {
             let _ = writeln!(diff, "line counts differ: expected {el}, actual {al}");
         }
         panic!(
-            "formation trajectory drifted from {GOLDEN_PATH} — the trial/commit \
+            "formation trajectory drifted from {golden_path} — the trial/commit \
              path is no longer bit-identical to the golden capture:\n{diff}"
         );
     }
+}
+
+#[test]
+fn formation_stats_match_golden() {
+    check_golden(GOLDEN_PATH, &snapshot());
+}
+
+#[test]
+fn hotfirst_formation_stats_match_golden() {
+    check_golden(GOLDEN_HOTFIRST_PATH, &snapshot_hotfirst());
 }

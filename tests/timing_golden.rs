@@ -111,8 +111,7 @@ fn event_core_matches_legacy_on_full_suite() {
                     memory_ordering: ordering,
                     ..TimingConfig::trips()
                 };
-                let ev =
-                    chf::sim::timing::simulate_timing(f, &w.args, &w.memory, &cfg).unwrap();
+                let ev = chf::sim::timing::simulate_timing(f, &w.args, &w.memory, &cfg).unwrap();
                 let lg = simulate_timing_legacy(f, &w.args, &w.memory, &cfg).unwrap();
                 assert_eq!(ev.cycles, lg.cycles, "{} {form} {label}", w.name);
                 assert_eq!(
@@ -120,7 +119,11 @@ fn event_core_matches_legacy_on_full_suite() {
                     "{} {form} {label}",
                     w.name
                 );
-                assert_eq!(ev.insts_executed, lg.insts_executed, "{} {form} {label}", w.name);
+                assert_eq!(
+                    ev.insts_executed, lg.insts_executed,
+                    "{} {form} {label}",
+                    w.name
+                );
                 assert_eq!(ev.digest(), lg.digest(), "{} {form} {label}", w.name);
             }
         }
