@@ -168,9 +168,21 @@ fn main() {
     );
     let event_mcps = sim_cycles as f64 / 1e6 / (sim_event_ms / 1e3);
 
+    // 2d. Sharded whole-program throughput on the composite suite:
+    // checkpoint plan + parallel per-shard replay + validating stitch,
+    // at 1 / 2 / N workers (every stitched cycle count is cross-checked
+    // against the sequential engine inside the probe).
+    let workers = chf_bench::parallel::workers();
+    let mut shard_counts = vec![1usize, 2];
+    if !shard_counts.contains(&workers) {
+        shard_counts.push(workers);
+    }
+    let scaling =
+        chf_bench::sharded::measure_scaling(&shard_counts, &chf_sim::ShardConfig::default(), 2)
+            .unwrap_or_else(|e| panic!("sharded scaling probe failed: {e}"));
+
     // 3. End-to-end Table 1 regeneration: parallel harness vs forced
     // sequential, with byte-identity of the outputs.
-    let workers = chf_bench::parallel::workers();
     let (wall_ms, artifacts) = best_of(3, || table1_artifacts(workers));
     let (seq_ms, seq_artifacts) = best_of(3, || table1_artifacts(1));
     let identical = artifacts == seq_artifacts;
@@ -189,6 +201,12 @@ fn main() {
         "  sim       total: {sim_ms:8.2} ms  ({sim_cycles} cycles, {mcps:.2} Mcycles/s per-call)"
     );
     println!("  sim (pre-lowered): {sim_event_ms:6.2} ms  ({event_mcps:.2} Mcycles/s event core)");
+    for r in &scaling {
+        println!(
+            "  sim (sharded, {} worker(s)): {:6.2} ms  ({:.2} Mcycles/s, {} shards, {} narrow, {} ckpt bytes, {} fallbacks)",
+            r.workers, r.wall_ms, r.mcps, r.shards, r.narrow_shards, r.checkpoint_bytes, r.fallbacks
+        );
+    }
     println!(
         "  table1 end-to-end: {wall_ms:.2} ms ({workers} worker(s)); sequential: {seq_ms:.2} ms"
     );
@@ -229,7 +247,18 @@ fn main() {
     let _ = writeln!(json, "  \"seed_sim_mcycles_per_s\": {SEED_SIM_MCPS:.2},");
     let _ = writeln!(json, "  \"sim_mcycles_per_s\": {mcps:.2},");
     let _ = writeln!(json, "  \"sim_event_ms_total\": {sim_event_ms:.2},");
-    let _ = writeln!(json, "  \"sim_event_mcycles_per_s\": {event_mcps:.2}");
+    let _ = writeln!(json, "  \"sim_event_mcycles_per_s\": {event_mcps:.2},");
+    json.push_str("  \"sharded_sim\": [");
+    for (i, r) in scaling.iter().enumerate() {
+        let sep = if i + 1 < scaling.len() { ", " } else { "" };
+        let _ = write!(
+            json,
+            "{{\"workers\": {}, \"wall_ms\": {:.2}, \"mcycles_per_s\": {:.2}, \
+             \"shards\": {}, \"narrow_shards\": {}, \"checkpoint_bytes\": {}, \"fallbacks\": {}}}{sep}",
+            r.workers, r.wall_ms, r.mcps, r.shards, r.narrow_shards, r.checkpoint_bytes, r.fallbacks
+        );
+    }
+    json.push_str("]\n");
     json.push_str("}\n");
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("  wrote {out_path}"),

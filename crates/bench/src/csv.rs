@@ -1,7 +1,7 @@
 //! CSV serialization of experiment results, for plotting Figure 7 and
 //! archiving table data (`summary` writes these under `results/`).
 
-use crate::{fig7, table1, table2, table3};
+use crate::{fig7, table1, table2, table3, whole_program};
 use std::fmt::Write as _;
 
 /// The sentinel written in place of numbers for a poisoned row. Downstream
@@ -133,6 +133,42 @@ pub fn table3_csv(rows: &[table3::Row]) -> String {
         }
         out.push('\n');
     }
+    out
+}
+
+/// Whole-program measured-vs-model rows as CSV, with the fit appended as
+/// a comment line (poisoned rows as in [`table1_csv`]). Deterministic:
+/// byte-identical at any worker count.
+pub fn whole_program_csv(rows: &[whole_program::Row], fit: &fig7::Fit) -> String {
+    let mut out = String::from(
+        "benchmark,bb_blocks,hb_blocks,block_improvement,bb_cycles,hb_cycles,\
+         cycle_improvement,hb_insts,hb_shards,stitched\n",
+    );
+    for r in rows {
+        if let Some(err) = &r.error {
+            let _ = writeln!(out, "{},{},{}", r.name, POISONED_SENTINEL, csv_safe(err));
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.2},{},{},{:.2},{},{},{}",
+            r.name,
+            r.bb_blocks,
+            r.hb_blocks,
+            r.block_improvement(),
+            r.bb_cycles,
+            r.hb_cycles,
+            r.cycle_improvement(),
+            r.hb_insts,
+            r.hb_shards,
+            r.stitched
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# fit: slope={:.4} intercept={:.2} r2={:.4}",
+        fit.slope, fit.intercept, fit.r2
+    );
     out
 }
 

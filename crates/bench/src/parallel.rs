@@ -28,21 +28,29 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads to use: the `CHF_JOBS` environment variable if
-/// set (a value of `1` forces sequential execution), else the machine's
-/// available parallelism. `CHF_JOBS` is clamped to
-/// `[1, available_parallelism]` — oversubscribing compile-and-simulate jobs
-/// only thrashes caches and, under cgroup CPU quotas, can stall the run.
+/// Parse a raw `CHF_JOBS`-style setting into a worker count clamped to
+/// `[1, cap]`. This is the single place the repo interprets a job-count
+/// string: unset or unparseable input means "use everything" (`cap`), `0`
+/// clamps up to `1` (forcing sequential execution), and oversubscription
+/// clamps down to `cap` — oversubscribing compile-and-simulate jobs only
+/// thrashes caches and, under cgroup CPU quotas, can stall the run. A
+/// `cap` of `0` (a pathological caller) is treated as `1`.
+pub fn clamp_jobs(raw: Option<&str>, cap: usize) -> usize {
+    let cap = cap.max(1);
+    match raw.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) => n.clamp(1, cap),
+        None => cap,
+    }
+}
+
+/// Number of worker threads to use: the `CHF_JOBS` environment variable
+/// interpreted by [`clamp_jobs`] with the machine's available parallelism
+/// as the cap (a value of `1` forces sequential execution).
 pub fn workers() -> usize {
     let avail = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    if let Ok(v) = std::env::var("CHF_JOBS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.clamp(1, avail);
-        }
-    }
-    avail
+    clamp_jobs(std::env::var("CHF_JOBS").ok().as_deref(), avail)
 }
 
 /// Render a `catch_unwind` payload as a human-readable message.
@@ -150,6 +158,26 @@ mod tests {
     #[test]
     fn workers_is_at_least_one() {
         assert!(workers() >= 1);
+    }
+
+    #[test]
+    fn clamp_jobs_handles_zero_garbage_and_huge() {
+        // 0 forces sequential, never "use everything".
+        assert_eq!(clamp_jobs(Some("0"), 8), 1);
+        // Garbage and unset fall back to the cap.
+        assert_eq!(clamp_jobs(Some("garbage"), 8), 8);
+        assert_eq!(clamp_jobs(Some(""), 8), 8);
+        assert_eq!(clamp_jobs(Some("-3"), 8), 8);
+        assert_eq!(clamp_jobs(None, 8), 8);
+        // Oversubscription clamps down to the cap.
+        assert_eq!(clamp_jobs(Some("4096"), 8), 8);
+        assert_eq!(clamp_jobs(Some(&usize::MAX.to_string()), 3), 3);
+        // In-range values pass through (whitespace tolerated).
+        assert_eq!(clamp_jobs(Some(" 3 "), 8), 3);
+        assert_eq!(clamp_jobs(Some("1"), 8), 1);
+        // A pathological cap of 0 still yields a usable count.
+        assert_eq!(clamp_jobs(Some("5"), 0), 1);
+        assert_eq!(clamp_jobs(None, 0), 1);
     }
 
     /// Serializes the tests that swap the process-global panic hook.

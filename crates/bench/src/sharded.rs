@@ -1,0 +1,287 @@
+//! Parallel driver for the sharded whole-program simulator.
+//!
+//! `chf-sim` owns the mechanism — checkpoint planning, per-shard replay,
+//! and the validating stitch (see `chf_sim::shard`) — and stays
+//! pool-agnostic. This module owns the policy: it fans the independent
+//! per-shard simulations across the harness's scoped thread pool
+//! ([`crate::parallel::par_map_isolated`], worker count from `CHF_JOBS`)
+//! and feeds the results, in shard order, to the stitcher. A shard worker
+//! that panics is retried once by the pool and otherwise surfaces as a
+//! per-shard error, which the stitcher converts into a sequential
+//! re-simulation — so the parallel entry point returns byte-identical
+//! results at any worker count, even under fault injection.
+//!
+//! [`measure_scaling`] is the throughput probe built on top: it compiles
+//! the convergent form of every SPEC-like composite once, then
+//! cycle-simulates the whole suite end-to-end at several worker counts,
+//! cross-checking every stitched result against the sequential engine.
+
+use crate::parallel::par_map_isolated;
+use chf_core::pipeline::{try_compile, CompileConfig};
+use chf_sim::functional::SimError;
+use chf_sim::timing::{simulate_timing_lowered, TimingConfig};
+use chf_sim::{plan_shards, simulate_shard, stitch, LoweredProgram, ShardConfig, StitchedTiming};
+use chf_workloads::spec_suite;
+use std::time::Instant;
+
+/// Sharded whole-program timing simulation with the per-shard replays
+/// spread across `workers` threads.
+///
+/// Identical in observable behaviour to
+/// [`chf_sim::simulate_timing_sharded_seq`] (and therefore to
+/// [`simulate_timing_lowered`]) at every worker count: parallelism only
+/// changes wall-clock time.
+///
+/// # Errors
+/// As the sequential engine — validation failures degrade to the
+/// sequential fallback instead of erroring.
+pub fn simulate_timing_sharded(
+    p: &LoweredProgram,
+    args: &[i64],
+    mem_init: &[(i64, i64)],
+    config: &TimingConfig,
+    shard: &ShardConfig,
+    workers: usize,
+) -> Result<StitchedTiming, SimError> {
+    let plan = match plan_shards(p, args, mem_init, config, shard) {
+        Ok(plan) => plan,
+        Err(e) => {
+            // Planning mirrors the timing model's error discipline, so the
+            // sequential run normally re-raises the same error; if it
+            // somehow succeeds, its result is correct by definition.
+            let result = simulate_timing_lowered(p, args, mem_init, config)?;
+            return Ok(StitchedTiming {
+                result,
+                shards: 1,
+                checkpoint_bytes: 0,
+                narrow_shards: 0,
+                fallback: Some(format!("plan: {e}")),
+            });
+        }
+    };
+    let ks: Vec<usize> = (0..plan.n_shards()).collect();
+    let runs = par_map_isolated(&ks, workers, |&k| simulate_shard(p, config, &plan, k))
+        .into_iter()
+        .map(|r| match r {
+            Ok(inner) => inner,
+            Err(panic_msg) => Err(format!("shard worker panicked: {panic_msg}")),
+        })
+        .collect();
+    stitch(p, args, mem_init, config, &plan, runs)
+}
+
+/// One worker-count sample of the sharded-simulation throughput probe.
+#[derive(Clone, Debug)]
+pub struct ScalingRow {
+    /// Worker threads used for the per-shard replays.
+    pub workers: usize,
+    /// Wall-clock time to cycle-simulate the whole composite suite (ms,
+    /// best of the measured repetitions).
+    pub wall_ms: f64,
+    /// Total cycles simulated across the suite.
+    pub cycles: u64,
+    /// Throughput in Mcycles per wall-clock second.
+    pub mcps: f64,
+    /// Total shards across the suite.
+    pub shards: usize,
+    /// Shards that ran with 32-bit cycle timestamps.
+    pub narrow_shards: usize,
+    /// Approximate bytes of recorded checkpoint state across the suite.
+    pub checkpoint_bytes: usize,
+    /// Programs whose stitch fell back to sequential re-simulation.
+    pub fallbacks: usize,
+}
+
+/// A composite's convergent form, compiled and lowered once for the
+/// scaling probe.
+struct Prepared {
+    name: String,
+    p: LoweredProgram,
+    args: Vec<i64>,
+    memory: Vec<(i64, i64)>,
+    seq_cycles: u64,
+}
+
+fn prepare_suite(config: &TimingConfig) -> Result<Vec<Prepared>, String> {
+    spec_suite()
+        .iter()
+        .map(|w| {
+            let compiled = try_compile(&w.function, &w.profile, &CompileConfig::convergent())
+                .map_err(|e| format!("{}: compilation failed: {e}", w.name))?;
+            let p = LoweredProgram::lower(&compiled.function);
+            let seq = simulate_timing_lowered(&p, &w.args, &w.memory, config)
+                .map_err(|e| format!("{}: sequential simulation failed: {e}", w.name))?;
+            Ok(Prepared {
+                name: w.name.clone(),
+                p,
+                args: w.args.clone(),
+                memory: w.memory.clone(),
+                seq_cycles: seq.cycles,
+            })
+        })
+        .collect()
+}
+
+/// Cycle-simulate the convergent form of every composite end-to-end at
+/// each worker count in `worker_counts`, `reps` times each (best wall
+/// time kept), cross-checking every stitched cycle count against the
+/// sequential engine.
+///
+/// # Errors
+/// A message naming the composite when compilation or simulation fails,
+/// or when a stitched result diverges from the sequential engine (which
+/// the fallback design makes impossible short of a harness bug).
+pub fn measure_scaling(
+    worker_counts: &[usize],
+    shard: &ShardConfig,
+    reps: usize,
+) -> Result<Vec<ScalingRow>, String> {
+    let config = TimingConfig::trips();
+    let suite = prepare_suite(&config)?;
+    let mut rows = Vec::with_capacity(worker_counts.len());
+    for &workers in worker_counts {
+        let mut best_ms = f64::INFINITY;
+        let mut cycles = 0u64;
+        let mut shards = 0usize;
+        let mut narrow_shards = 0usize;
+        let mut checkpoint_bytes = 0usize;
+        let mut fallbacks = 0usize;
+        for _ in 0..reps.max(1) {
+            cycles = 0;
+            shards = 0;
+            narrow_shards = 0;
+            checkpoint_bytes = 0;
+            fallbacks = 0;
+            let t = Instant::now();
+            for pr in &suite {
+                let sh =
+                    simulate_timing_sharded(&pr.p, &pr.args, &pr.memory, &config, shard, workers)
+                        .map_err(|e| format!("{}: sharded simulation failed: {e}", pr.name))?;
+                if sh.result.cycles != pr.seq_cycles {
+                    return Err(format!(
+                        "{}: sharded cycles {} != sequential {}",
+                        pr.name, sh.result.cycles, pr.seq_cycles
+                    ));
+                }
+                cycles += sh.result.cycles;
+                shards += sh.shards;
+                narrow_shards += sh.narrow_shards;
+                checkpoint_bytes += sh.checkpoint_bytes;
+                fallbacks += usize::from(sh.fallback.is_some());
+            }
+            best_ms = best_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        }
+        let mcps = cycles as f64 / 1e6 / (best_ms / 1e3);
+        rows.push(ScalingRow {
+            workers,
+            wall_ms: best_ms,
+            cycles,
+            mcps,
+            shards,
+            narrow_shards,
+            checkpoint_bytes,
+            fallbacks,
+        });
+    }
+    Ok(rows)
+}
+
+/// Render scaling rows as CSV (`results/sim_scaling.csv`).
+pub fn scaling_csv(rows: &[ScalingRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "workers,wall_ms,cycles,mcycles_per_sec,shards,narrow_shards,checkpoint_bytes,fallbacks\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{:.2},{},{:.2},{},{},{},{}",
+            r.workers,
+            r.wall_ms,
+            r.cycles,
+            r.mcps,
+            r.shards,
+            r.narrow_shards,
+            r.checkpoint_bytes,
+            r.fallbacks
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chf_ir::builder::FunctionBuilder;
+    use chf_ir::ids::Reg;
+    use chf_ir::instr::Operand;
+
+    /// A long store loop: enough dynamic blocks to split into many shards.
+    fn looped() -> LoweredProgram {
+        let mut fb = FunctionBuilder::new("bench-shard-loop", 2);
+        let entry = fb.create_block();
+        let body = fb.create_block();
+        let done = fb.create_block();
+        fb.switch_to(entry);
+        let i = fb.add(Operand::Reg(Reg(0)), Operand::Imm(0));
+        fb.jump(body);
+        fb.switch_to(body);
+        fb.store(Operand::Reg(i), Operand::Reg(i));
+        let t = fb.sub(Operand::Reg(i), Operand::Imm(1));
+        fb.mov_to(i, Operand::Reg(t));
+        let z = fb.cmp_le(Operand::Reg(i), Operand::Imm(0));
+        fb.branch(z, done, body);
+        fb.switch_to(done);
+        fb.ret(Some(Operand::Reg(Reg(0))));
+        LoweredProgram::lower(&fb.build().unwrap())
+    }
+
+    /// The parallel driver is worker-count invariant and identical to the
+    /// sequential engine, with no fallback on a steady-state loop.
+    #[test]
+    fn worker_count_invariant() {
+        let p = looped();
+        let cfg = TimingConfig::trips();
+        let scfg = ShardConfig {
+            shard_blocks: 128,
+            warmup_blocks: 48,
+        };
+        let seq = simulate_timing_lowered(&p, &[1000, 0], &[], &cfg).unwrap();
+        let mut stitched: Vec<StitchedTiming> = Vec::new();
+        for workers in [1usize, 2, 8] {
+            let sh = simulate_timing_sharded(&p, &[1000, 0], &[], &cfg, &scfg, workers).unwrap();
+            assert_eq!(sh.result.cycles, seq.cycles, "workers={workers}");
+            assert_eq!(sh.result.digest(), seq.digest(), "workers={workers}");
+            assert_eq!(sh.fallback, None, "workers={workers}");
+            stitched.push(sh);
+        }
+        // Every observable of the stitched runs is identical across
+        // worker counts.
+        for sh in &stitched[1..] {
+            assert_eq!(sh.result.cycles, stitched[0].result.cycles);
+            assert_eq!(sh.shards, stitched[0].shards);
+            assert_eq!(sh.narrow_shards, stitched[0].narrow_shards);
+            assert_eq!(sh.checkpoint_bytes, stitched[0].checkpoint_bytes);
+        }
+        assert!(stitched[0].shards > 5);
+    }
+
+    #[test]
+    fn scaling_csv_shape() {
+        let rows = vec![ScalingRow {
+            workers: 2,
+            wall_ms: 10.0,
+            cycles: 1_000_000,
+            mcps: 100.0,
+            shards: 12,
+            narrow_shards: 12,
+            checkpoint_bytes: 4096,
+            fallbacks: 0,
+        }];
+        let csv = scaling_csv(&rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("workers,wall_ms,cycles"));
+        assert!(lines[1].starts_with("2,10.00,1000000,100.00,12,12,4096,0"));
+    }
+}

@@ -21,8 +21,8 @@ use crate::fig7::{linear_fit, Fit, Point};
 use crate::render::{pct, render_table};
 use chf_core::pipeline::{try_compile, CompileConfig, PhaseOrdering};
 use chf_sim::functional::{run_lowered, RunConfig};
-use chf_sim::timing::{simulate_timing_lowered, TimingConfig};
-use chf_sim::LoweredProgram;
+use chf_sim::timing::TimingConfig;
+use chf_sim::{simulate_timing_sharded_seq, LoweredProgram, ShardConfig};
 use chf_workloads::{spec_suite, Workload};
 
 /// End-to-end measurements of one composite: both program forms, both
@@ -41,6 +41,11 @@ pub struct Row {
     pub hb_cycles: u64,
     /// Instructions executed in the convergent form (work check).
     pub hb_insts: u64,
+    /// Shards the convergent form's timing run was split into.
+    pub hb_shards: u64,
+    /// `true` when both forms' sharded runs stitched without falling back
+    /// to sequential re-simulation.
+    pub stitched: bool,
     /// Failure marker; a poisoned row carries no measurements.
     pub error: Option<String>,
 }
@@ -55,6 +60,8 @@ impl Row {
             bb_cycles: 0,
             hb_cycles: 0,
             hb_insts: 0,
+            hb_shards: 0,
+            stitched: false,
             error: Some(error),
         }
     }
@@ -71,9 +78,22 @@ impl Row {
     }
 }
 
+/// One form's measurements: blocks, cycles, insts, shards, stitched.
+struct FormMeasure {
+    blocks: u64,
+    cycles: u64,
+    insts: u64,
+    shards: u64,
+    stitched: bool,
+}
+
 /// Compile one form of `w`, lower it once, and run both simulators over
-/// the shared handle, cross-checking their digests.
-fn measure_form(w: &Workload, config: &CompileConfig) -> Result<(u64, u64, u64), String> {
+/// the shared handle, cross-checking their digests. The timing run goes
+/// through the sharded simulator (checkpoint plan + per-shard replay +
+/// validating stitch, on the calling thread — the harness parallelizes
+/// across composites, so the shards of one composite stay sequential),
+/// which is observably identical to the plain sequential engine.
+fn measure_form(w: &Workload, config: &CompileConfig) -> Result<FormMeasure, String> {
     let compiled = try_compile(&w.function, &w.profile, config)
         .map_err(|e| format!("{}: compilation failed: {e}", w.name))?;
     let lowered = LoweredProgram::lower(&compiled.function);
@@ -83,15 +103,28 @@ fn measure_form(w: &Workload, config: &CompileConfig) -> Result<(u64, u64, u64),
     };
     let f = run_lowered(&lowered, &w.args, &w.memory, &run_cfg)
         .map_err(|e| format!("{}: functional simulation failed: {e}", w.name))?;
-    let t = simulate_timing_lowered(&lowered, &w.args, &w.memory, &TimingConfig::trips())
-        .map_err(|e| format!("{}: timing simulation failed: {e}", w.name))?;
+    let sh = simulate_timing_sharded_seq(
+        &lowered,
+        &w.args,
+        &w.memory,
+        &TimingConfig::trips(),
+        &ShardConfig::default(),
+    )
+    .map_err(|e| format!("{}: timing simulation failed: {e}", w.name))?;
+    let t = &sh.result;
     if t.ret != Some(w.expected) || f.digest() != t.digest() {
         return Err(format!(
             "{}: simulators disagree (functional {:?}, timing {:?}, expected {})",
             w.name, f.ret, t.ret, w.expected
         ));
     }
-    Ok((f.blocks_executed, t.cycles, t.insts_executed))
+    Ok(FormMeasure {
+        blocks: f.blocks_executed,
+        cycles: t.cycles,
+        insts: t.insts_executed,
+        shards: sh.shards as u64,
+        stitched: sh.fallback.is_none(),
+    })
 }
 
 /// Measure one composite end-to-end; any failure poisons the row.
@@ -106,11 +139,13 @@ pub fn measure(w: &Workload) -> Row {
     };
     Row {
         name: w.name.clone(),
-        bb_blocks: bb.0,
-        hb_blocks: hb.0,
-        bb_cycles: bb.1,
-        hb_cycles: hb.1,
-        hb_insts: hb.2,
+        bb_blocks: bb.blocks,
+        hb_blocks: hb.blocks,
+        bb_cycles: bb.cycles,
+        hb_cycles: hb.cycles,
+        hb_insts: hb.insts,
+        hb_shards: hb.shards,
+        stitched: bb.stitched && hb.stitched,
         error: None,
     }
 }
@@ -205,6 +240,10 @@ mod tests {
         for r in &rows {
             assert!(r.error.is_none(), "{}: {:?}", r.name, r.error);
             assert!(r.bb_cycles > 0 && r.hb_cycles > 0, "{}", r.name);
+            // The sharded runner must validate its stitch on every
+            // composite — a fallback here means warm-up stopped converging.
+            assert!(r.stitched, "{}: sharded run fell back", r.name);
+            assert!(r.hb_shards >= 1, "{}", r.name);
             // Formation must not make a composite slower end-to-end.
             assert!(
                 r.hb_cycles <= r.bb_cycles,

@@ -1,0 +1,403 @@
+//! Checkpoint plan pass for sharded whole-program timing simulation.
+//!
+//! A whole-program timing run is split into **shards** at block-commit
+//! boundaries: shard `k` covers committed blocks `[k·S, (k+1)·S)`. Before
+//! any cycle simulation happens, a single fast *functional* pass over the
+//! [`LoweredProgram`] ([`plan_shards`]) executes the program
+//! architecturally and records, for every shard:
+//!
+//! * a [`Checkpoint`] — the full architectural state (next block, register
+//!   file, memory image, exit-predictor state) at the shard's **warm-up
+//!   start**, `W` blocks before the shard's range. The timing engine's
+//!   microarchitectural state (in-flight commits, issue-ring occupancy,
+//!   register availability times) is *not* recorded: a shard re-derives it
+//!   by cycle-simulating the `W` warm-up blocks, and the stitcher verifies
+//!   convergence by digest comparison ([`crate::shard`]).
+//! * a [`ShardExpect`] — the architectural ground truth over the shard's
+//!   range (instruction counters, misprediction count, and a running hash
+//!   of prediction outcomes), which the stitcher cross-checks against the
+//!   timing engine's replay. The predictor is purely architectural — its
+//!   state is a function of the control-flow path alone — so the plan pass
+//!   replays it exactly and a shard starts from the *exact* predictor
+//!   state, not an approximation.
+//!
+//! Commit boundaries are safe cut points because the engine carries no
+//! hidden state across them besides what the checkpoint + warm-up
+//! reconstruct: the LSQ and the written-register set reset every block,
+//! and all timing arithmetic is shift-invariant (see
+//! [`crate::timing::TimingDigest`]).
+//!
+//! The plan pass mirrors the *timing* model's error discipline (eager
+//! out-of-range reject, `MalformedInstruction` on executed irregular
+//! instructions, the legacy fuel/dangling ordering) so that a program the
+//! timing core rejects is rejected identically here, and the sharded
+//! runner can fall back to the sequential engine with the exact same
+//! error.
+
+use crate::functional::{eval, SimError};
+use crate::lower::{LExitKind, LKind, LoweredProgram, NONE};
+use crate::predictor::ExitPredictor;
+use crate::timing::{outcome_hash_step, SimMemory, TimingConfig, OUTCOME_HASH_INIT};
+
+/// Sharding parameters for [`plan_shards`].
+#[derive(Copy, Clone, Debug)]
+pub struct ShardConfig {
+    /// Committed blocks per shard (`S`). The last shard may be shorter.
+    pub shard_blocks: u64,
+    /// Warm-up blocks simulated before a shard's range (`W`) to
+    /// reconstruct the engine's microarchitectural state. Clamped to
+    /// `[1, shard_blocks / 2]`.
+    pub warmup_blocks: u64,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        // S is a latency/parallelism trade-off: small enough that the 19
+        // composites (tens to hundreds of thousands of dynamic blocks)
+        // split into many shards, large enough that the W-block warm-up
+        // (and the per-shard plan/probe overhead) stays a small fraction.
+        ShardConfig {
+            shard_blocks: 4096,
+            warmup_blocks: 64,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// The sanitized `(shard_blocks, warmup_blocks)` actually used.
+    pub(crate) fn sanitized(&self) -> (u64, u64) {
+        let s = self.shard_blocks.max(2);
+        let w = self.warmup_blocks.clamp(1, s / 2);
+        (s, w)
+    }
+}
+
+/// Architectural state at a shard's warm-up start, recorded by the plan
+/// pass. Everything the functional machine is: where it is, what the
+/// registers hold, what memory holds, and what the predictor has learned.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Committed-block count at which this state was captured.
+    pub(crate) at_block: u64,
+    /// Dense index of the next block to execute.
+    pub(crate) cur: u32,
+    /// Full register file (length `nregs.max(1)`, the engine's layout).
+    pub(crate) regs: Vec<i64>,
+    /// Full memory image, sorted, including written zeros
+    /// ([`SimMemory::image`]).
+    pub(crate) mem: Vec<(i64, i64)>,
+    /// Exact predictor state at this point.
+    pub(crate) predictor: ExitPredictor,
+    /// Cached [`ExitPredictor::state_hash`] of `predictor`, compared (not
+    /// recomputed) at probe time.
+    pub(crate) pred_hash: u64,
+}
+
+impl Checkpoint {
+    /// Approximate heap bytes held by this checkpoint.
+    pub fn bytes(&self) -> usize {
+        self.regs.len() * std::mem::size_of::<i64>()
+            + self.mem.len() * std::mem::size_of::<(i64, i64)>()
+            + self.predictor.state_bytes()
+    }
+}
+
+/// Architectural ground truth over one shard's range, for stitch-time
+/// validation.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardExpect {
+    /// Prediction-outcome hash over the range (see
+    /// [`crate::timing::outcome_hash_step`]).
+    pub(crate) outcome_hash: u64,
+    /// Mispredictions in the range.
+    pub(crate) mispredictions: u64,
+    /// Instructions executed in the range.
+    pub(crate) insts_executed: u64,
+    /// Instructions nullified in the range.
+    pub(crate) insts_nullified: u64,
+    /// Instruction slots fetched in the range.
+    pub(crate) insts_fetched: u64,
+}
+
+/// One shard of the plan: where it starts, how long it warms up, what it
+/// covers, and what it must reproduce.
+#[derive(Clone, Debug)]
+pub struct ShardSpec {
+    /// Warm-up blocks before the range (0 for shard 0).
+    pub(crate) warmup: u64,
+    /// First committed-block index of the range.
+    pub(crate) start: u64,
+    /// Committed blocks in the range.
+    pub(crate) len: u64,
+    /// State at `start − warmup`.
+    pub(crate) checkpoint: Checkpoint,
+    /// Ground truth over `[start, start + len)`.
+    pub(crate) expect: ShardExpect,
+}
+
+/// Output of [`plan_shards`]: everything the sharded runner and stitcher
+/// need, including the whole-program architectural result for final
+/// validation.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// Sanitized shard size `S`.
+    pub(crate) shard_blocks: u64,
+    /// Sanitized warm-up length `W`.
+    pub(crate) warmup_blocks: u64,
+    /// Total dynamic blocks `N`.
+    pub(crate) total_blocks: u64,
+    pub(crate) shards: Vec<ShardSpec>,
+    /// The program's return value.
+    pub(crate) ret: Option<i64>,
+    /// The final memory image.
+    pub(crate) final_mem: Vec<(i64, i64)>,
+}
+
+impl ShardPlan {
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total dynamic blocks in the planned run.
+    pub fn total_blocks(&self) -> u64 {
+        self.total_blocks
+    }
+
+    /// Sanitized shard size `S` the plan was built with.
+    pub fn shard_blocks(&self) -> u64 {
+        self.shard_blocks
+    }
+
+    /// Sanitized warm-up length `W` the plan was built with.
+    pub fn warmup_blocks(&self) -> u64 {
+        self.warmup_blocks
+    }
+
+    /// Approximate heap bytes held by all recorded checkpoints.
+    pub fn checkpoint_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.checkpoint.bytes()).sum()
+    }
+}
+
+/// The functional plan pass: execute the program architecturally once,
+/// recording per-shard checkpoints and expectations.
+///
+/// # Errors
+/// Exactly the errors [`crate::timing::simulate_timing_lowered`] would
+/// produce on the same program (same fuel discipline, same eager reject,
+/// same malformed-instruction behaviour), so a planning failure implies
+/// the sequential timing run fails identically.
+pub fn plan_shards(
+    p: &LoweredProgram,
+    args: &[i64],
+    mem_init: &[(i64, i64)],
+    config: &TimingConfig,
+    shard: &ShardConfig,
+) -> Result<ShardPlan, SimError> {
+    if let Some(e) = &p.timing_reject {
+        return Err(e.clone());
+    }
+    let (s, w) = shard.sanitized();
+
+    let mut regs: Vec<i64> = vec![0; p.nregs.max(1)];
+    for (i, a) in args.iter().enumerate().take(p.params as usize) {
+        regs[i] = *a;
+    }
+    let mut mem = SimMemory::new(mem_init);
+    let mut predictor = ExitPredictor::new(&config.predictor);
+
+    let mut blocks: u64 = 0;
+    let mut insts_executed: u64 = 0;
+    let mut insts_nullified: u64 = 0;
+    let mut insts_fetched: u64 = 0;
+    let mut outcome_hash = OUTCOME_HASH_INIT;
+
+    // Shard 0's "checkpoint" is the initial state (warm-up 0).
+    let mut checkpoints: Vec<Checkpoint> = vec![Checkpoint {
+        at_block: 0,
+        cur: p.entry,
+        regs: regs.clone(),
+        mem: mem.image(),
+        pred_hash: predictor.state_hash(),
+        predictor: predictor.clone(),
+    }];
+    let mut expects: Vec<ShardExpect> = Vec::new();
+    // Counter snapshot at the last closed range boundary.
+    let mut range_base = (0u64, 0u64, 0u64, 0u64); // executed, nullified, fetched, mispred
+
+    let close_range = |expects: &mut Vec<ShardExpect>,
+                       base: &mut (u64, u64, u64, u64),
+                       outcome: &mut u64,
+                       executed: u64,
+                       nullified: u64,
+                       fetched: u64,
+                       mispred: u64| {
+        expects.push(ShardExpect {
+            outcome_hash: *outcome,
+            mispredictions: mispred - base.3,
+            insts_executed: executed - base.0,
+            insts_nullified: nullified - base.1,
+            insts_fetched: fetched - base.2,
+        });
+        *base = (executed, nullified, fetched, mispred);
+        *outcome = OUTCOME_HASH_INIT;
+    };
+
+    let mut cur = p.entry;
+    let ret: Option<i64> = 'outer: loop {
+        if blocks >= config.max_blocks {
+            return Err(SimError::OutOfFuel { executed: blocks });
+        }
+        // `blocks` blocks have committed; this is a shard boundary when it
+        // hits a multiple of S, and a checkpoint position W blocks before
+        // the next boundary.
+        if blocks > 0 && blocks.is_multiple_of(s) {
+            close_range(
+                &mut expects,
+                &mut range_base,
+                &mut outcome_hash,
+                insts_executed,
+                insts_nullified,
+                insts_fetched,
+                predictor.mispredictions(),
+            );
+        }
+        if blocks % s == s - w {
+            checkpoints.push(Checkpoint {
+                at_block: blocks,
+                cur,
+                regs: regs.clone(),
+                mem: mem.image(),
+                pred_hash: predictor.state_hash(),
+                predictor: predictor.clone(),
+            });
+        }
+        blocks += 1;
+
+        let lb = &p.blocks[cur as usize];
+        insts_fetched += lb.size as u64;
+
+        for inst in &p.insts[lb.inst_start as usize..lb.inst_end as usize] {
+            // The timing model's functional semantics: predicate first
+            // (clamped reads are identities on in-range registers), no
+            // uninitialized-read checks, and an *executed* irregular
+            // instruction is an error.
+            if inst.pred_reg != NONE && (regs[inst.pred_reg as usize] != 0) != inst.pred_if_true {
+                insts_nullified += 1;
+                continue;
+            }
+            insts_executed += 1;
+            let a = if inst.a_reg != NONE {
+                regs[inst.a_reg as usize]
+            } else {
+                inst.a_imm
+            };
+            match inst.kind {
+                LKind::Alu => {
+                    let b = if inst.b_reg != NONE {
+                        regs[inst.b_reg as usize]
+                    } else {
+                        inst.b_imm
+                    };
+                    regs[inst.dst as usize] = eval(inst.op, a, b);
+                }
+                LKind::Load => {
+                    regs[inst.dst as usize] = mem.load(a);
+                }
+                LKind::Store => {
+                    let b = if inst.b_reg != NONE {
+                        regs[inst.b_reg as usize]
+                    } else {
+                        inst.b_imm
+                    };
+                    mem.store(a, b);
+                }
+                LKind::Slow(_) => {
+                    return Err(SimError::MalformedInstruction { block: lb.id });
+                }
+            }
+        }
+
+        // Exits, in the timing model's scan order.
+        let mut fired = None;
+        for e in &p.exits[lb.exit_start as usize..lb.exit_end as usize] {
+            if let Some(r) = e.pred_oor {
+                return Err(SimError::RegisterOutOfRange {
+                    block: lb.id,
+                    reg: r,
+                });
+            }
+            if e.pred_reg == NONE || (regs[e.pred_reg as usize] != 0) == e.pred_if_true {
+                fired = Some(e);
+                break;
+            }
+        }
+        let fe = fired.ok_or(SimError::NoFiringExit { block: lb.id })?;
+        if let LExitKind::RetRegOor(r) = fe.kind {
+            return Err(SimError::RegisterOutOfRange {
+                block: lb.id,
+                reg: r,
+            });
+        }
+
+        let fallback = lb.fallback.unwrap_or(fe.orig);
+        let correct = predictor.update_tagged(lb.id, fallback, fe.orig, fe.hist_tag);
+        outcome_hash = outcome_hash_step(outcome_hash, correct);
+
+        match fe.kind {
+            LExitKind::Goto(next) => cur = next,
+            LExitKind::Dangling(target) => {
+                if blocks >= config.max_blocks {
+                    return Err(SimError::OutOfFuel { executed: blocks });
+                }
+                return Err(SimError::DanglingTarget { target });
+            }
+            LExitKind::RetNone => break 'outer None,
+            LExitKind::RetImm(v) => break 'outer Some(v),
+            LExitKind::RetReg(r) => break 'outer Some(regs[r as usize]),
+            LExitKind::RetRegOor(_) => unreachable!("handled above"),
+        }
+    };
+
+    close_range(
+        &mut expects,
+        &mut range_base,
+        &mut outcome_hash,
+        insts_executed,
+        insts_nullified,
+        insts_fetched,
+        predictor.mispredictions(),
+    );
+
+    let n_shards = expects.len();
+    // A checkpoint recorded W blocks before a boundary the program never
+    // reached (it returned first) backs no shard.
+    checkpoints.truncate(n_shards);
+    debug_assert_eq!(checkpoints.len(), n_shards, "one checkpoint per shard");
+
+    let shards = checkpoints
+        .into_iter()
+        .zip(expects)
+        .enumerate()
+        .map(|(k, (checkpoint, expect))| {
+            let start = k as u64 * s;
+            ShardSpec {
+                warmup: start - checkpoint.at_block,
+                start,
+                len: (blocks - start).min(s),
+                checkpoint,
+                expect,
+            }
+        })
+        .collect();
+
+    Ok(ShardPlan {
+        shard_blocks: s,
+        warmup_blocks: w,
+        total_blocks: blocks,
+        shards,
+        ret,
+        final_mem: mem.image(),
+    })
+}

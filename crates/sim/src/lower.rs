@@ -159,6 +159,11 @@ pub(crate) struct LBlock {
     /// Static next-block prediction: the first exit's target (`None` iff
     /// the block has no exits, in which case `NoFiringExit` fires first).
     pub fallback: Option<ExitTarget>,
+    /// The block ends in exactly one exit, unpredicated and with an
+    /// in-range (or absent) predicate register: the timing model's exit
+    /// scan degenerates to "exit 0 fires at `dispatch + 1`", so it can be
+    /// resolved in one batched step with no predicate reads.
+    pub single_uncond_exit: bool,
 }
 
 /// A [`Function`] decoded once for repeated simulation.
@@ -342,14 +347,20 @@ impl LoweredProgram {
                     hist_tag: crate::predictor::ExitPredictor::history_tag(&e.target),
                 });
             }
+            let exit_end = p.exits.len() as u32;
+            let single_uncond_exit = exit_end == exit_start + 1 && {
+                let e = &p.exits[exit_start as usize];
+                e.pred_reg == NONE && e.pred_oor.is_none()
+            };
             p.blocks.push(LBlock {
                 id,
                 inst_start,
                 inst_end: p.insts.len() as u32,
                 exit_start,
-                exit_end: p.exits.len() as u32,
+                exit_end,
                 size: blk.size() as u32,
                 fallback: blk.exits.first().map(|e| e.target),
+                single_uncond_exit,
             });
         }
         p

@@ -1,0 +1,470 @@
+//! Sharded whole-program timing simulation with a deterministic stitch.
+//!
+//! Execution model (see [`crate::checkpoint`] for the plan pass):
+//!
+//! 1. [`plan_shards`] runs one fast functional pass, recording per-shard
+//!    architectural checkpoints and ground-truth expectations.
+//! 2. Each shard is cycle-simulated independently ([`simulate_shard`] —
+//!    embarrassingly parallel, the caller picks the thread pool): the
+//!    engine starts from the shard's checkpoint with *drained*
+//!    microarchitectural state, warms up for `W` blocks to reconstruct the
+//!    pipeline (in-flight commits, issue-ring occupancy, register
+//!    availability), then simulates its `S`-block range and reports the
+//!    cycle/counter *deltas* over that range plus normalized
+//!    [`TimingDigest`]s at its entry and exit boundaries.
+//! 3. [`stitch`] validates the chain — every shard's exit digest must
+//!    equal the next shard's entry digest, every shard's architectural
+//!    replay must match the plan's expectations — and sums the deltas.
+//!
+//! **Exactness.** The engine's cycle arithmetic is shift-invariant
+//! (max/+constant only), so equal boundary digests imply equal future
+//! cycle deltas: a validated stitch reproduces the sequential run's cycle
+//! count *exactly*, not approximately. Shard 0 needs no warm-up (it *is*
+//! the sequential prefix), and the chain check extends exactness shard by
+//! shard.
+//!
+//! **Unconditional correctness.** Warm-up convergence is a performance
+//! property, never a correctness assumption: any validation failure — a
+//! digest mismatch, a counter delta off the plan, a corrupted checkpoint
+//! (see [`corrupt_checkpoint`] and the chaos harness) — degrades to a full
+//! sequential re-simulation, whose result is returned verbatim. The
+//! sharded entry points therefore return byte-identical results at any
+//! worker count, shard size, or warm-up length.
+
+use crate::checkpoint::{plan_shards, ShardConfig, ShardPlan};
+use crate::functional::SimError;
+use crate::timing::{
+    simulate_timing_lowered, Cycle, Engine, EngineStart, EngineStep, RegInit, TimingConfig,
+    TimingDigest, TimingResult,
+};
+use chf_ir::fxhash::FxHashMap;
+
+/// Margin for selecting 32-bit cycle timestamps: the conservative bound
+/// must stay a factor of 4 under the wrap point. (Even a bound violation
+/// is safe — a wrapped timestamp desynchronizes the boundary digest and
+/// the stitcher falls back — but the margin keeps that path theoretical.)
+const NARROW_LIMIT: u64 = (u32::MAX as u64) / 4;
+
+/// One shard's timing replay: deltas over its range and boundary digests.
+#[derive(Clone, Debug)]
+pub struct ShardRun {
+    pub(crate) cycles_delta: u64,
+    pub(crate) predictions: u64,
+    pub(crate) mispredictions: u64,
+    pub(crate) insts_executed: u64,
+    pub(crate) insts_nullified: u64,
+    pub(crate) insts_fetched: u64,
+    /// Prediction-outcome hash over the range.
+    pub(crate) outcome_hash: u64,
+    /// Normalized state entering the range (`None` for shard 0).
+    pub(crate) entry_digest: Option<TimingDigest>,
+    /// Normalized state leaving the range (`None` for the last shard).
+    pub(crate) exit_digest: Option<TimingDigest>,
+    /// Mid-range architectural probe against the next shard's checkpoint.
+    pub(crate) arch_ok: bool,
+    /// `Some(ret)` on the last shard.
+    pub(crate) ret: Option<Option<i64>>,
+    /// Final memory image (last shard only).
+    pub(crate) memory: Option<FxHashMap<i64, i64>>,
+    /// Ran with 32-bit timestamps.
+    pub(crate) narrow: bool,
+}
+
+/// A stitched sharded run: the (exact) timing result plus how it was
+/// obtained.
+#[derive(Clone, Debug)]
+pub struct StitchedTiming {
+    /// The whole-program result — identical to what
+    /// [`simulate_timing_lowered`] returns on the same inputs.
+    pub result: TimingResult,
+    /// Shards in the plan.
+    pub shards: usize,
+    /// Approximate bytes of recorded checkpoint state.
+    pub checkpoint_bytes: usize,
+    /// Shards that ran with 32-bit cycle timestamps.
+    pub narrow_shards: usize,
+    /// `Some(reason)` when validation failed and the result came from the
+    /// sequential fallback instead of the stitch.
+    pub fallback: Option<String>,
+}
+
+/// Conservative per-run cycle bound for timestamp-width selection: every
+/// block costs at most `map + resolve + commit_overhead +
+/// mispredict_penalty + Σ_insts (issue-slot + latency + operand hop +
+/// register-file latency)` cycles over its predecessor's bound, so
+/// `budget` blocks stay under `(budget + 2) × max-block-cost`. `None` on
+/// arithmetic overflow (caller falls back to 64-bit timestamps).
+fn cycle_bound(p: &LoweredProgram, config: &TimingConfig, budget: u64) -> Option<u64> {
+    let mut worst: u64 = 0;
+    for b in p.blocks.iter() {
+        let map = config.block_overhead + (b.size as u64).div_ceil(config.fetch_bandwidth as u64);
+        let mut cost = map
+            .checked_add(config.commit_overhead)?
+            .checked_add(config.mispredict_penalty)?
+            .checked_add(1)?;
+        for inst in &p.insts[b.inst_start as usize..b.inst_end as usize] {
+            cost = cost.checked_add(
+                1 + u64::from(inst.latency) + config.operand_latency + config.register_latency,
+            )?;
+        }
+        worst = worst.max(cost);
+    }
+    budget.checked_add(2)?.checked_mul(worst)
+}
+
+use crate::lower::LoweredProgram;
+
+/// Cycle-simulate shard `k` of `plan`: warm up, replay the range, probe
+/// the next checkpoint, digest the boundaries.
+///
+/// Pure and independent per shard — safe to run all shards concurrently.
+/// Every way a shard can fail to reproduce the plan (early return, timing
+/// error, warm-up running past the program) is an `Err(reason)`, which the
+/// stitcher converts into a sequential fallback.
+///
+/// # Errors
+/// A human-readable reason whenever the shard cannot replay its range
+/// exactly as planned.
+pub fn simulate_shard(
+    p: &LoweredProgram,
+    config: &TimingConfig,
+    plan: &ShardPlan,
+    k: usize,
+) -> Result<ShardRun, String> {
+    let spec = plan
+        .shards
+        .get(k)
+        .ok_or_else(|| format!("shard {k}: out of range"))?;
+    let budget = spec.warmup + spec.len;
+    let narrow = cycle_bound(p, config, budget).is_some_and(|b| b <= NARROW_LIMIT);
+    match (narrow, config.operand_latency == 0) {
+        (true, true) => run_shard::<u32, true>(p, config, plan, k),
+        (true, false) => run_shard::<u32, false>(p, config, plan, k),
+        (false, true) => run_shard::<u64, true>(p, config, plan, k),
+        (false, false) => run_shard::<u64, false>(p, config, plan, k),
+    }
+}
+
+fn run_shard<C: Cycle, const ZERO_OPLAT: bool>(
+    p: &LoweredProgram,
+    config: &TimingConfig,
+    plan: &ShardPlan,
+    k: usize,
+) -> Result<ShardRun, String> {
+    let spec = &plan.shards[k];
+    let last = k + 1 == plan.shards.len();
+    let ck = &spec.checkpoint;
+    let mut eng: Engine<'_, C, ZERO_OPLAT> = Engine::new(
+        p,
+        config,
+        EngineStart {
+            cur: ck.cur,
+            regs: RegInit::Full(&ck.regs),
+            mem_init: &ck.mem,
+            predictor: ck.predictor.clone(),
+            max_blocks: spec.warmup + spec.len,
+        },
+    )
+    .map_err(|e| format!("shard {k}: init: {e}"))?;
+
+    for i in 0..spec.warmup {
+        match eng.step(None) {
+            Ok(EngineStep::Continue) => {}
+            Ok(EngineStep::Done(_)) => {
+                return Err(format!("shard {k}: returned in warm-up block {i}"))
+            }
+            Err(e) => return Err(format!("shard {k}: warm-up block {i}: {e}")),
+        }
+    }
+
+    let entry_digest = (k > 0).then(|| eng.state_digest());
+    let base = eng.counters();
+    eng.reset_outcome_hash();
+    // Where the *next* shard's checkpoint sits inside this range: compare
+    // full architectural state against the plan's ground truth there.
+    let probe_at = (!last).then(|| spec.len - plan.shards[k + 1].warmup);
+    let mut arch_ok = true;
+    let mut ret: Option<Option<i64>> = None;
+
+    for i in 0..spec.len {
+        if probe_at == Some(i) {
+            arch_ok = eng.arch_matches(&plan.shards[k + 1].checkpoint);
+        }
+        match eng.step(None) {
+            Ok(EngineStep::Continue) => {}
+            Ok(EngineStep::Done(r)) => {
+                if last && i + 1 == spec.len {
+                    ret = Some(r);
+                } else {
+                    return Err(format!(
+                        "shard {k}: early return at block {} of [{}, {})",
+                        spec.start + i,
+                        spec.start,
+                        spec.start + spec.len
+                    ));
+                }
+            }
+            Err(e) => return Err(format!("shard {k}: block {}: {e}", spec.start + i)),
+        }
+    }
+    if last && ret.is_none() {
+        return Err(format!("shard {k}: program did not return at range end"));
+    }
+
+    let end = eng.counters();
+    let exit_digest = (!last).then(|| eng.state_digest());
+    let outcome_hash = eng.outcome_hash;
+    let memory = if last {
+        // `into_result` builds the final memory map and recycles the
+        // engine's scratch buffers.
+        Some(eng.into_result(ret.flatten()).memory)
+    } else {
+        eng.recycle();
+        None
+    };
+
+    Ok(ShardRun {
+        cycles_delta: end.last_commit - base.last_commit,
+        predictions: end.predictions - base.predictions,
+        mispredictions: end.mispredictions - base.mispredictions,
+        insts_executed: end.insts_executed - base.insts_executed,
+        insts_nullified: end.insts_nullified - base.insts_nullified,
+        insts_fetched: end.insts_fetched - base.insts_fetched,
+        outcome_hash,
+        entry_digest,
+        exit_digest,
+        arch_ok,
+        ret,
+        memory,
+        narrow: std::mem::size_of::<C>() == 4,
+    })
+}
+
+/// Validate the shard chain against the plan and sum the deltas; any
+/// discrepancy is an `Err(reason)`.
+fn try_stitch(
+    plan: &ShardPlan,
+    runs: Vec<Result<ShardRun, String>>,
+) -> Result<TimingResult, String> {
+    if runs.len() != plan.shards.len() {
+        return Err(format!(
+            "ran {} shards, plan has {}",
+            runs.len(),
+            plan.shards.len()
+        ));
+    }
+    let runs: Vec<ShardRun> = runs.into_iter().collect::<Result<_, _>>()?;
+
+    let mut total = TimingResult {
+        cycles: 0,
+        blocks_executed: plan.total_blocks,
+        predictions: 0,
+        mispredictions: 0,
+        insts_executed: 0,
+        insts_nullified: 0,
+        insts_fetched: 0,
+        ret: plan.ret,
+        memory: FxHashMap::default(),
+    };
+    for (k, r) in runs.iter().enumerate() {
+        let spec = &plan.shards[k];
+        if !r.arch_ok {
+            return Err(format!(
+                "shard {k}: architectural state diverged from checkpoint {}",
+                k + 1
+            ));
+        }
+        if r.predictions != spec.len {
+            return Err(format!(
+                "shard {k}: {} predictions over a {}-block range",
+                r.predictions, spec.len
+            ));
+        }
+        if r.outcome_hash != spec.expect.outcome_hash {
+            return Err(format!("shard {k}: prediction-outcome stream diverged"));
+        }
+        if r.mispredictions != spec.expect.mispredictions
+            || r.insts_executed != spec.expect.insts_executed
+            || r.insts_nullified != spec.expect.insts_nullified
+            || r.insts_fetched != spec.expect.insts_fetched
+        {
+            return Err(format!("shard {k}: range counters diverged from plan"));
+        }
+        if k > 0 && runs[k - 1].exit_digest != r.entry_digest {
+            return Err(format!(
+                "boundary digest mismatch between shards {} and {k}",
+                k - 1
+            ));
+        }
+        total.cycles += r.cycles_delta;
+        total.predictions += r.predictions;
+        total.mispredictions += r.mispredictions;
+        total.insts_executed += r.insts_executed;
+        total.insts_nullified += r.insts_nullified;
+        total.insts_fetched += r.insts_fetched;
+    }
+
+    let last = runs.len() - 1;
+    if runs[last].ret != Some(plan.ret) {
+        return Err(format!("shard {last}: return value diverged from plan"));
+    }
+    let memory = runs
+        .into_iter()
+        .next_back()
+        .and_then(|r| r.memory)
+        .ok_or_else(|| format!("shard {last}: missing final memory image"))?;
+    let mut image: Vec<(i64, i64)> = memory.iter().map(|(&a, &v)| (a, v)).collect();
+    image.sort_unstable();
+    if image != plan.final_mem {
+        return Err(format!("shard {last}: final memory diverged from plan"));
+    }
+    total.memory = memory;
+    Ok(total)
+}
+
+/// Stitch per-shard runs into the whole-program [`TimingResult`].
+///
+/// On any validation failure the run degrades to a full sequential
+/// re-simulation and returns *its* result (with the failure reason in
+/// [`StitchedTiming::fallback`]) — wrong cycles are never emitted.
+///
+/// # Errors
+/// Only the sequential fallback's [`SimError`] (a validated stitch cannot
+/// fail; a fallback re-simulation fails exactly when the sequential run
+/// does).
+pub fn stitch(
+    p: &LoweredProgram,
+    args: &[i64],
+    mem_init: &[(i64, i64)],
+    config: &TimingConfig,
+    plan: &ShardPlan,
+    runs: Vec<Result<ShardRun, String>>,
+) -> Result<StitchedTiming, SimError> {
+    let narrow_shards = runs
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .filter(|r| r.narrow)
+        .count();
+    match try_stitch(plan, runs) {
+        Ok(result) => Ok(StitchedTiming {
+            result,
+            shards: plan.n_shards(),
+            checkpoint_bytes: plan.checkpoint_bytes(),
+            narrow_shards,
+            fallback: None,
+        }),
+        Err(reason) => {
+            let result = simulate_timing_lowered(p, args, mem_init, config)?;
+            Ok(StitchedTiming {
+                result,
+                shards: plan.n_shards(),
+                checkpoint_bytes: plan.checkpoint_bytes(),
+                narrow_shards,
+                fallback: Some(reason),
+            })
+        }
+    }
+}
+
+/// Plan, simulate every shard on the calling thread, and stitch — the
+/// pool-free sharded entry point (the parallel driver lives in
+/// `chf-bench`, which owns the worker pool; the chaos harness uses this
+/// one).
+///
+/// # Errors
+/// As [`simulate_timing_lowered`]: planning mirrors the timing model's
+/// error discipline, and validation failures fall back to the sequential
+/// engine rather than erroring.
+pub fn simulate_timing_sharded_seq(
+    p: &LoweredProgram,
+    args: &[i64],
+    mem_init: &[(i64, i64)],
+    config: &TimingConfig,
+    shard: &ShardConfig,
+) -> Result<StitchedTiming, SimError> {
+    let plan = match plan_shards(p, args, mem_init, config, shard) {
+        Ok(plan) => plan,
+        Err(e) => {
+            // Planning rejects exactly what the sequential engine rejects,
+            // so this normally re-raises the same error; if the sequential
+            // run somehow succeeds, its result is correct by definition.
+            let result = simulate_timing_lowered(p, args, mem_init, config)?;
+            return Ok(StitchedTiming {
+                result,
+                shards: 1,
+                checkpoint_bytes: 0,
+                narrow_shards: 0,
+                fallback: Some(format!("plan: {e}")),
+            });
+        }
+    };
+    let runs = (0..plan.n_shards())
+        .map(|k| simulate_shard(p, config, &plan, k))
+        .collect();
+    stitch(p, args, mem_init, config, &plan, runs)
+}
+
+/// Which piece of a recorded checkpoint to corrupt (fault injection; see
+/// the chaos harness in `chf-core`).
+#[derive(Copy, Clone, Debug)]
+pub enum CheckpointFault {
+    /// XOR a register slot (index taken modulo the file size).
+    RegisterSlot {
+        /// Register selector (reduced modulo the register-file size).
+        reg: u64,
+        /// Bit mask XORed into the slot's value (`0` is a no-op).
+        xor: i64,
+    },
+    /// XOR a cell of the memory image (index taken modulo its length).
+    MemoryCell {
+        /// Cell selector (reduced modulo the image length).
+        idx: u64,
+        /// Bit mask XORed into the cell's value (`0` is a no-op).
+        xor: i64,
+    },
+    /// Retarget a trained predictor entry (chosen by `seed`) to a bogus
+    /// block at saturated confidence.
+    PredictorEntry {
+        /// Selects which trained entry to clobber.
+        seed: u64,
+    },
+}
+
+/// Apply `fault` to shard `shard`'s checkpoint. Returns `false` when
+/// there is nothing to corrupt (no such shard, a zero XOR mask, an empty
+/// memory image, an untrained predictor) — the caller should treat that
+/// injection as a no-op rather than a survived fault.
+pub fn corrupt_checkpoint(plan: &mut ShardPlan, shard: usize, fault: &CheckpointFault) -> bool {
+    let Some(spec) = plan.shards.get_mut(shard) else {
+        return false;
+    };
+    let ck = &mut spec.checkpoint;
+    match *fault {
+        CheckpointFault::RegisterSlot { reg, xor } => {
+            if ck.regs.is_empty() || xor == 0 {
+                return false;
+            }
+            let i = (reg % ck.regs.len() as u64) as usize;
+            ck.regs[i] ^= xor;
+            true
+        }
+        CheckpointFault::MemoryCell { idx, xor } => {
+            if ck.mem.is_empty() || xor == 0 {
+                return false;
+            }
+            let i = (idx % ck.mem.len() as u64) as usize;
+            ck.mem[i].1 ^= xor;
+            true
+        }
+        CheckpointFault::PredictorEntry { seed } => {
+            if !ck.predictor.corrupt_entry(seed) {
+                return false;
+            }
+            // Keep the checkpoint internally consistent (hash matches the
+            // corrupted table) so detection must come from the replay
+            // diverging, not from a stale cache.
+            ck.pred_hash = ck.predictor.state_hash();
+            true
+        }
+    }
+}

@@ -195,9 +195,98 @@ impl TimingResult {
 /// single (bounds-checked) array access and pulls value + timestamp in the
 /// same cache line.
 #[derive(Copy, Clone)]
-struct RegSlot {
-    val: i64,
-    t: u64,
+pub(crate) struct RegSlot<C: Cycle> {
+    pub(crate) val: i64,
+    pub(crate) t: C,
+}
+
+thread_local! {
+    /// Recycled register-file backing for the (dominant) `u64` engine: the
+    /// benchmark harness simulates thousands of short programs per thread,
+    /// and the register file is the one per-call allocation left on that
+    /// path. Reused like [`MEM_SCRATCH`]/[`LSQ_SCRATCH`]; slots are
+    /// re-zeroed on take, so recycling is never observable.
+    static RF_SCRATCH: std::cell::RefCell<Option<Vec<RegSlot<u64>>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Width of the engine's cycle timestamps.
+///
+/// The sequential entry points instantiate the engine at `u64` (cycle
+/// counts on whole-program runs exceed 2^32). Bounded shard runs whose
+/// conservative cycle bound fits comfortably instantiate at `u32`, halving
+/// the timestamp footprint of the in-flight state. All arithmetic the
+/// engine performs is `max` and `+ small-constant`, so the two widths
+/// compute identical values whenever the `u32` run stays below the wrap
+/// point — and the shard planner only selects `u32` under a conservative
+/// bound ([`crate::shard`]). Even a bound violation is safe: a wrapped
+/// timestamp desynchronizes the boundary state digest and the stitcher
+/// falls back to the sequential engine.
+pub(crate) trait Cycle: Copy + Ord + std::fmt::Debug + 'static {
+    /// Cycle zero.
+    const ZERO: Self;
+    /// Narrow from `u64` (the planner guarantees the value fits).
+    fn of(x: u64) -> Self;
+    /// Widen to `u64`.
+    fn get(self) -> u64;
+    /// `self + d`.
+    #[inline]
+    fn plus(self, d: u64) -> Self {
+        Self::of(self.get().wrapping_add(d))
+    }
+    /// `self + 1`.
+    #[inline]
+    fn inc(self) -> Self {
+        self.plus(1)
+    }
+    /// A zeroed register file of `n` slots, possibly recycled.
+    fn take_rf(n: usize) -> Vec<RegSlot<Self>> {
+        vec![
+            RegSlot {
+                val: 0,
+                t: Self::ZERO
+            };
+            n
+        ]
+    }
+    /// Return a register file to the scratch pool (no-op by default).
+    fn recycle_rf(_rf: Vec<RegSlot<Self>>) {}
+}
+
+impl Cycle for u64 {
+    const ZERO: Self = 0;
+    #[inline]
+    fn of(x: u64) -> Self {
+        x
+    }
+    #[inline]
+    fn get(self) -> u64 {
+        self
+    }
+    fn take_rf(n: usize) -> Vec<RegSlot<u64>> {
+        let mut rf = RF_SCRATCH
+            .with(|s| s.borrow_mut().take())
+            .unwrap_or_default();
+        rf.clear();
+        rf.resize(n, RegSlot { val: 0, t: 0 });
+        rf
+    }
+    fn recycle_rf(rf: Vec<RegSlot<u64>>) {
+        RF_SCRATCH.with(|s| *s.borrow_mut() = Some(rf));
+    }
+}
+
+impl Cycle for u32 {
+    const ZERO: Self = 0;
+    #[inline]
+    fn of(x: u64) -> Self {
+        debug_assert!(x <= u64::from(u32::MAX), "u32 cycle bound violated");
+        x as u32
+    }
+    #[inline]
+    fn get(self) -> u64 {
+        u64::from(self)
+    }
 }
 
 /// Calendar bucket queue of issue-slot occupancy: one counter per cycle in
@@ -283,6 +372,25 @@ impl IssueRing {
             }
             t += 1;
         }
+    }
+
+    /// The claims that can still influence a future issue probe: buckets
+    /// stamped at a cycle `≥ max(base, threshold)`, as `(cycle, count)`
+    /// sorted by cycle. Claims below the threshold are dead — every future
+    /// probe starts at `ready ≥ threshold` — and are dropped so that
+    /// independently-reached ring states compare equal.
+    fn live_claims(&self, threshold: u64) -> Vec<(u64, u32)> {
+        let floor = threshold.max(self.base);
+        let mut out: Vec<(u64, u32)> = self
+            .slots
+            .iter()
+            .filter_map(|&s| {
+                let (c, n) = (s >> 8, (s & 0xff) as u32);
+                (n > 0 && c >= floor).then_some((c, n))
+            })
+            .collect();
+        out.sort_unstable();
+        out
     }
 }
 
@@ -436,7 +544,7 @@ fn boxed_zeroed<T: Copy + Default, const N: usize>() -> Box<[T; N]> {
 /// written zeros. Dense cells are only valid under their touched bit, so
 /// the buffers can be recycled across runs (see [`MEM_SCRATCH`]) without
 /// zeroing the window.
-struct SimMemory {
+pub(crate) struct SimMemory {
     dense: Box<[i64; DENSE_WORDS]>,
     /// Bitmap of dense cells written (or initialized) *this run*: the
     /// final memory image distinguishes "wrote 0" from "never wrote", and
@@ -446,7 +554,7 @@ struct SimMemory {
 }
 
 impl SimMemory {
-    fn new(init: &[(i64, i64)]) -> Self {
+    pub(crate) fn new(init: &[(i64, i64)]) -> Self {
         let (dense, mut touched) = MEM_SCRATCH
             .with(|s| s.borrow_mut().take())
             .unwrap_or_else(|| (boxed_zeroed(), boxed_zeroed()));
@@ -465,7 +573,7 @@ impl SimMemory {
     /// Read `addr` (zero when unwritten). The `as u64` compare folds the
     /// negative-address case into the spill path.
     #[inline]
-    fn load(&self, addr: i64) -> i64 {
+    pub(crate) fn load(&self, addr: i64) -> i64 {
         if (addr as u64) < DENSE_WORDS as u64 {
             let a = addr as usize;
             if self.touched[a >> 6] & (1u64 << (a & 63)) != 0 {
@@ -479,7 +587,7 @@ impl SimMemory {
     }
 
     #[inline]
-    fn store(&mut self, addr: i64, v: i64) {
+    pub(crate) fn store(&mut self, addr: i64, v: i64) {
         if (addr as u64) < DENSE_WORDS as u64 {
             let a = addr as usize;
             self.dense[a] = v;
@@ -489,10 +597,31 @@ impl SimMemory {
         }
     }
 
+    /// The full memory image as a sorted list — every written cell,
+    /// including written zeros. This is the canonical form checkpoints
+    /// store and boundary probes compare: two `SimMemory`s that performed
+    /// the same writes produce identical images regardless of how they
+    /// were seeded.
+    pub(crate) fn image(&self) -> Vec<(i64, i64)> {
+        let dense_cells: usize = self.touched.iter().map(|w| w.count_ones() as usize).sum();
+        let mut out = Vec::with_capacity(dense_cells + self.spill.len());
+        for (w, &word) in self.touched.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let a = (w << 6) | bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                out.push((a as i64, self.dense[a]));
+            }
+        }
+        out.extend(self.spill.iter().map(|(&a, &v)| (a, v)));
+        out.sort_unstable();
+        out
+    }
+
     /// The final memory image, exactly as a map-backed simulation would
     /// have produced it. Sized up front (popcount of the touched bitmap)
     /// so the build never rehashes.
-    fn to_map(&self) -> FxHashMap<i64, i64> {
+    pub(crate) fn to_map(&self) -> FxHashMap<i64, i64> {
         let dense_cells: usize = self.touched.iter().map(|w| w.count_ones() as usize).sum();
         let mut out =
             FxHashMap::with_capacity_and_hasher(dense_cells + self.spill.len(), Default::default());
@@ -512,7 +641,7 @@ impl SimMemory {
     /// on the successful simulation path; error paths simply drop (and the
     /// next run allocates fresh zeroed buffers — rare, and a fresh zeroed
     /// buffer is always valid).
-    fn recycle(self) {
+    pub(crate) fn recycle(self) {
         let SimMemory { dense, touched, .. } = self;
         MEM_SCRATCH.with(|s| *s.borrow_mut() = Some((dense, touched)));
     }
@@ -628,6 +757,567 @@ impl Lsq {
 /// into a single word.
 const LIVE_OUT_BIT: u32 = 1 << 31;
 
+/// Seed of the per-range prediction-outcome accumulator (FNV-1a offset).
+pub(crate) const OUTCOME_HASH_INIT: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One prediction outcome folded into the accumulator (FNV-style). The
+/// plan pass and the timing engine must fold identically — the sharded
+/// stitcher compares the two streams to detect any divergence in the
+/// control-flow/predictor interaction over a shard range.
+#[inline]
+pub(crate) fn outcome_hash_step(h: u64, correct: bool) -> u64 {
+    h.wrapping_mul(0x0000_0100_0000_01b3) ^ (0x9e + u64::from(correct))
+}
+
+/// How an [`Engine`]'s register file is initialized.
+pub(crate) enum RegInit<'a> {
+    /// Program entry: argument values land in the parameter registers.
+    Args(&'a [i64]),
+    /// Mid-program resume: a full architectural register file recorded by
+    /// the checkpoint plan pass ([`crate::checkpoint`]).
+    Full(&'a [i64]),
+}
+
+/// Initial state for an [`Engine`] — either program entry or a recorded
+/// checkpoint.
+pub(crate) struct EngineStart<'a> {
+    /// Dense index of the first block to execute.
+    pub(crate) cur: u32,
+    pub(crate) regs: RegInit<'a>,
+    /// Initial memory image, applied in order.
+    pub(crate) mem_init: &'a [(i64, i64)],
+    /// Predictor state at the start point (fresh at program entry; cloned
+    /// from the plan pass for a shard).
+    pub(crate) predictor: ExitPredictor,
+    /// Block budget for this engine instance.
+    pub(crate) max_blocks: u64,
+}
+
+/// Outcome of one [`Engine::step`].
+pub(crate) enum EngineStep {
+    /// The block committed and control transferred to `engine.cur`.
+    Continue,
+    /// The block committed by returning from the program.
+    Done(Option<i64>),
+}
+
+/// Counter snapshot used to form per-shard deltas.
+#[derive(Copy, Clone, Debug, Default)]
+pub(crate) struct EngineCounters {
+    pub(crate) last_commit: u64,
+    pub(crate) predictions: u64,
+    pub(crate) mispredictions: u64,
+    pub(crate) insts_executed: u64,
+    pub(crate) insts_nullified: u64,
+    pub(crate) insts_fetched: u64,
+}
+
+/// Normalized timing state at a block-commit boundary, expressed relative
+/// to the commit cycle of the block just committed.
+///
+/// The engine's cycle arithmetic is built from `max` and `+ constant`
+/// only, so its evolution is invariant under a uniform time shift — two
+/// engine states that agree on this *relative* digest produce identical
+/// cycle *deltas* forever after. That is the exactness argument of the
+/// sharded simulator ([`crate::shard`]): if a warmed-up shard's entry
+/// digest equals the previous shard's exit digest, their stitched deltas
+/// reproduce the sequential run's cycle count exactly.
+///
+/// Dead state is normalized away so that independently-reached states
+/// compare equal:
+///
+/// * register timestamps are clamped to `fetch_ready − operand_latency` —
+///   every future use of a register timestamp is `max`ed against a value
+///   `≥ fetch_ready − operand_latency` (all future dispatches are
+///   `≥ fetch_ready`), so anything older is indistinguishable from the
+///   clamp floor;
+/// * issue-ring claims strictly below `fetch_ready + 1` are dropped —
+///   future issue probes start at `ready ≥ dispatch + 1 ≥ fetch_ready + 1`;
+/// * the LSQ and the per-block `written` set reset every block and carry
+///   nothing across a boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct TimingDigest {
+    /// `fetch_ready − last_commit`.
+    rel_fetch_ready: i64,
+    /// In-flight commit events, relative to `last_commit`.
+    inflight: Vec<i64>,
+    /// `(value, clamped availability − last_commit)` per register.
+    rf: Vec<(i64, i64)>,
+    /// Live issue-ring claims `(cycle − last_commit, count)`, sorted.
+    ring: Vec<(i64, u32)>,
+    /// Exit-predictor state hash (tables + global history).
+    predictor: u64,
+}
+
+/// The event-driven timing core, reified as a steppable engine.
+///
+/// [`simulate_timing_lowered`] drives it from program entry to return; the
+/// sharded simulator ([`crate::shard`]) drives one instance per shard from
+/// a recorded checkpoint and stitches the per-shard deltas. `C` selects
+/// the cycle-timestamp width (see [`Cycle`]); `ZERO_OPLAT` specializes the
+/// wake-up arithmetic for the default free operand network.
+pub(crate) struct Engine<'p, C: Cycle, const ZERO_OPLAT: bool> {
+    p: &'p LoweredProgram,
+    config: &'p TimingConfig,
+    rf: Vec<RegSlot<C>>,
+    mem: SimMemory,
+    predictor: ExitPredictor,
+    ring: IssueRing,
+    /// Pending commit events of in-flight blocks (in order).
+    inflight: VecDeque<C>,
+    last_commit: C,
+    fetch_ready: C,
+    pub(crate) blocks_executed: u64,
+    pub(crate) insts_executed: u64,
+    pub(crate) insts_nullified: u64,
+    pub(crate) insts_fetched: u64,
+    /// Registers written (or null-forwarded) this block, each packed with
+    /// its def-is-live-out bit ([`LIVE_OUT_BIT`]) for the commit rule.
+    written: Vec<u32>,
+    /// Per-address completion time of the current block's executed stores,
+    /// epoch-stamped with the dynamic block number so it never needs
+    /// clearing between blocks (or runs).
+    lsq: Lsq,
+    exact: bool,
+    op_lat: u64,
+    /// Per-block fetch/map latency, precomputed so the block loop never
+    /// divides.
+    map_cycles: Vec<u64>,
+    /// Dense index of the next block to execute.
+    pub(crate) cur: u32,
+    /// Running hash of prediction outcomes since the last
+    /// [`Engine::reset_outcome_hash`] — a cheap fingerprint of the
+    /// control-flow/predictor interaction over a shard range.
+    pub(crate) outcome_hash: u64,
+    max_blocks: u64,
+}
+
+impl<'p, C: Cycle, const ZERO_OPLAT: bool> Engine<'p, C, ZERO_OPLAT> {
+    pub(crate) fn new(
+        p: &'p LoweredProgram,
+        config: &'p TimingConfig,
+        start: EngineStart<'_>,
+    ) -> Result<Self, SimError> {
+        // The legacy model's eager out-of-range sweep, precomputed at
+        // lowering in the same scan order: reject before executing
+        // anything.
+        if let Some(e) = &p.timing_reject {
+            return Err(e.clone());
+        }
+        // One slot per architectural register holding both the current
+        // value and the cycle it becomes available: every operand read
+        // touches (and bounds-checks) a single array instead of parallel
+        // `regs`/`avail` vectors. Padded to at least one slot so the
+        // clamped (branchless) operand reads always have a valid index to
+        // land on, even for register-free functions.
+        let mut rf = C::take_rf(p.nregs.max(1));
+        match start.regs {
+            RegInit::Args(args) => {
+                for (i, a) in args.iter().enumerate().take(p.params as usize) {
+                    rf[i].val = *a;
+                }
+            }
+            RegInit::Full(vals) => {
+                for (s, v) in rf.iter_mut().zip(vals) {
+                    s.val = *v;
+                }
+            }
+        }
+        let map_cycles = p
+            .blocks
+            .iter()
+            .map(|b| {
+                config.block_overhead + (b.size as u64).div_ceil(config.fetch_bandwidth as u64)
+            })
+            .collect();
+        Ok(Engine {
+            p,
+            config,
+            rf,
+            mem: SimMemory::new(start.mem_init),
+            predictor: start.predictor,
+            ring: IssueRing::new(config.issue_width),
+            inflight: VecDeque::with_capacity(config.window_blocks + 1),
+            last_commit: C::ZERO,
+            fetch_ready: C::ZERO,
+            blocks_executed: 0,
+            insts_executed: 0,
+            insts_nullified: 0,
+            insts_fetched: 0,
+            written: Vec::new(),
+            lsq: Lsq::new(),
+            exact: config.memory_ordering == MemoryOrdering::Exact,
+            op_lat: config.operand_latency,
+            map_cycles,
+            cur: start.cur,
+            outcome_hash: OUTCOME_HASH_INIT,
+            max_blocks: start.max_blocks,
+        })
+    }
+
+    /// Execute one dynamic block: dispatch, operand wake-up, exit
+    /// resolution, prediction, and in-order commit.
+    pub(crate) fn step(&mut self, trace: Option<&mut TimingTrace>) -> Result<EngineStep, SimError> {
+        if self.blocks_executed >= self.max_blocks {
+            return Err(SimError::OutOfFuel {
+                executed: self.blocks_executed,
+            });
+        }
+        self.blocks_executed += 1;
+        let tok = self.lsq.token(self.blocks_executed);
+        let (exec_before, null_before) = (self.insts_executed, self.insts_nullified);
+        let op_lat = if ZERO_OPLAT { 0 } else { self.op_lat };
+        let p = self.p;
+
+        let lb = &p.blocks[self.cur as usize];
+        self.insts_fetched += lb.size as u64;
+
+        // --- Dispatch event: fetch-ready, delayed by the window-slot
+        // release (oldest in-flight commit) when the window is full. ---
+        let mut dispatch = self.fetch_ready;
+        if self.inflight.len() >= self.config.window_blocks {
+            if let Some(oldest) = self.inflight.pop_front() {
+                dispatch = dispatch.max(oldest);
+            }
+        }
+        self.ring.advance_to(dispatch.get());
+
+        // Fetch/map of the *next* block is serialized behind this one.
+        self.fetch_ready = dispatch.plus(self.map_cycles[self.cur as usize]);
+
+        // --- Operand wake-up: one pass in program order, enqueueing each
+        // instruction at its last-operand-arrival cycle and claiming its
+        // issue slot from the calendar. ---
+        let rf = &mut self.rf;
+        let ring = &mut self.ring;
+        let written = &mut self.written;
+        written.clear();
+        let mut any_store_done = C::ZERO;
+        let mut outputs_done = dispatch;
+        // `rf` is never resized, so the clamp bound is loop-invariant.
+        let last = rf.len() - 1;
+        for inst in &p.insts[lb.inst_start as usize..lb.inst_end as usize] {
+            // Resolve the predicate functionally and find its ready time.
+            // As with the operand reads below, the slot access is clamped
+            // to a valid index (lowering guarantees in-range registers, so
+            // the clamp is an identity) — the bounds check disappears and
+            // the unpredicated case becomes a select.
+            let sp = rf[(inst.pred_reg as usize).min(last)];
+            let (executes, pred_ready) = if inst.pred_reg == NONE {
+                (true, dispatch)
+            } else {
+                (
+                    (sp.val != 0) == inst.pred_if_true,
+                    sp.t.plus(op_lat).max(dispatch),
+                )
+            };
+
+            if !executes {
+                self.insts_nullified += 1;
+                // Null token: the old value of dst forwards once the
+                // predicate resolves.
+                if inst.dst != NONE {
+                    let s = &mut rf[(inst.dst as usize).min(last)];
+                    if s.t < pred_ready {
+                        s.t = pred_ready;
+                        written.push(inst.dst | (u32::from(inst.def_live_out) << 31));
+                    }
+                }
+                continue;
+            }
+
+            self.insts_executed += 1;
+            // Both operands' values and arrival times in one read each;
+            // immediates arrive at cycle 0 (never the max). The slot read
+            // is unconditional (clamped to a valid index) so the
+            // reg-vs-immediate selects lower to branchless moves instead of
+            // a data-dependent branch per operand.
+            let sa = rf[(inst.a_reg as usize).min(last)];
+            let (a, ta) = if inst.a_reg != NONE {
+                (sa.val, sa.t.plus(op_lat))
+            } else {
+                (inst.a_imm, C::ZERO)
+            };
+            let sb = rf[(inst.b_reg as usize).min(last)];
+            let (b, tb) = if inst.b_reg != NONE {
+                (sb.val, sb.t.plus(op_lat))
+            } else {
+                (inst.b_imm, C::ZERO)
+            };
+            let mut ready = pred_ready.max(dispatch.inc()).max(ta).max(tb);
+
+            match inst.kind {
+                LKind::Alu => {
+                    let issue = C::of(ring.issue_at(ready.get()));
+                    let done = issue.plus(u64::from(inst.latency));
+                    rf[(inst.dst as usize).min(last)] = RegSlot {
+                        val: eval(inst.op, a, b),
+                        t: done,
+                    };
+                    written.push(inst.dst | (u32::from(inst.def_live_out) << 31));
+                }
+                LKind::Load => {
+                    // LSQ wait event, per the configured discipline (`a` is
+                    // the effective address).
+                    match self.config.memory_ordering {
+                        MemoryOrdering::Oracle => {}
+                        MemoryOrdering::Exact => {
+                            if inst.stores_before > 0 {
+                                if let Some(t) = self.lsq.wait_for(a, tok) {
+                                    ready = ready.max(C::of(t));
+                                }
+                            }
+                        }
+                        MemoryOrdering::Conservative => {
+                            ready = ready.max(any_store_done);
+                        }
+                    }
+                    let issue = C::of(ring.issue_at(ready.get()));
+                    let done = issue.plus(u64::from(inst.latency));
+                    rf[(inst.dst as usize).min(last)] = RegSlot {
+                        val: self.mem.load(a),
+                        t: done,
+                    };
+                    written.push(inst.dst | (u32::from(inst.def_live_out) << 31));
+                }
+                LKind::Store => {
+                    let issue = C::of(ring.issue_at(ready.get()));
+                    let done = issue.plus(u64::from(inst.latency));
+                    outputs_done = outputs_done.max(done);
+                    self.mem.store(a, b);
+                    if self.exact {
+                        self.lsq.record(a, tok, done.get());
+                    }
+                    any_store_done = any_store_done.max(done);
+                }
+                LKind::Slow(_) => {
+                    // An executed irregular instruction is missing a
+                    // required operand (out-of-range registers were
+                    // rejected eagerly above): the legacy model errors
+                    // inside its execution step, discarding all state, so
+                    // the error value is the only observable — the operand
+                    // reads and counter bumps above are pure and die with
+                    // the run.
+                    return Err(SimError::MalformedInstruction { block: lb.id });
+                }
+            }
+        }
+
+        // --- Resolve exits: find the fired exit and its resolve time. ---
+        let exits = &p.exits[lb.exit_start as usize..lb.exit_end as usize];
+        let mut resolve = dispatch.inc();
+        let fe = if lb.single_uncond_exit {
+            // Batched fast path: a lone unpredicated exit fires
+            // unconditionally and resolves at `dispatch + 1` — no predicate
+            // scan, no per-exit branch. Lowering only sets the flag when
+            // the scan below would reach the same exit with `resolve`
+            // untouched.
+            exits[0]
+        } else {
+            let mut fired = None;
+            for e in exits {
+                if let Some(r) = e.pred_oor {
+                    // Unreachable when `timing_reject` is honored (the
+                    // sweep found it first), but degrade identically
+                    // regardless.
+                    return Err(SimError::RegisterOutOfRange {
+                        block: lb.id,
+                        reg: r,
+                    });
+                }
+                if e.pred_reg == NONE {
+                    fired = Some(e);
+                    break;
+                }
+                let s = rf[e.pred_reg as usize];
+                resolve = resolve.max(s.t.plus(op_lat));
+                if (s.val != 0) == e.pred_if_true {
+                    fired = Some(e);
+                    break;
+                }
+            }
+            // Verified IR always ends in an unpredicated default exit;
+            // injected faults can leave the exit set non-total.
+            *fired.ok_or(SimError::NoFiringExit { block: lb.id })?
+        };
+        // A returned value is a block output.
+        match fe.kind {
+            LExitKind::RetReg(r) => outputs_done = outputs_done.max(rf[r as usize].t),
+            LExitKind::RetRegOor(r) => {
+                // As with `pred_oor`: the eager sweep fires first.
+                return Err(SimError::RegisterOutOfRange {
+                    block: lb.id,
+                    reg: r,
+                });
+            }
+            _ => {}
+        }
+
+        // --- Prediction: next-block target (static fallback: the first
+        // exit's target, the compiler's most-likely-first ordering). ---
+        let fallback = lb.fallback.unwrap_or(fe.orig);
+        let correct = self
+            .predictor
+            .update_tagged(lb.id, fallback, fe.orig, fe.hist_tag);
+        self.outcome_hash = outcome_hash_step(self.outcome_hash, correct);
+        if !correct {
+            // Flush event: the next block cannot even begin fetching until
+            // the exit resolves, plus the flush penalty.
+            self.fetch_ready = self
+                .fetch_ready
+                .max(resolve.plus(self.config.mispredict_penalty));
+        }
+
+        // --- Commit event (in order): branch decision, stores, and
+        // live-out register writes must all have resolved. ---
+        for &w in written.iter() {
+            if w & LIVE_OUT_BIT != 0 {
+                outputs_done = outputs_done.max(rf[((w & !LIVE_OUT_BIT) as usize).min(last)].t);
+            }
+        }
+        let block_done = outputs_done.max(resolve);
+        let commit = block_done.max(self.last_commit.plus(self.config.commit_overhead));
+        self.last_commit = commit;
+        self.inflight.push_back(commit);
+
+        // Cross-block register communication pays register-file latency
+        // (once per write event, as in the legacy model).
+        let register_latency = self.config.register_latency;
+        for w in written.drain(..) {
+            let s = &mut rf[((w & !LIVE_OUT_BIT) as usize).min(last)];
+            s.t = s.t.plus(register_latency);
+        }
+
+        if let Some(t) = trace {
+            t.events.push(BlockEvent {
+                block: lb.id,
+                dispatch: dispatch.get(),
+                resolve: resolve.get(),
+                commit: commit.get(),
+                predicted: correct,
+                executed: (self.insts_executed - exec_before) as u32,
+                nullified: (self.insts_nullified - null_before) as u32,
+            });
+        }
+
+        match fe.kind {
+            LExitKind::Goto(next) => {
+                self.cur = next;
+                Ok(EngineStep::Continue)
+            }
+            LExitKind::Dangling(target) => {
+                // The legacy model only discovers a dangling target at the
+                // top of the next iteration, after the fuel check.
+                if self.blocks_executed >= self.max_blocks {
+                    return Err(SimError::OutOfFuel {
+                        executed: self.blocks_executed,
+                    });
+                }
+                Err(SimError::DanglingTarget { target })
+            }
+            LExitKind::RetNone => Ok(EngineStep::Done(None)),
+            LExitKind::RetImm(v) => Ok(EngineStep::Done(Some(v))),
+            LExitKind::RetReg(r) => Ok(EngineStep::Done(Some(rf[r as usize].val))),
+            LExitKind::RetRegOor(_) => unreachable!("handled at resolve"),
+        }
+    }
+
+    /// Finish a run: build the [`TimingResult`] and return the scratch
+    /// buffers to their pools.
+    pub(crate) fn into_result(self, ret: Option<i64>) -> TimingResult {
+        let Engine {
+            rf,
+            mem,
+            lsq,
+            predictor,
+            last_commit,
+            blocks_executed,
+            insts_executed,
+            insts_nullified,
+            insts_fetched,
+            ..
+        } = self;
+        let memory = mem.to_map();
+        mem.recycle();
+        lsq.recycle();
+        C::recycle_rf(rf);
+        TimingResult {
+            cycles: last_commit.get(),
+            blocks_executed,
+            predictions: predictor.predictions(),
+            mispredictions: predictor.mispredictions(),
+            insts_executed,
+            insts_nullified,
+            insts_fetched,
+            ret,
+            memory,
+        }
+    }
+
+    /// Counter snapshot (for forming per-shard deltas).
+    pub(crate) fn counters(&self) -> EngineCounters {
+        EngineCounters {
+            last_commit: self.last_commit.get(),
+            predictions: self.predictor.predictions(),
+            mispredictions: self.predictor.mispredictions(),
+            insts_executed: self.insts_executed,
+            insts_nullified: self.insts_nullified,
+            insts_fetched: self.insts_fetched,
+        }
+    }
+
+    /// Restart the prediction-outcome accumulator (at a shard-range entry).
+    pub(crate) fn reset_outcome_hash(&mut self) {
+        self.outcome_hash = OUTCOME_HASH_INIT;
+    }
+
+    /// The normalized boundary digest; see [`TimingDigest`]. Call only
+    /// between blocks (after a [`EngineStep::Continue`]).
+    pub(crate) fn state_digest(&self) -> TimingDigest {
+        let l = self.last_commit.get() as i64;
+        let f = self.fetch_ready.get();
+        let op_lat = if ZERO_OPLAT { 0 } else { self.op_lat };
+        let floor = C::of(f.saturating_sub(op_lat));
+        TimingDigest {
+            rel_fetch_ready: f as i64 - l,
+            inflight: self.inflight.iter().map(|c| c.get() as i64 - l).collect(),
+            rf: self
+                .rf
+                .iter()
+                .map(|s| (s.val, s.t.max(floor).get() as i64 - l))
+                .collect(),
+            ring: self
+                .ring
+                .live_claims(f + 1)
+                .into_iter()
+                .map(|(c, n)| (c as i64 - l, n))
+                .collect(),
+            predictor: self.predictor.state_hash(),
+        }
+    }
+
+    /// Does the engine's *architectural* state (next block, register
+    /// values, memory image, predictor state) match checkpoint `ck`? Used
+    /// mid-shard to cross-validate against the plan pass's ground truth.
+    pub(crate) fn arch_matches(&self, ck: &crate::checkpoint::Checkpoint) -> bool {
+        self.cur == ck.cur
+            && self.rf.len() == ck.regs.len()
+            && self.rf.iter().zip(&ck.regs).all(|(s, v)| s.val == *v)
+            && self.predictor.state_hash() == ck.pred_hash
+            && self.mem.image() == ck.mem
+    }
+
+    /// Return the engine's scratch buffers to the thread-local pools
+    /// without building a result (non-final shards discard their state
+    /// after digesting it).
+    pub(crate) fn recycle(self) {
+        let Engine { rf, mem, lsq, .. } = self;
+        mem.recycle();
+        lsq.recycle();
+        C::recycle_rf(rf);
+    }
+}
+
 fn simulate_lowered_impl(
     p: &LoweredProgram,
     args: &[i64],
@@ -653,313 +1343,24 @@ fn simulate_lowered_generic<const ZERO_OPLAT: bool>(
     config: &TimingConfig,
     mut trace: Option<&mut TimingTrace>,
 ) -> Result<TimingResult, SimError> {
-    // The legacy model's eager out-of-range sweep, precomputed at lowering
-    // in the same scan order: reject before executing anything.
-    if let Some(e) = &p.timing_reject {
-        return Err(e.clone());
-    }
-    let nregs = p.nregs;
-    // One slot per architectural register holding both the current value
-    // and the cycle it becomes available: every operand read touches (and
-    // bounds-checks) a single array instead of parallel `regs`/`avail`
-    // vectors. Padded to at least one slot so the clamped (branchless)
-    // operand reads below always have a valid index to land on, even for
-    // register-free functions.
-    let mut rf: Vec<RegSlot> = vec![RegSlot { val: 0, t: 0 }; nregs.max(1)];
-    for (i, a) in args.iter().enumerate().take(p.params as usize) {
-        rf[i].val = *a;
-    }
-    let mut mem = SimMemory::new(mem_init);
-    let mut predictor = ExitPredictor::new(&config.predictor);
-    let mut ring = IssueRing::new(config.issue_width);
-
-    // Pending commit events of in-flight blocks (in order).
-    let mut inflight: VecDeque<u64> = VecDeque::with_capacity(config.window_blocks + 1);
-    let mut last_commit: u64 = 0;
-    let mut fetch_ready: u64 = 0;
-
-    let mut blocks_executed = 0u64;
-    let mut insts_executed = 0u64;
-    let mut insts_nullified = 0u64;
-    let mut insts_fetched = 0u64;
-
-    // Registers written (or null-forwarded) this block, each packed with
-    // its def-is-live-out bit ([`LIVE_OUT_BIT`]) for the commit rule.
-    let mut written: Vec<u32> = Vec::new();
-    // Per-address completion time of this block's executed stores,
-    // epoch-stamped with the dynamic block number so it never needs
-    // clearing between blocks (or runs).
-    let mut lsq = Lsq::new();
-    let exact = config.memory_ordering == MemoryOrdering::Exact;
-    let op_lat = if ZERO_OPLAT {
-        0
-    } else {
-        config.operand_latency
-    };
-    // Per-block fetch/map latency, precomputed once per run so the block
-    // loop never divides.
-    let map_cycles: Vec<u64> = p
-        .blocks
-        .iter()
-        .map(|b| config.block_overhead + (b.size as u64).div_ceil(config.fetch_bandwidth as u64))
-        .collect();
-
-    let mut cur = p.entry;
-    let ret: Option<i64> = 'outer: loop {
-        if blocks_executed >= config.max_blocks {
-            return Err(SimError::OutOfFuel {
-                executed: blocks_executed,
-            });
-        }
-        blocks_executed += 1;
-        let tok = lsq.token(blocks_executed);
-        let (exec_before, null_before) = (insts_executed, insts_nullified);
-
-        let lb = &p.blocks[cur as usize];
-        insts_fetched += lb.size as u64;
-
-        // --- Dispatch event: fetch-ready, delayed by the window-slot
-        // release (oldest in-flight commit) when the window is full. ---
-        let mut dispatch = fetch_ready;
-        if inflight.len() >= config.window_blocks {
-            if let Some(oldest) = inflight.pop_front() {
-                dispatch = dispatch.max(oldest);
-            }
-        }
-        ring.advance_to(dispatch);
-
-        // Fetch/map of the *next* block is serialized behind this one.
-        fetch_ready = dispatch + map_cycles[cur as usize];
-
-        // --- Operand wake-up: one pass in program order, enqueueing each
-        // instruction at its last-operand-arrival cycle and claiming its
-        // issue slot from the calendar. ---
-        written.clear();
-        let mut any_store_done: u64 = 0;
-        let mut outputs_done = dispatch;
-        // `rf` is never resized, so the clamp bound is loop-invariant.
-        let last = rf.len() - 1;
-        for inst in &p.insts[lb.inst_start as usize..lb.inst_end as usize] {
-            // Resolve the predicate functionally and find its ready time.
-            // As with the operand reads below, the slot access is clamped
-            // to a valid index (lowering guarantees in-range registers, so
-            // the clamp is an identity) — the bounds check disappears and
-            // the unpredicated case becomes a select.
-            let sp = rf[(inst.pred_reg as usize).min(last)];
-            let (executes, pred_ready) = if inst.pred_reg == NONE {
-                (true, dispatch)
-            } else {
-                (
-                    (sp.val != 0) == inst.pred_if_true,
-                    (sp.t + op_lat).max(dispatch),
-                )
-            };
-
-            if !executes {
-                insts_nullified += 1;
-                // Null token: the old value of dst forwards once the
-                // predicate resolves.
-                if inst.dst != NONE {
-                    let s = &mut rf[(inst.dst as usize).min(last)];
-                    if s.t < pred_ready {
-                        s.t = pred_ready;
-                        written.push(inst.dst | (u32::from(inst.def_live_out) << 31));
-                    }
-                }
-                continue;
-            }
-
-            insts_executed += 1;
-            // Both operands' values and arrival times in one read each;
-            // immediates arrive at cycle 0 (never the max). The slot read
-            // is unconditional (clamped to a valid index) so the
-            // reg-vs-immediate selects lower to branchless moves instead of
-            // a data-dependent branch per operand.
-            let sa = rf[(inst.a_reg as usize).min(last)];
-            let (a, ta) = if inst.a_reg != NONE {
-                (sa.val, sa.t + op_lat)
-            } else {
-                (inst.a_imm, 0)
-            };
-            let sb = rf[(inst.b_reg as usize).min(last)];
-            let (b, tb) = if inst.b_reg != NONE {
-                (sb.val, sb.t + op_lat)
-            } else {
-                (inst.b_imm, 0)
-            };
-            let mut ready = pred_ready.max(dispatch + 1).max(ta).max(tb);
-
-            match inst.kind {
-                LKind::Alu => {
-                    let issue = ring.issue_at(ready);
-                    let done = issue + u64::from(inst.latency);
-                    rf[(inst.dst as usize).min(last)] = RegSlot {
-                        val: eval(inst.op, a, b),
-                        t: done,
-                    };
-                    written.push(inst.dst | (u32::from(inst.def_live_out) << 31));
-                }
-                LKind::Load => {
-                    // LSQ wait event, per the configured discipline (`a` is
-                    // the effective address).
-                    match config.memory_ordering {
-                        MemoryOrdering::Oracle => {}
-                        MemoryOrdering::Exact => {
-                            if inst.stores_before > 0 {
-                                if let Some(t) = lsq.wait_for(a, tok) {
-                                    ready = ready.max(t);
-                                }
-                            }
-                        }
-                        MemoryOrdering::Conservative => {
-                            ready = ready.max(any_store_done);
-                        }
-                    }
-                    let issue = ring.issue_at(ready);
-                    let done = issue + u64::from(inst.latency);
-                    rf[(inst.dst as usize).min(last)] = RegSlot {
-                        val: mem.load(a),
-                        t: done,
-                    };
-                    written.push(inst.dst | (u32::from(inst.def_live_out) << 31));
-                }
-                LKind::Store => {
-                    let issue = ring.issue_at(ready);
-                    let done = issue + u64::from(inst.latency);
-                    outputs_done = outputs_done.max(done);
-                    mem.store(a, b);
-                    if exact {
-                        lsq.record(a, tok, done);
-                    }
-                    any_store_done = any_store_done.max(done);
-                }
-                LKind::Slow(_) => {
-                    // An executed irregular instruction is missing a
-                    // required operand (out-of-range registers were
-                    // rejected eagerly above): the legacy model errors
-                    // inside its execution step, discarding all state, so
-                    // the error value is the only observable — the operand
-                    // reads and counter bumps above are pure and die with
-                    // the run.
-                    return Err(SimError::MalformedInstruction { block: lb.id });
-                }
-            }
-        }
-
-        // --- Resolve exits: find the fired exit and its resolve time. ---
-        let mut resolve = dispatch + 1;
-        let mut fired = None;
-        for e in &p.exits[lb.exit_start as usize..lb.exit_end as usize] {
-            if let Some(r) = e.pred_oor {
-                // Unreachable when `timing_reject` is honored (the sweep
-                // found it first), but degrade identically regardless.
-                return Err(SimError::RegisterOutOfRange {
-                    block: lb.id,
-                    reg: r,
-                });
-            }
-            if e.pred_reg == NONE {
-                fired = Some(e);
-                break;
-            }
-            let s = rf[e.pred_reg as usize];
-            resolve = resolve.max(s.t + op_lat);
-            if (s.val != 0) == e.pred_if_true {
-                fired = Some(e);
-                break;
-            }
-        }
-        // Verified IR always ends in an unpredicated default exit; injected
-        // faults can leave the exit set non-total.
-        let fe = *fired.ok_or(SimError::NoFiringExit { block: lb.id })?;
-        // A returned value is a block output.
-        match fe.kind {
-            LExitKind::RetReg(r) => outputs_done = outputs_done.max(rf[r as usize].t),
-            LExitKind::RetRegOor(r) => {
-                // As with `pred_oor`: the eager sweep fires first.
-                return Err(SimError::RegisterOutOfRange {
-                    block: lb.id,
-                    reg: r,
-                });
-            }
-            _ => {}
-        }
-
-        // --- Prediction: next-block target (static fallback: the first
-        // exit's target, the compiler's most-likely-first ordering). ---
-        let fallback = lb.fallback.unwrap_or(fe.orig);
-        let correct = predictor.update_tagged(lb.id, fallback, fe.orig, fe.hist_tag);
-        if !correct {
-            // Flush event: the next block cannot even begin fetching until
-            // the exit resolves, plus the flush penalty.
-            fetch_ready = fetch_ready.max(resolve + config.mispredict_penalty);
-        }
-
-        // --- Commit event (in order): branch decision, stores, and
-        // live-out register writes must all have resolved. ---
-        for &w in &written {
-            if w & LIVE_OUT_BIT != 0 {
-                outputs_done = outputs_done.max(rf[((w & !LIVE_OUT_BIT) as usize).min(last)].t);
-            }
-        }
-        let block_done = outputs_done.max(resolve);
-        let commit = block_done.max(last_commit + config.commit_overhead);
-        last_commit = commit;
-        inflight.push_back(commit);
-
-        // Cross-block register communication pays register-file latency
-        // (once per write event, as in the legacy model).
-        for w in written.drain(..) {
-            rf[((w & !LIVE_OUT_BIT) as usize).min(last)].t += config.register_latency;
-        }
-
-        if let Some(t) = trace.as_deref_mut() {
-            t.events.push(BlockEvent {
-                block: lb.id,
-                dispatch,
-                resolve,
-                commit,
-                predicted: correct,
-                executed: (insts_executed - exec_before) as u32,
-                nullified: (insts_nullified - null_before) as u32,
-            });
-        }
-
-        match fe.kind {
-            LExitKind::Goto(next) => {
-                cur = next;
-            }
-            LExitKind::Dangling(target) => {
-                // The legacy model only discovers a dangling target at the
-                // top of the next iteration, after the fuel check.
-                if blocks_executed >= config.max_blocks {
-                    return Err(SimError::OutOfFuel {
-                        executed: blocks_executed,
-                    });
-                }
-                return Err(SimError::DanglingTarget { target });
-            }
-            LExitKind::RetNone => break 'outer None,
-            LExitKind::RetImm(v) => break 'outer Some(v),
-            LExitKind::RetReg(r) => break 'outer Some(rf[r as usize].val),
-            LExitKind::RetRegOor(_) => unreachable!("handled at resolve"),
+    let mut eng: Engine<'_, u64, ZERO_OPLAT> = Engine::new(
+        p,
+        config,
+        EngineStart {
+            cur: p.entry,
+            regs: RegInit::Args(args),
+            mem_init,
+            predictor: ExitPredictor::new(&config.predictor),
+            max_blocks: config.max_blocks,
+        },
+    )?;
+    let ret = loop {
+        match eng.step(trace.as_deref_mut())? {
+            EngineStep::Continue => {}
+            EngineStep::Done(r) => break r,
         }
     };
-
-    let memory = mem.to_map();
-    mem.recycle();
-    lsq.recycle();
-    Ok(TimingResult {
-        cycles: last_commit,
-        blocks_executed,
-        predictions: predictor.predictions(),
-        mispredictions: predictor.mispredictions(),
-        insts_executed,
-        insts_nullified,
-        insts_fetched,
-        ret,
-        memory,
-    })
+    Ok(eng.into_result(ret))
 }
 
 #[cfg(test)]

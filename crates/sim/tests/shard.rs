@@ -1,0 +1,242 @@
+//! Differential suite for the sharded whole-program simulator: a stitched
+//! sharded run must reproduce the sequential timing run *exactly* — same
+//! cycles, same counters, same return value, same memory digest — on every
+//! generated program, at every shard size, under every memory ordering.
+//! Corrupted checkpoints must be detected and degrade to the sequential
+//! fallback, never to a silently wrong result.
+
+use chf_ir::builder::FunctionBuilder;
+use chf_ir::function::Function;
+use chf_ir::ids::Reg;
+use chf_ir::instr::Operand;
+use chf_ir::testgen::{generate, GenConfig};
+use chf_sim::timing::{simulate_timing_lowered, MemoryOrdering, TimingConfig, TimingResult};
+use chf_sim::{
+    corrupt_checkpoint, plan_shards, simulate_shard, simulate_timing_sharded_seq, stitch,
+    CheckpointFault, LoweredProgram, ShardConfig, StitchedTiming,
+};
+use proptest::prelude::*;
+
+const ORDERINGS: [MemoryOrdering; 3] = [
+    MemoryOrdering::Exact,
+    MemoryOrdering::Conservative,
+    MemoryOrdering::Oracle,
+];
+
+const SHARDINGS: [ShardConfig; 2] = [
+    ShardConfig {
+        shard_blocks: 8,
+        warmup_blocks: 3,
+    },
+    ShardConfig {
+        shard_blocks: 24,
+        warmup_blocks: 8,
+    },
+];
+
+fn assert_stitched_eq(ctx: &str, sh: &StitchedTiming, seq: &TimingResult) {
+    let ev = &sh.result;
+    assert_eq!(ev.cycles, seq.cycles, "cycles diverged: {ctx}");
+    assert_eq!(ev.blocks_executed, seq.blocks_executed, "blocks: {ctx}");
+    assert_eq!(ev.predictions, seq.predictions, "predictions: {ctx}");
+    assert_eq!(
+        ev.mispredictions, seq.mispredictions,
+        "mispredictions: {ctx}"
+    );
+    assert_eq!(ev.insts_executed, seq.insts_executed, "executed: {ctx}");
+    assert_eq!(ev.insts_nullified, seq.insts_nullified, "nullified: {ctx}");
+    assert_eq!(ev.insts_fetched, seq.insts_fetched, "fetched: {ctx}");
+    assert_eq!(ev.ret, seq.ret, "ret: {ctx}");
+    assert_eq!(ev.digest(), seq.digest(), "memory digest: {ctx}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sharded simulation is observably identical to the sequential run on
+    /// every generated program, for every ordering and shard geometry —
+    /// whether the stitch validates or the run degrades to the fallback.
+    #[test]
+    fn sharded_matches_sequential(
+        seed in any::<u64>(),
+        a in -100i64..100,
+        b in -100i64..100,
+    ) {
+        let f = generate(seed, &GenConfig::default());
+        let p = LoweredProgram::lower(&f);
+        for ordering in ORDERINGS {
+            let cfg = TimingConfig { memory_ordering: ordering, ..TimingConfig::trips() };
+            let seq = simulate_timing_lowered(&p, &[a, b], &[], &cfg);
+            for scfg in &SHARDINGS {
+                let sh = simulate_timing_sharded_seq(&p, &[a, b], &[], &cfg, scfg);
+                match (&sh, &seq) {
+                    (Ok(sh), Ok(seq)) => {
+                        let ctx = format!(
+                            "fn {:?}, ordering {ordering:?}, S={} W={}",
+                            f.name, scfg.shard_blocks, scfg.warmup_blocks
+                        );
+                        assert_stitched_eq(&ctx, sh, seq);
+                    }
+                    (sh, seq) => prop_assert_eq!(
+                        sh.as_ref().err(),
+                        seq.as_ref().err(),
+                        "error mismatch: fn {:?}, ordering {:?}",
+                        f.name,
+                        ordering
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// `i = r0; do { mem[i] = i; i -= 1 } while i > 0; return r0` — a long
+/// data-dependent loop whose dynamic block count scales with `r0`, for
+/// deterministic multi-shard and corruption cases.
+fn looped() -> Function {
+    let mut fb = FunctionBuilder::new("shard-loop", 2);
+    let entry = fb.create_block();
+    let body = fb.create_block();
+    let done = fb.create_block();
+    fb.switch_to(entry);
+    let i = fb.add(Operand::Reg(Reg(0)), Operand::Imm(0));
+    fb.jump(body);
+    fb.switch_to(body);
+    fb.store(Operand::Reg(i), Operand::Reg(i));
+    let t = fb.sub(Operand::Reg(i), Operand::Imm(1));
+    fb.mov_to(i, Operand::Reg(t));
+    let z = fb.cmp_le(Operand::Reg(i), Operand::Imm(0));
+    fb.branch(z, done, body);
+    fb.switch_to(done);
+    fb.ret(Some(Operand::Reg(Reg(0))));
+    fb.build().unwrap()
+}
+
+/// On a long steady-state loop the warm-up actually converges: the stitch
+/// validates (no fallback), the run splits into many shards, and the
+/// bounded per-shard budget selects 32-bit timestamps.
+#[test]
+fn convergent_stitch_no_fallback() {
+    let f = looped();
+    let p = LoweredProgram::lower(&f);
+    let cfg = TimingConfig::trips();
+    // The loop's fetch clock takes ~32 blocks to become window-bound
+    // (8-block window × 4-cycle commit spacing), so a 48-block warm-up
+    // leaves margin.
+    let scfg = ShardConfig {
+        shard_blocks: 128,
+        warmup_blocks: 48,
+    };
+    let seq = simulate_timing_lowered(&p, &[1000, 0], &[], &cfg).unwrap();
+    let sh = simulate_timing_sharded_seq(&p, &[1000, 0], &[], &cfg, &scfg).unwrap();
+    assert_eq!(
+        sh.fallback, None,
+        "steady-state loop must stitch without fallback"
+    );
+    assert!(sh.shards > 5, "expected many shards, got {}", sh.shards);
+    assert_eq!(
+        sh.narrow_shards, sh.shards,
+        "small per-shard budgets must select 32-bit timestamps"
+    );
+    assert!(sh.checkpoint_bytes > 0);
+    assert_stitched_eq("convergent loop", &sh, &seq);
+}
+
+/// Each checkpoint fault kind is detected by the stitch validators and the
+/// run degrades to the sequential result — equality is preserved and the
+/// fallback reason is surfaced.
+#[test]
+fn corrupted_checkpoints_detected() {
+    let f = looped();
+    let p = LoweredProgram::lower(&f);
+    let cfg = TimingConfig::trips();
+    let scfg = ShardConfig {
+        shard_blocks: 16,
+        warmup_blocks: 4,
+    };
+    // A pre-initialized cell keeps shard 0's memory image non-empty so
+    // the MemoryCell fault has something to corrupt at the start state.
+    let mem0: &[(i64, i64)] = &[(200, 7)];
+    let seq = simulate_timing_lowered(&p, &[100, 0], mem0, &cfg).unwrap();
+    let faults: [(&str, CheckpointFault); 3] = [
+        (
+            "register",
+            CheckpointFault::RegisterSlot {
+                reg: 1,
+                xor: 0x40_0000,
+            },
+        ),
+        ("memory", CheckpointFault::MemoryCell { idx: 3, xor: -1 }),
+        ("predictor", CheckpointFault::PredictorEntry { seed: 7 }),
+    ];
+    // Corrupt a middle checkpoint (covered by the previous shard's
+    // architectural probe) and shard 0's own start state (covered only by
+    // the replay expectations) for the value faults.
+    for shard_idx in [0usize, 2] {
+        for (name, fault) in &faults {
+            if *name == "predictor" && shard_idx == 0 {
+                // Shard 0's checkpoint holds the untrained initial
+                // predictor; nothing to corrupt.
+                continue;
+            }
+            let mut plan = plan_shards(&p, &[100, 0], mem0, &cfg, &scfg).unwrap();
+            assert!(plan.n_shards() > 3, "need a multi-shard plan");
+            assert!(
+                corrupt_checkpoint(&mut plan, shard_idx, fault),
+                "fault {name} on shard {shard_idx} found nothing to corrupt"
+            );
+            let runs = (0..plan.n_shards())
+                .map(|k| simulate_shard(&p, &cfg, &plan, k))
+                .collect();
+            let sh = stitch(&p, &[100, 0], mem0, &cfg, &plan, runs).unwrap();
+            assert!(
+                sh.fallback.is_some(),
+                "fault {name} on shard {shard_idx} went undetected"
+            );
+            let ctx = format!("fault {name} on shard {shard_idx}");
+            assert_stitched_eq(&ctx, &sh, &seq);
+        }
+    }
+}
+
+/// A zero XOR mask and an out-of-range shard are no-ops, not corruptions.
+#[test]
+fn corruption_noops_report_false() {
+    let f = looped();
+    let p = LoweredProgram::lower(&f);
+    let cfg = TimingConfig::trips();
+    let scfg = ShardConfig {
+        shard_blocks: 16,
+        warmup_blocks: 4,
+    };
+    let mut plan = plan_shards(&p, &[100, 0], &[], &cfg, &scfg).unwrap();
+    assert!(!corrupt_checkpoint(
+        &mut plan,
+        1,
+        &CheckpointFault::RegisterSlot { reg: 0, xor: 0 }
+    ));
+    assert!(!corrupt_checkpoint(
+        &mut plan,
+        usize::MAX,
+        &CheckpointFault::MemoryCell { idx: 0, xor: 1 }
+    ));
+}
+
+/// Fuel exhaustion surfaces the same error through the sharded entry point
+/// as through the sequential engine.
+#[test]
+fn fuel_exhaustion_matches_sequential() {
+    let f = looped();
+    let p = LoweredProgram::lower(&f);
+    let cfg = TimingConfig {
+        max_blocks: 11,
+        ..TimingConfig::trips()
+    };
+    let scfg = ShardConfig {
+        shard_blocks: 4,
+        warmup_blocks: 2,
+    };
+    let seq = simulate_timing_lowered(&p, &[100, 0], &[], &cfg).unwrap_err();
+    let sh = simulate_timing_sharded_seq(&p, &[100, 0], &[], &cfg, &scfg).unwrap_err();
+    assert_eq!(sh, seq);
+}

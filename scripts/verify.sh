@@ -3,13 +3,16 @@
 # report) each one separately while local use stays one command:
 #
 #   scripts/verify.sh            # everything, in order (same as `all`)
-#   scripts/verify.sh all        # fmt, build, lint, test, perf, smoke, chaos
+#   scripts/verify.sh all        # fmt, build, lint, test, perf, smoke,
+#                                # sim-shard, chaos
 #   scripts/verify.sh fmt        # cargo fmt --check (first CI step)
 #   scripts/verify.sh build      # cargo build --release
 #   scripts/verify.sh lint       # cargo clippy --workspace -- -D warnings
 #   scripts/verify.sh test       # cargo test -q (tier-1 suite)
 #   scripts/verify.sh perf       # bench_perf --check (perf regression gate)
 #   scripts/verify.sh smoke      # whole_program --smoke
+#   scripts/verify.sh sim-shard  # whole_program --shard-smoke (sharded
+#                                # simulation: stitch + scaling probe)
 #   scripts/verify.sh chaos [N]  # fault-injection campaign (default 500)
 #
 # Steps may be chained: `scripts/verify.sh fmt build lint`.
@@ -24,6 +27,10 @@
 #                            slow machines.
 #   CHF_JOBS                 Worker count for the parallel evaluation
 #                            harness (default: available parallelism).
+#   CHF_SIM_SCALE_FLOOR      Minimum multi-worker / single-worker
+#                            throughput ratio for `sim-shard` (default 0,
+#                            i.e. disabled — set it on machines with
+#                            enough cores to make a speedup meaningful).
 #   CHF_FAULT_SEED           Pins the `chaos` campaign's fault stream so a
 #                            CI failure is replayable locally.
 #   CHF_BLESS                Set to re-capture golden snapshots under
@@ -69,6 +76,16 @@ run_smoke() {
     cargo run --release -p chf-bench --bin whole_program -- --smoke
 }
 
+# Cycle-simulates the convergent form of every composite through the
+# sharded simulator at several worker counts, cross-checks every stitched
+# cycle count against the sequential engine, archives
+# results/sim_scaling.csv, and fails on any stitch fallback (or, when
+# CHF_SIM_SCALE_FLOOR is set, on insufficient multi-worker speedup).
+run_sim_shard() {
+    echo "==> whole_program --shard-smoke (sharded simulation gate)"
+    cargo run --release -p chf-bench --bin whole_program -- --shard-smoke
+}
+
 # Injects N seeded faults (IR corruption, profile corruption, scrambled
 # ordering inputs, mid-trial corruption) and fails on any process abort
 # or undetected miscompile.
@@ -85,6 +102,7 @@ run_all() {
     run_test
     run_perf
     run_smoke
+    run_sim_shard
     run_chaos "${1:-500}"
 }
 
@@ -104,6 +122,7 @@ while [ "$#" -gt 0 ]; do
         test) run_test ;;
         perf) run_perf ;;
         smoke) run_smoke ;;
+        sim-shard) run_sim_shard ;;
         chaos)
             # Optional numeric fault count following `chaos`.
             case "${1:-}" in
@@ -117,7 +136,7 @@ while [ "$#" -gt 0 ]; do
         all) run_all ;;
         *)
             echo "verify.sh: unknown step '${step}'" >&2
-            echo "usage: scripts/verify.sh [fmt|build|lint|test|perf|smoke|chaos [N]|all]..." >&2
+            echo "usage: scripts/verify.sh [fmt|build|lint|test|perf|smoke|sim-shard|chaos [N]|all]..." >&2
             exit 2
             ;;
     esac
