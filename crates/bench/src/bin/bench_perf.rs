@@ -188,6 +188,47 @@ fn main() {
     let identical = artifacts == seq_artifacts;
     let speedup = SEED_TABLE1_WALL_MS / wall_ms;
 
+    // 4. Compile-service round-trip latency: the whole suite submitted cold
+    // (every request compiles), then hot (every request is a revalidated
+    // cache hit). The hot/cold ratio is the memoization payoff a repeated
+    // submission sees end to end, queueing included.
+    let svc = chf_service::CompileService::new(chf_service::ServiceConfig {
+        workers,
+        queue_capacity: suite.len() + 8,
+        ..chf_service::ServiceConfig::default()
+    });
+    let submit_all = |svc: &chf_service::CompileService| {
+        let ids: Vec<_> = suite
+            .iter()
+            .map(|w| {
+                svc.submit(chf_service::CompileRequest::ir(
+                    w.function.clone(),
+                    w.profile.clone(),
+                ))
+            })
+            .collect();
+        for id in ids {
+            let resp = svc.wait(id);
+            assert_eq!(
+                resp.status,
+                chf_service::RequestStatus::Done,
+                "service compile failed"
+            );
+        }
+    };
+    let t = Instant::now();
+    submit_all(&svc);
+    let service_cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    submit_all(&svc);
+    let service_hot_ms = t.elapsed().as_secs_f64() * 1e3;
+    let svc_stats = svc.stats();
+    assert_eq!(
+        svc_stats.cache_hits,
+        suite.len() as u64,
+        "hot pass must be served entirely from the formation cache"
+    );
+
     println!("bench_perf: 24-microbenchmark suite");
     for (label, ms) in &per_ordering {
         println!("  compile {label:>7}: {ms:8.2} ms");
@@ -212,6 +253,14 @@ fn main() {
     );
     println!(
         "  vs seed ({SEED_TABLE1_WALL_MS:.0} ms): {speedup:.2}x; parallel/sequential outputs identical: {identical}"
+    );
+    println!(
+        "  service: cold {service_cold_ms:.2} ms, hot {service_hot_ms:.2} ms ({} requests, \
+         hit rate {:.2}, p50 compile {} us, p99 {} us)",
+        suite.len() * 2,
+        svc_stats.cache_hit_rate(),
+        svc_stats.p50_compile_us,
+        svc_stats.p99_compile_us
     );
 
     // JSON perf record (hand-rolled; the workspace has no serde).
@@ -258,7 +307,10 @@ fn main() {
             r.workers, r.wall_ms, r.mcps, r.shards, r.narrow_shards, r.checkpoint_bytes, r.fallbacks
         );
     }
-    json.push_str("]\n");
+    json.push_str("],\n");
+    let _ = writeln!(json, "  \"service_cold_ms\": {service_cold_ms:.2},");
+    let _ = writeln!(json, "  \"service_hot_ms\": {service_hot_ms:.2},");
+    let _ = writeln!(json, "  \"service_stats\": {}", svc_stats.json());
     json.push_str("}\n");
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("  wrote {out_path}"),

@@ -111,6 +111,14 @@ pub enum FaultKind {
 }
 
 impl FaultKind {
+    /// Position of this kind in [`FaultKind::ALL`], for per-kind tallies.
+    pub fn index(self) -> usize {
+        FaultKind::ALL
+            .iter()
+            .position(|k| *k == self)
+            .expect("every kind is in ALL")
+    }
+
     /// Every member of the registry, for seeded selection and reporting.
     pub const ALL: [FaultKind; 9] = [
         FaultKind::DanglingExit,
@@ -246,8 +254,10 @@ pub fn inject(f: &mut Function, profile: &mut ProfileData, kind: FaultKind, rng:
 /// from the seeded stream, replay and stitch, and compare against the
 /// sequential engine. Divergence in the *returned result* is a miscompile
 /// (must never happen); a detected corruption shows up as the stitch
-/// degrading to sequential re-simulation.
-fn checkpoint_fault_outcome(f: &Function, args: &[i64], rng: &mut ChaosRng) -> FaultOutcome {
+/// degrading to sequential re-simulation. Public so the service-level
+/// campaign (`chf-service`) can run the same exercise against compiled
+/// responses.
+pub fn checkpoint_fault_outcome(f: &Function, args: &[i64], rng: &mut ChaosRng) -> FaultOutcome {
     use chf_sim::timing::{simulate_timing_lowered, TimingConfig};
     use chf_sim::{
         corrupt_checkpoint, plan_shards, simulate_shard, stitch, CheckpointFault, LoweredProgram,
@@ -373,7 +383,7 @@ pub fn seed_from_env() -> Option<u64> {
 
 /// How one injected fault was handled.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
-enum FaultOutcome {
+pub enum FaultOutcome {
     /// The verifier refused the corrupted input up front.
     Detected,
     /// Formation ran; at least one trial was contained by the
@@ -385,6 +395,23 @@ enum FaultOutcome {
     /// Formation completed but the output diverges — an undetected
     /// miscompile. Campaign failure.
     Miscompiled,
+}
+
+/// Outcome counts for one [`FaultKind`] within a campaign.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct KindTally {
+    /// Faults of this kind injected.
+    pub injected: usize,
+    /// Refused by the verifier up front.
+    pub detected: usize,
+    /// Contained mid-formation by rollback.
+    pub rolled_back: usize,
+    /// Output correct despite the fault.
+    pub survived: usize,
+    /// Panics that escaped to the isolation boundary. Must be 0.
+    pub aborts: usize,
+    /// Undetected behaviour changes. Must be 0.
+    pub miscompiles: usize,
 }
 
 /// Aggregate result of a [`campaign`] run.
@@ -402,6 +429,10 @@ pub struct CampaignReport {
     pub aborts: usize,
     /// Undetected behaviour changes. Must be 0.
     pub miscompiles: usize,
+    /// Per-kind breakdown, indexed like [`FaultKind::ALL`]. An abort that
+    /// escaped before its fault kind was drawn is counted only in
+    /// [`CampaignReport::aborts`].
+    pub by_kind: Vec<KindTally>,
     /// Reproducers written by the oracle's reducer.
     pub repros: Vec<PathBuf>,
 }
@@ -413,6 +444,41 @@ impl CampaignReport {
         self.aborts == 0
             && self.miscompiles == 0
             && self.detected + self.rolled_back + self.survived == self.total
+    }
+
+    /// One-line machine-readable summary, for CI consumption (stable keys,
+    /// no trailing newline). Kinds that were never injected are omitted.
+    pub fn json(&self) -> String {
+        use std::fmt::Write;
+        let mut kinds = String::new();
+        for (kind, t) in FaultKind::ALL.iter().zip(&self.by_kind) {
+            if t.injected == 0 {
+                continue;
+            }
+            if !kinds.is_empty() {
+                kinds.push(',');
+            }
+            let _ = write!(
+                kinds,
+                "\"{kind}\":{{\"injected\":{},\"detected\":{},\"rolled_back\":{},\
+                 \"survived\":{},\"aborts\":{},\"miscompiles\":{}}}",
+                t.injected, t.detected, t.rolled_back, t.survived, t.aborts, t.miscompiles
+            );
+        }
+        format!(
+            "{{\"campaign\":\"formation\",\"faults\":{},\"detected\":{},\
+             \"rolled_back\":{},\"survived\":{},\"contained\":{},\"aborts\":{},\
+             \"miscompiles\":{},\"repros\":{},\"ok\":{},\"by_kind\":{{{kinds}}}}}",
+            self.total,
+            self.detected,
+            self.rolled_back,
+            self.survived,
+            self.detected + self.rolled_back + self.survived,
+            self.aborts,
+            self.miscompiles,
+            self.repros.len(),
+            self.ok()
+        )
     }
 }
 
@@ -432,10 +498,13 @@ impl fmt::Display for CampaignReport {
 }
 
 /// Run one seeded fault end to end; `None` means the fault escaped as a
-/// panic (counted as an abort by the caller).
+/// panic (counted as an abort by the caller). The drawn fault kind is
+/// published through `kind_out` as soon as it is known, so even an abort
+/// can be attributed in the per-kind tallies.
 fn run_one_fault(
     fault_seed: u64,
     repro_dir: Option<&PathBuf>,
+    kind_out: &std::cell::Cell<Option<FaultKind>>,
 ) -> Option<(FaultOutcome, Vec<PathBuf>)> {
     let dir = repro_dir.cloned();
     catch_unwind(AssertUnwindSafe(move || {
@@ -448,6 +517,7 @@ fn run_one_fault(
         let mut profile = profile_run(&f, &train, &[]).unwrap_or_default();
 
         let kind = FaultKind::ALL[rng.next_range(FaultKind::ALL.len() as u64) as usize];
+        kind_out.set(Some(kind));
         if kind == FaultKind::CorruptedCheckpoint {
             // This kind pressures the simulator subsystem, not formation:
             // corrupt a recorded checkpoint and demand the stitch detects
@@ -515,11 +585,18 @@ pub fn campaign(seed: u64, faults: usize, repro_dir: Option<PathBuf>) -> Campaig
     let mut master = ChaosRng::new(seed);
     let mut report = CampaignReport {
         total: faults,
+        by_kind: vec![KindTally::default(); FaultKind::ALL.len()],
         ..CampaignReport::default()
     };
     for _ in 0..faults {
         let fault_seed = master.next_u64();
-        match run_one_fault(fault_seed, repro_dir.as_ref()) {
+        let kind_cell = std::cell::Cell::new(None);
+        let result = run_one_fault(fault_seed, repro_dir.as_ref(), &kind_cell);
+        let tally = kind_cell.get().map(|k| k.index());
+        if let Some(i) = tally {
+            report.by_kind[i].injected += 1;
+        }
+        match result {
             Some((outcome, mut repros)) => {
                 match outcome {
                     FaultOutcome::Detected => report.detected += 1,
@@ -527,9 +604,23 @@ pub fn campaign(seed: u64, faults: usize, repro_dir: Option<PathBuf>) -> Campaig
                     FaultOutcome::Survived => report.survived += 1,
                     FaultOutcome::Miscompiled => report.miscompiles += 1,
                 }
+                if let Some(i) = tally {
+                    let t = &mut report.by_kind[i];
+                    match outcome {
+                        FaultOutcome::Detected => t.detected += 1,
+                        FaultOutcome::RolledBack => t.rolled_back += 1,
+                        FaultOutcome::Survived => t.survived += 1,
+                        FaultOutcome::Miscompiled => t.miscompiles += 1,
+                    }
+                }
                 report.repros.append(&mut repros);
             }
-            None => report.aborts += 1,
+            None => {
+                report.aborts += 1;
+                if let Some(i) = tally {
+                    report.by_kind[i].aborts += 1;
+                }
+            }
         }
     }
     report
@@ -637,6 +728,28 @@ mod tests {
             (b.detected, b.rolled_back, b.survived),
             "campaign must be seed-deterministic"
         );
+        assert_eq!(a.by_kind, b.by_kind, "per-kind tallies must be stable");
+    }
+
+    #[test]
+    fn per_kind_tallies_account_for_every_fault() {
+        let r = campaign(7, 60, None);
+        let attributed: usize = r.by_kind.iter().map(|t| t.injected).sum();
+        // Every fault that got far enough to draw a kind is attributed;
+        // only a pre-draw abort could fall outside (and this campaign has
+        // no aborts at all).
+        assert_eq!(attributed + r.aborts, r.total);
+        let outcomes: usize = r
+            .by_kind
+            .iter()
+            .map(|t| t.detected + t.rolled_back + t.survived + t.aborts + t.miscompiles)
+            .sum();
+        assert_eq!(outcomes, attributed);
+        let j = r.json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"ok\":true"), "{j}");
+        assert!(j.contains("\"by_kind\""), "{j}");
+        assert!(!j.contains('\n'));
     }
 
     #[test]

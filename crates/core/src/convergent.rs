@@ -93,6 +93,14 @@ pub struct FormationConfig {
     /// [`crate::policy::HotFirst`] candidate policy) exist to spend this
     /// budget on the hottest merges first.
     pub trial_budget: Option<usize>,
+    /// Wall-clock deadline checked at the same point as the trial-budget
+    /// ledger (between trials, never inside one). On expiry the remaining
+    /// frontier is charged to [`FormationStats::budget_skipped`],
+    /// [`FormationStats::deadline_hit`] is set, and formation stops
+    /// *gracefully*: every block formed so far is kept, so the caller gets
+    /// the anytime result of the convergent loop rather than an error.
+    /// `None` (the default) never expires.
+    pub deadline: Option<std::time::Instant>,
     /// In which order [`form_hyperblocks`] visits seed blocks — who gets
     /// first claim on the trial budget.
     pub seed_order: SeedOrder,
@@ -129,6 +137,7 @@ impl Default for FormationConfig {
             oracle: None,
             chaos: None,
             trial_budget: None,
+            deadline: None,
             seed_order: SeedOrder::Frequency,
         }
     }
@@ -163,6 +172,14 @@ pub struct FormationStats {
     /// Always 0 under the default unbounded budget, so the default `mtup`
     /// rendering (and every golden snapshot) is unchanged.
     pub budget_skipped: usize,
+    /// Whether [`FormationConfig::deadline`] expired during this run and
+    /// cut formation short. Candidates dropped by the deadline are counted
+    /// in [`FormationStats::budget_skipped`] alongside ledger-dropped ones;
+    /// this flag is what distinguishes "budget policy" from "out of time" —
+    /// the compile service reports the latter as a `Degraded` response.
+    /// Never set under the default `deadline: None`, so golden snapshots
+    /// are unaffected.
+    pub deadline_hit: bool,
 }
 
 impl FormationStats {
@@ -176,6 +193,7 @@ impl FormationStats {
         self.skipped += other.skipped;
         self.trials += other.trials;
         self.budget_skipped += other.budget_skipped;
+        self.deadline_hit |= other.deadline_hit;
     }
 
     /// Render as the paper's `m/t/u/p` column. When a trial budget was in
@@ -725,9 +743,16 @@ fn expand_block_inner(
         // frontier (this candidate plus everything still queued — none of
         // it will be tried) to the skip column and stop expanding. The
         // check sits *after* the liveness filters so the ledger counts
-        // candidates that would genuinely have produced a trial.
-        if !ctx.budget_open(config) {
+        // candidates that would genuinely have produced a trial. The
+        // wall-clock deadline shares the checkpoint: expiry mid-run keeps
+        // every committed merge (anytime degradation), it only stops new
+        // trials from starting.
+        let deadline_expired = config
+            .deadline
+            .is_some_and(|d| std::time::Instant::now() >= d);
+        if !ctx.budget_open(config) || deadline_expired {
             stats.budget_skipped += 1 + candidates.len();
+            stats.deadline_hit |= deadline_expired;
             break;
         }
         if cand.block == hb {

@@ -9,6 +9,7 @@
 //! [`crate::convergent::MergeOutcome::Skipped`] and surfaced by
 //! [`crate::pipeline::try_compile`], never panicked.
 
+use chf_ir::parse::ParseError;
 use chf_ir::verify::VerifyError;
 use chf_sim::functional::SimError;
 use std::fmt;
@@ -42,6 +43,39 @@ pub enum ChfError {
         /// produced (see `results/repros/`).
         repro: Option<PathBuf>,
     },
+    /// Submitted `.til` text did not parse — a client error, reported with
+    /// the parser's line/message diagnostics.
+    Parse {
+        /// The parse failure.
+        error: ParseError,
+    },
+    /// A panic escaped the compilation itself and was caught at an
+    /// isolation boundary (`catch_unwind` in the compile service or the
+    /// benchmark harness). Unlike the typed variants above, nothing is
+    /// known about the cause beyond the payload message — which is exactly
+    /// why it is classified as *transient*: the retry policy distinguishes
+    /// an environmental failure (allocation pressure, a poisoned worker)
+    /// from a deterministic bug by compiling again.
+    Panicked {
+        /// Which isolation boundary caught the panic.
+        context: &'static str,
+        /// The panic payload rendered as text.
+        message: String,
+    },
+}
+
+impl ChfError {
+    /// Whether the retry policy should re-attempt the compilation.
+    ///
+    /// Verifier violations, simulator failures, oracle mismatches, and
+    /// parse errors are deterministic properties of (input, config) —
+    /// retrying reproduces them byte-for-byte, so they are permanent. A
+    /// caught panic is the one failure whose cause is unknown; one retry
+    /// distinguishes environmental from deterministic (the same contract
+    /// as `par_map_isolated`'s retry-once rationale).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ChfError::Panicked { .. })
+    }
 }
 
 impl fmt::Display for ChfError {
@@ -67,6 +101,10 @@ impl fmt::Display for ChfError {
                 }
                 Ok(())
             }
+            ChfError::Parse { error } => write!(f, "parse error: {error}"),
+            ChfError::Panicked { context, message } => {
+                write!(f, "panic caught during {context}: {message}")
+            }
         }
     }
 }
@@ -76,7 +114,8 @@ impl std::error::Error for ChfError {
         match self {
             ChfError::Verify { error, .. } => Some(error),
             ChfError::Sim { error, .. } => Some(error),
-            ChfError::OracleMismatch { .. } => None,
+            ChfError::Parse { error } => Some(error),
+            ChfError::OracleMismatch { .. } | ChfError::Panicked { .. } => None,
         }
     }
 }
@@ -114,5 +153,34 @@ mod tests {
             error: chf_sim::functional::SimError::OutOfFuel { executed: 7 },
         };
         assert!(e.source().is_some());
+        let p = ChfError::Parse {
+            error: ParseError {
+                line: 3,
+                message: "bad opcode".into(),
+            },
+        };
+        assert!(p.source().is_some());
+        assert!(p.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn only_panics_are_transient() {
+        let panicked = ChfError::Panicked {
+            context: "service worker",
+            message: "boom".into(),
+        };
+        assert!(panicked.is_transient());
+        assert!(panicked.to_string().contains("service worker"));
+        let verify = ChfError::Verify {
+            context: "compiled output",
+            error: VerifyError::DanglingEdge(BlockId(0), BlockId(1)),
+        };
+        assert!(!verify.is_transient());
+        assert!(!ChfError::OracleMismatch {
+            function: "f".into(),
+            args: vec![],
+            repro: None,
+        }
+        .is_transient());
     }
 }

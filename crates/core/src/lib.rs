@@ -44,7 +44,7 @@ pub mod regalloc;
 pub mod reverse;
 pub mod unroll;
 
-pub use chaos::{campaign, CampaignReport, ChaosSpec, FaultKind};
+pub use chaos::{campaign, CampaignReport, ChaosSpec, FaultKind, KindTally};
 pub use constraints::BlockConstraints;
 pub use convergent::{
     form_hyperblocks, form_hyperblocks_with_profile, FormationConfig, FormationStats, SeedOrder,

@@ -88,6 +88,20 @@ pub struct CompileConfig {
     /// skipped work recorded in [`FormationStats::budget_skipped`]. Used
     /// by the Table 2 budget ablation to compare policies at equal cost.
     pub trial_budget: Option<usize>,
+    /// Wall-clock deadline for the formation phases, checked between merge
+    /// trials (the same ledger point as `trial_budget`, so expiry is
+    /// *graceful*: formation keeps whatever blocks it has already formed,
+    /// runs the backend, and reports the cut via
+    /// [`FormationStats::deadline_hit`] — the anytime behaviour of the
+    /// paper's convergent loop). `None` (the default) never expires. The
+    /// compile service derives this from its per-request deadline.
+    pub deadline: Option<std::time::Instant>,
+    /// Deterministic mid-trial fault injection forwarded to
+    /// [`FormationConfig::chaos`]: periodically corrupts the merged block
+    /// inside the trial window so the verify-and-rollback net is exercised
+    /// end-to-end through the pipeline. `None` (the default) injects
+    /// nothing; only the chaos harness and the service soak set it.
+    pub chaos: Option<crate::chaos::ChaosSpec>,
 }
 
 impl CompileConfig {
@@ -102,6 +116,8 @@ impl CompileConfig {
             backend: true,
             fanout_targets: 4,
             trial_budget: None,
+            deadline: None,
+            chaos: None,
         }
     }
 
@@ -150,6 +166,8 @@ fn formation_config(config: &CompileConfig, head: bool, iterative_opt: bool) -> 
         tail_duplication: true,
         iterative_opt,
         trial_budget: config.trial_budget,
+        deadline: config.deadline,
+        chaos: config.chaos,
         // The profile-guided policy also reorders the expansion *seeds* by
         // hot-edge weight, so under a constrained trial budget the ledger
         // is spent on the hottest regions first.
@@ -158,8 +176,8 @@ fn formation_config(config: &CompileConfig, head: bool, iterative_opt: bool) -> 
         } else {
             SeedOrder::Frequency
         },
-        // `verify_trials` (and the disabled oracle/chaos hooks) come from
-        // the default: every pipeline formation runs under the mid-trial
+        // `verify_trials` (and the disabled oracle hook) come from the
+        // default: every pipeline formation runs under the mid-trial
         // verify-and-rollback safety net.
         ..FormationConfig::default()
     }

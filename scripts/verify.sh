@@ -4,7 +4,7 @@
 #
 #   scripts/verify.sh            # everything, in order (same as `all`)
 #   scripts/verify.sh all        # fmt, build, lint, test, perf, smoke,
-#                                # sim-shard, chaos
+#                                # sim-shard, chaos, service
 #   scripts/verify.sh fmt        # cargo fmt --check (first CI step)
 #   scripts/verify.sh build      # cargo build --release
 #   scripts/verify.sh lint       # cargo clippy --workspace -- -D warnings
@@ -14,6 +14,10 @@
 #   scripts/verify.sh sim-shard  # whole_program --shard-smoke (sharded
 #                                # simulation: stitch + scaling probe)
 #   scripts/verify.sh chaos [N]  # fault-injection campaign (default 500)
+#   scripts/verify.sh service [N] # compile-service gate: concurrent soak
+#                                # with ~5% injected faults (default 200
+#                                # requests), then a full service-level
+#                                # chaos campaign (500 faults, 4 clients)
 #
 # Steps may be chained: `scripts/verify.sh fmt build lint`.
 #
@@ -95,6 +99,20 @@ run_chaos() {
     cargo run --release -p chf-bench --bin chaos -- "${faults}"
 }
 
+# Soaks a live compile service with concurrent clients (~5% of requests
+# carry an injected fault), requiring every request to reach a terminal
+# state with sane stats, then runs the full service-level chaos campaign
+# (all fault kinds incl. corrupted-cache-entry, 4 concurrent clients,
+# zero aborts / miscompiles / hung requests). The service's stats snapshot
+# lands in results/service_stats.json for CI failure artifacts.
+run_service() {
+    requests="${1:-200}"
+    echo "==> chaos --service-soak ${requests} (compile-service soak smoke)"
+    cargo run --release -p chf-bench --bin chaos -- --service-soak "${requests}" --clients 8
+    echo "==> chaos --service 500 (service-level fault campaign)"
+    cargo run --release -p chf-bench --bin chaos -- --service 500 --clients 4
+}
+
 run_all() {
     run_fmt
     run_build
@@ -104,6 +122,7 @@ run_all() {
     run_smoke
     run_sim_shard
     run_chaos "${1:-500}"
+    run_service
 }
 
 if [ "$#" -eq 0 ]; then
@@ -133,10 +152,20 @@ while [ "$#" -gt 0 ]; do
                     ;;
             esac
             ;;
+        service)
+            # Optional numeric soak-request count following `service`.
+            case "${1:-}" in
+                '' | *[!0-9]*) run_service ;;
+                *)
+                    run_service "$1"
+                    shift
+                    ;;
+            esac
+            ;;
         all) run_all ;;
         *)
             echo "verify.sh: unknown step '${step}'" >&2
-            echo "usage: scripts/verify.sh [fmt|build|lint|test|perf|smoke|sim-shard|chaos [N]|all]..." >&2
+            echo "usage: scripts/verify.sh [fmt|build|lint|test|perf|smoke|sim-shard|chaos [N]|service [N]|all]..." >&2
             exit 2
             ;;
     esac
