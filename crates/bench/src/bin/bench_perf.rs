@@ -59,6 +59,15 @@ const DEFAULT_CEILING_MS: f64 = 100.0;
 /// direct-interpretation speed (≤ ~16 Mcycles/s) still fails.
 const DEFAULT_SIM_FLOOR_MCPS: f64 = 2.5 * SEED_SIM_MCPS;
 
+/// Default `--check` ceiling on the sharding machinery's overhead ratio
+/// (unsharded sequential throughput over 1-worker sharded throughput).
+/// The checkpoint plan + replay + validating stitch historically costs
+/// ~1.7× (≈ 29.2 vs ≈ 16.8 Mcycles/s on the reference machine); the gate
+/// sits at 2.5× so machine noise cannot flip it while a structural
+/// regression (a stitch that re-simulates everything, say) still fails.
+/// Relax with `CHF_SHARD_OVERHEAD_CEILING`.
+const DEFAULT_SHARD_OVERHEAD_CEILING: f64 = 2.5;
+
 fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     let mut best = f64::INFINITY;
     let mut out = None;
@@ -181,6 +190,18 @@ fn main() {
         chf_bench::sharded::measure_scaling(&shard_counts, &chf_sim::ShardConfig::default(), 2)
             .unwrap_or_else(|e| panic!("sharded scaling probe failed: {e}"));
 
+    // 2e. Sharding overhead: the plain sequential engine over the same
+    // suite, divided by 1-worker sharded throughput. This isolates the
+    // cost of the checkpoint plan + replay + validating stitch from any
+    // parallel speedup (historically ~29.2 vs ~16.8 Mcycles/s, ≈ 1.7×).
+    let unsharded = chf_bench::sharded::measure_unsharded(2)
+        .unwrap_or_else(|e| panic!("unsharded probe failed: {e}"));
+    let sharded_1w = scaling
+        .iter()
+        .find(|r| r.workers == 1)
+        .expect("scaling probe always samples 1 worker");
+    let shard_overhead_ratio = unsharded.mcps / sharded_1w.mcps;
+
     // 3. End-to-end Table 1 regeneration: parallel harness vs forced
     // sequential, with byte-identity of the outputs.
     let (wall_ms, artifacts) = best_of(3, || table1_artifacts(workers));
@@ -229,6 +250,47 @@ fn main() {
         "hot pass must be served entirely from the formation cache"
     );
 
+    // 5. Policy tournaments through the service on the 19 composites:
+    // cold (portfolio fan-outs, shape-cache filling) then hot (recurring
+    // shapes answered with a single cached-winner compile each). The
+    // amortized entrants-per-tournament counter is the shape cache's
+    // payoff metric.
+    let composites = chf_workloads::spec_suite();
+    let tsvc = chf_service::CompileService::new(chf_service::ServiceConfig {
+        workers,
+        queue_capacity: 256,
+        ..chf_service::ServiceConfig::default()
+    });
+    let treqs: Vec<chf_service::TournamentRequest> = composites
+        .iter()
+        .map(|w| chf_service::TournamentRequest {
+            function: w.function.clone(),
+            profile: w.profile.clone(),
+            args: w.args.clone(),
+            memory: w.memory.clone(),
+            config: chf_core::TournamentConfig::default(),
+        })
+        .collect();
+    let run_tournaments = |label: &str| {
+        let t = Instant::now();
+        for req in &treqs {
+            let out = tsvc.compile_tournament(req).unwrap_or_else(|e| {
+                panic!("{label} tournament failed for {}: {e}", req.function.name)
+            });
+            assert!(out.entrants_run >= 1);
+        }
+        t.elapsed().as_secs_f64() * 1e3
+    };
+    let tournament_cold_ms = run_tournaments("cold");
+    let tournament_hot_ms = run_tournaments("hot");
+    let tstats = tsvc.stats();
+    assert_eq!(tstats.tournaments, 2 * composites.len() as u64);
+    assert!(
+        tstats.shape_hits >= composites.len() as u64,
+        "second pass must hit the shape cache: {} hits",
+        tstats.shape_hits
+    );
+
     println!("bench_perf: 24-microbenchmark suite");
     for (label, ms) in &per_ordering {
         println!("  compile {label:>7}: {ms:8.2} ms");
@@ -249,6 +311,10 @@ fn main() {
         );
     }
     println!(
+        "  sim (unsharded): {:6.2} ms  ({:.2} Mcycles/s; sharding overhead {shard_overhead_ratio:.2}x at 1 worker)",
+        unsharded.wall_ms, unsharded.mcps
+    );
+    println!(
         "  table1 end-to-end: {wall_ms:.2} ms ({workers} worker(s)); sequential: {seq_ms:.2} ms"
     );
     println!(
@@ -261,6 +327,17 @@ fn main() {
         svc_stats.cache_hit_rate(),
         svc_stats.p50_compile_us,
         svc_stats.p99_compile_us
+    );
+    println!(
+        "  tournaments: cold {tournament_cold_ms:.2} ms, hot {tournament_hot_ms:.2} ms \
+         ({} tournaments, {} entrants, {} shape hits / {} misses, {} guard fallbacks, \
+         {:.2} entrants/tournament amortized)",
+        tstats.tournaments,
+        tstats.tournament_entrants,
+        tstats.shape_hits,
+        tstats.shape_misses,
+        tstats.guard_fallbacks,
+        tstats.entrants_per_tournament()
     );
 
     // JSON perf record (hand-rolled; the workspace has no serde).
@@ -308,9 +385,21 @@ fn main() {
         );
     }
     json.push_str("],\n");
+    let _ = writeln!(
+        json,
+        "  \"sim_unsharded_mcycles_per_s\": {:.2},",
+        unsharded.mcps
+    );
+    let _ = writeln!(
+        json,
+        "  \"shard_overhead_ratio\": {shard_overhead_ratio:.2},"
+    );
     let _ = writeln!(json, "  \"service_cold_ms\": {service_cold_ms:.2},");
     let _ = writeln!(json, "  \"service_hot_ms\": {service_hot_ms:.2},");
-    let _ = writeln!(json, "  \"service_stats\": {}", svc_stats.json());
+    let _ = writeln!(json, "  \"service_stats\": {},", svc_stats.json());
+    let _ = writeln!(json, "  \"tournament_cold_ms\": {tournament_cold_ms:.2},");
+    let _ = writeln!(json, "  \"tournament_hot_ms\": {tournament_hot_ms:.2},");
+    let _ = writeln!(json, "  \"tournament_stats\": {}", tstats.json());
     json.push_str("}\n");
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("  wrote {out_path}"),
@@ -326,6 +415,10 @@ fn main() {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(DEFAULT_SIM_FLOOR_MCPS);
+        let overhead_ceiling: f64 = std::env::var("CHF_SHARD_OVERHEAD_CEILING")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_SHARD_OVERHEAD_CEILING);
         let mut failed = false;
         if wall_ms > ceiling {
             eprintln!("CHECK FAILED: table1 end-to-end {wall_ms:.2} ms > ceiling {ceiling:.2} ms");
@@ -338,6 +431,15 @@ fn main() {
             );
             failed = true;
         }
+        if shard_overhead_ratio > overhead_ceiling {
+            eprintln!(
+                "CHECK FAILED: sharding overhead {shard_overhead_ratio:.2}x > ceiling \
+                 {overhead_ceiling:.2}x (unsharded {:.2} vs 1-worker sharded {:.2} Mcycles/s; \
+                 relax with CHF_SHARD_OVERHEAD_CEILING)",
+                unsharded.mcps, sharded_1w.mcps
+            );
+            failed = true;
+        }
         if !identical {
             eprintln!("CHECK FAILED: parallel and sequential Table 1 outputs differ");
             failed = true;
@@ -347,7 +449,8 @@ fn main() {
         }
         println!(
             "  check OK: {wall_ms:.2} ms <= {ceiling:.2} ms, \
-             {mcps:.2} Mcycles/s >= {sim_floor:.2}, outputs identical"
+             {mcps:.2} Mcycles/s >= {sim_floor:.2}, \
+             overhead {shard_overhead_ratio:.2}x <= {overhead_ceiling:.2}x, outputs identical"
         );
     }
 }

@@ -23,7 +23,7 @@ pub fn table1_csv(rows: &[table1::Row]) -> String {
         for c in &first.configs {
             let _ = write!(
                 out,
-                ",{0}_cycles,{0}_blocks,{0}_improvement,{0}_mtup",
+                ",{0}_cycles,{0}_blocks,{0}_improvement,{0}_mtup,{0}_util",
                 c.label.replace(['(', ')'], "")
             );
         }
@@ -38,11 +38,12 @@ pub fn table1_csv(rows: &[table1::Row]) -> String {
         for c in &r.configs {
             let _ = write!(
                 out,
-                ",{},{},{:.2},{}",
+                ",{},{},{:.2},{},{}",
                 c.cycles,
                 c.blocks,
                 c.improvement,
-                c.stats.mtup()
+                c.stats.mtup(),
+                c.stats.utilization()
             );
         }
         out.push('\n');
@@ -58,7 +59,7 @@ pub fn table2_csv(rows: &[table2::Row]) -> String {
             let safe = label.replace(' ', "_");
             let _ = write!(
                 out,
-                ",{safe}_cycles,{safe}_improvement,{safe}_mispredict_rate"
+                ",{safe}_cycles,{safe}_improvement,{safe}_mispredict_rate,{safe}_util"
             );
         }
     }
@@ -69,8 +70,12 @@ pub fn table2_csv(rows: &[table2::Row]) -> String {
             continue;
         }
         let _ = write!(out, "{},{}", r.name, r.bb_cycles);
-        for (_, cycles, improvement, mr) in &r.results {
-            let _ = write!(out, ",{cycles},{improvement:.2},{mr:.4}");
+        for (_, cycles, improvement, mr, stats) in &r.results {
+            let _ = write!(
+                out,
+                ",{cycles},{improvement:.2},{mr:.4},{}",
+                stats.utilization()
+            );
         }
         out.push('\n');
     }
@@ -90,6 +95,7 @@ pub fn table2_budget_csv(rows: &[table2::BudgetRow]) -> String {
                 ",{label}_blocks,{label}_improvement,{label}_trials,{label}_skipped,{label}_mtup"
             );
         }
+        out.push_str(",portfolio_blocks,portfolio_improvement,portfolio_winner,portfolio_entrants");
     }
     out.push('\n');
     for r in rows {
@@ -105,6 +111,13 @@ pub fn table2_budget_csv(rows: &[table2::BudgetRow]) -> String {
                 stats.trials,
                 stats.budget_skipped,
                 stats.mtup()
+            );
+        }
+        if let Some(p) = &r.portfolio {
+            let _ = write!(
+                out,
+                ",{},{:.2},{},{}",
+                p.blocks, p.improvement, p.winner, p.stats.tournament_entrants
             );
         }
         out.push('\n');

@@ -186,6 +186,56 @@ pub fn measure_scaling(
     Ok(rows)
 }
 
+/// One sample of the *unsharded* sequential engine over the same suite —
+/// the reference point for [`ScalingRow`]'s overhead accounting.
+#[derive(Clone, Debug)]
+pub struct UnshardedRow {
+    /// Wall-clock time to cycle-simulate the whole composite suite (ms,
+    /// best of the measured repetitions).
+    pub wall_ms: f64,
+    /// Total cycles simulated across the suite.
+    pub cycles: u64,
+    /// Throughput in Mcycles per wall-clock second.
+    pub mcps: f64,
+}
+
+/// Cycle-simulate the convergent form of every composite end-to-end with
+/// the plain sequential engine (no checkpoint plan, no stitch), `reps`
+/// times (best wall time kept). Dividing this throughput by the 1-worker
+/// sharded throughput of [`measure_scaling`] gives the sharding machinery's
+/// overhead ratio: plan + replay-from-checkpoint + validating stitch,
+/// isolated from any parallel speedup.
+///
+/// # Errors
+/// A message naming the composite when compilation or simulation fails.
+pub fn measure_unsharded(reps: usize) -> Result<UnshardedRow, String> {
+    let config = TimingConfig::trips();
+    let suite = prepare_suite(&config)?;
+    let mut best_ms = f64::INFINITY;
+    let mut cycles = 0u64;
+    for _ in 0..reps.max(1) {
+        cycles = 0;
+        let t = Instant::now();
+        for pr in &suite {
+            let r = simulate_timing_lowered(&pr.p, &pr.args, &pr.memory, &config)
+                .map_err(|e| format!("{}: sequential simulation failed: {e}", pr.name))?;
+            if r.cycles != pr.seq_cycles {
+                return Err(format!(
+                    "{}: sequential engine is nondeterministic: {} != {}",
+                    pr.name, r.cycles, pr.seq_cycles
+                ));
+            }
+            cycles += r.cycles;
+        }
+        best_ms = best_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    Ok(UnshardedRow {
+        wall_ms: best_ms,
+        cycles,
+        mcps: cycles as f64 / 1e6 / (best_ms / 1e3),
+    })
+}
+
 /// Render scaling rows as CSV (`results/sim_scaling.csv`).
 pub fn scaling_csv(rows: &[ScalingRow]) -> String {
     use std::fmt::Write as _;

@@ -10,6 +10,7 @@
 use crate::render::{pct, render_table};
 use crate::{percent_improvement, try_compile_and_count, try_compile_and_time};
 use chf_core::pipeline::{CompileConfig, PhaseOrdering};
+use chf_core::tournament::{run_tournament, ScoreMetric, TournamentConfig};
 use chf_core::{FormationStats, PolicyKind};
 use chf_workloads::{microbenchmarks, spec_suite, Workload};
 
@@ -64,8 +65,10 @@ pub struct Row {
     pub name: String,
     /// Baseline cycles.
     pub bb_cycles: u64,
-    /// `(label, cycles, improvement %, misprediction rate)` per heuristic.
-    pub results: Vec<(&'static str, u64, f64, f64)>,
+    /// `(label, cycles, improvement %, misprediction rate, formation
+    /// stats)` per heuristic. The stats carry the block-utilization
+    /// permilles alongside the `m/t/u/p` ledger.
+    pub results: Vec<(&'static str, u64, f64, f64, FormationStats)>,
     /// Failure marker: see [`crate::table1::Row::error`].
     pub error: Option<String>,
 }
@@ -92,11 +95,12 @@ pub fn measure(w: &Workload) -> Row {
     let mut results = Vec::new();
     for (label, config) in configurations() {
         match try_compile_and_time(w, &config) {
-            Ok((t, _)) => results.push((
+            Ok((t, stats)) => results.push((
                 label,
                 t.cycles,
                 percent_improvement(bb.cycles, t.cycles),
                 t.misprediction_rate(),
+                stats,
             )),
             Err(e) => return Row::poisoned(w.name.clone(), e),
         }
@@ -126,6 +130,23 @@ pub fn run_with(workers: usize) -> Vec<Row> {
         .collect()
 }
 
+/// The portfolio ("oracle") column of the budget ablation: the winner of a
+/// per-function policy tournament over the same three policies at both the
+/// constrained budget and unbounded — what an adaptive compiler that tries
+/// every entrant would pick.
+#[derive(Clone, Debug)]
+pub struct PortfolioCol {
+    /// Winning entrant's label (`HF@16`, `BF@unb`, …).
+    pub winner: String,
+    /// Winner's dynamic block count.
+    pub blocks: u64,
+    /// Winner's percent improvement over basic blocks.
+    pub improvement: f64,
+    /// Winner's formation stats (`tournament_entrants` records the
+    /// portfolio size).
+    pub stats: FormationStats,
+}
+
 /// One composite's measurements under the constrained trial budget.
 #[derive(Clone, Debug)]
 pub struct BudgetRow {
@@ -138,6 +159,10 @@ pub struct BudgetRow {
     /// stats carry the ledger: trials spent and candidates skipped when
     /// the budget ran out.
     pub results: Vec<(&'static str, u64, f64, FormationStats)>,
+    /// The tournament winner over the portfolio
+    /// `{BF, HF, DF} × {budget, unbounded}` — structurally never worse
+    /// than any fixed-policy column. `None` only on poisoned rows.
+    pub portfolio: Option<PortfolioCol>,
     /// Failure marker: see [`crate::table1::Row::error`].
     pub error: Option<String>,
 }
@@ -149,8 +174,28 @@ impl BudgetRow {
             name,
             bb_blocks: 0,
             results: Vec::new(),
+            portfolio: None,
             error: Some(error),
         }
+    }
+}
+
+/// The tournament portfolio of the budget ablation: the three ablation
+/// policies, each entered at the constrained budget *and* unbounded, scored
+/// by dynamic block count. The budgeted entrants are byte-for-byte the
+/// ablation's own column configurations, so the winner can never be worse
+/// than the best fixed column.
+pub fn portfolio_config(budget: usize) -> TournamentConfig {
+    TournamentConfig {
+        policies: vec![
+            PolicyKind::BreadthFirst,
+            PolicyKind::HotFirst,
+            PolicyKind::DepthFirst,
+        ],
+        budgets: vec![Some(budget), None],
+        metric: ScoreMetric::DynamicBlocks,
+        guard_band_permille: 20,
+        base: CompileConfig::with_policy(PolicyKind::BreadthFirst, true),
     }
 }
 
@@ -176,10 +221,26 @@ pub fn measure_budget(w: &Workload, budget: usize) -> BudgetRow {
             Err(e) => return BudgetRow::poisoned(w.name.clone(), e),
         }
     }
+    let portfolio = match run_tournament(
+        &w.function,
+        &w.profile,
+        &w.args,
+        &w.memory,
+        &portfolio_config(budget),
+    ) {
+        Ok(t) => PortfolioCol {
+            winner: t.label.clone(),
+            blocks: t.score,
+            improvement: percent_improvement(bb.blocks_executed, t.score),
+            stats: t.winner.stats,
+        },
+        Err(e) => return BudgetRow::poisoned(w.name.clone(), format!("{}: {e}", w.name)),
+    };
     BudgetRow {
         name: w.name.clone(),
         bb_blocks: bb.blocks_executed,
         results,
+        portfolio: Some(portfolio),
         error: None,
     }
 }
@@ -202,7 +263,7 @@ pub fn run_budget_with(workers: usize, budget: usize) -> Vec<BudgetRow> {
 }
 
 /// Render the budget ablation: per-policy improvement plus the trial
-/// ledger (`spent/skipped`).
+/// ledger (`spent/skipped`), and the portfolio (tournament-winner) column.
 pub fn render_budget(rows: &[BudgetRow], budget: usize) -> String {
     let mut header: Vec<String> = vec!["benchmark".into(), "BB blocks".into()];
     let healthy: Vec<&BudgetRow> = rows.iter().filter(|r| r.error.is_none()).collect();
@@ -211,6 +272,8 @@ pub fn render_budget(rows: &[BudgetRow], budget: usize) -> String {
             header.push(format!("{label}@{budget}"));
             header.push(format!("{label} ledger"));
         }
+        header.push("portfolio".into());
+        header.push("winner".into());
     }
     let mut body = Vec::new();
     for r in rows {
@@ -223,6 +286,10 @@ pub fn render_budget(rows: &[BudgetRow], budget: usize) -> String {
             row.push(pct(*improvement));
             row.push(stats.ledger());
         }
+        if let Some(p) = &r.portfolio {
+            row.push(pct(p.improvement));
+            row.push(p.winner.clone());
+        }
         body.push(row);
     }
     if let Some(first) = healthy.first() {
@@ -234,6 +301,14 @@ pub fn render_budget(rows: &[BudgetRow], budget: usize) -> String {
             avg.push(pct(mean));
             avg.push(String::new());
         }
+        let port_mean: f64 = healthy
+            .iter()
+            .filter_map(|r| r.portfolio.as_ref())
+            .map(|p| p.improvement)
+            .sum::<f64>()
+            / healthy.len() as f64;
+        avg.push(pct(port_mean));
+        avg.push(String::new());
         body.push(avg);
     }
     render_table(&header, &body)
@@ -255,7 +330,7 @@ pub fn render(rows: &[Row]) -> String {
             continue;
         }
         let mut row = vec![r.name.clone(), r.bb_cycles.to_string()];
-        for (_, _, improvement, _) in &r.results {
+        for (_, _, improvement, _, _) in &r.results {
             row.push(pct(*improvement));
         }
         body.push(row);

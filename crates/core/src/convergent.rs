@@ -180,6 +180,23 @@ pub struct FormationStats {
     /// Never set under the default `deadline: None`, so golden snapshots
     /// are unaffected.
     pub deadline_hit: bool,
+    /// Mean block fill of the final artifact as instruction slots per
+    /// `max_insts` (TRIPS: 128), in permille. Computed once per compile by
+    /// the pipeline after the backend runs; 0 until then. Kept as an
+    /// integer so the stats stay `Copy + Eq` and hash-stable for the
+    /// service cache's integrity digest.
+    pub util_insts_permille: u32,
+    /// Mean memory-op fill per `max_memory_ops` (TRIPS: 32), in permille.
+    pub util_mem_permille: u32,
+    /// Mean register-bank port fill — reads plus writes over the total
+    /// bank read/write ports (TRIPS: 4 banks × (8 + 8)) — in permille.
+    pub util_bank_permille: u32,
+    /// Policy-tournament provenance: how many portfolio entrants were
+    /// compiled and scored to produce this artifact. 0 = no tournament
+    /// (the default fixed-policy path), 1 = the shape cache's hot path
+    /// (single compile with a cached winning policy), ≥ 2 = a full
+    /// tournament. Not part of [`FormationStats::mtup`].
+    pub tournament_entrants: usize,
 }
 
 impl FormationStats {
@@ -194,6 +211,13 @@ impl FormationStats {
         self.trials += other.trials;
         self.budget_skipped += other.budget_skipped;
         self.deadline_hit |= other.deadline_hit;
+        // Utilization is measured once, on the final artifact; when two
+        // records are folded (phase accumulation, suite totals) keep the
+        // larger measurement rather than inventing an average.
+        self.util_insts_permille = self.util_insts_permille.max(other.util_insts_permille);
+        self.util_mem_permille = self.util_mem_permille.max(other.util_mem_permille);
+        self.util_bank_permille = self.util_bank_permille.max(other.util_bank_permille);
+        self.tournament_entrants += other.tournament_entrants;
     }
 
     /// Render as the paper's `m/t/u/p` column. When a trial budget was in
@@ -218,6 +242,16 @@ impl FormationStats {
     /// bit).
     pub fn ledger(&self) -> String {
         format!("{}/{}", self.trials, self.budget_skipped)
+    }
+
+    /// The block-utilization metric as a stable `insts/mem/banks` permille
+    /// triple (e.g. `512/188/266` = blocks half full of instructions).
+    /// Zeroes until the pipeline measures the final artifact.
+    pub fn utilization(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.util_insts_permille, self.util_mem_permille, self.util_bank_permille
+        )
     }
 }
 

@@ -15,6 +15,10 @@
 //!   peeling, and unrolling (§4.1, Figures 2–4);
 //! * [`convergent`] — `ExpandBlock` / `MergeBlocks` (§4.2, Figure 5);
 //! * [`policy`] — breadth-first, depth-first, and VLIW block selection (§5);
+//! * [`tournament`] — adaptive per-function policy portfolios: compile
+//!   every `(policy, budget)` entrant, score on the training input, keep
+//!   the winner (beyond the paper; the service caches winners by CFG
+//!   shape);
 //! * [`unroll`] — discrete profile-driven loop unrolling/peeling used by the
 //!   classical phase-ordering baselines (§3, §7.1);
 //! * [`reverse`] — reverse if-conversion / block splitting (§6);
@@ -42,6 +46,7 @@ pub mod pipeline;
 pub mod policy;
 pub mod regalloc;
 pub mod reverse;
+pub mod tournament;
 pub mod unroll;
 
 pub use chaos::{campaign, CampaignReport, ChaosSpec, FaultKind, KindTally};
@@ -53,3 +58,4 @@ pub use error::ChfError;
 pub use oracle::OracleConfig;
 pub use pipeline::{compile, try_compile, CompileConfig, Compiled, PhaseOrdering};
 pub use policy::PolicyKind;
+pub use tournament::{run_tournament, ScoreMetric, TournamentConfig, TournamentResult};

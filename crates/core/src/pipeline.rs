@@ -291,7 +291,40 @@ pub fn try_compile(
         error,
     })?;
 
+    let (insts, mem, banks) = block_utilization(&f, &config.constraints);
+    stats.util_insts_permille = insts;
+    stats.util_mem_permille = mem;
+    stats.util_bank_permille = banks;
+
     Ok(Compiled { function: f, stats })
+}
+
+/// Mean block utilization of the final artifact against the structural
+/// constraints, in permille: instruction slots per `max_insts`, memory ops
+/// per `max_memory_ops`, and register-bank port pressure (reads + writes)
+/// per total bank ports. TRIPS blocks are fixed 128-instruction instances,
+/// so every point below 1000 is fetch/map bandwidth an underfull
+/// hyperblock wastes — the dual of the merge constraints, and the signal a
+/// future split pass would act on.
+fn block_utilization(f: &Function, c: &BlockConstraints) -> (u32, u32, u32) {
+    let liveness = chf_ir::liveness::Liveness::compute(f);
+    let bank_ports = c.reg_banks as usize * (c.reads_per_bank + c.writes_per_bank);
+    let (mut n, mut insts_pm, mut mem_pm, mut bank_pm) = (0usize, 0usize, 0usize, 0usize);
+    for (id, blk) in f.blocks() {
+        n += 1;
+        insts_pm += (blk.size() * 1000 / c.max_insts.max(1)).min(1000);
+        mem_pm += (blk.memory_ops() * 1000 / c.max_memory_ops.max(1)).min(1000);
+        let ports = liveness.register_reads(id).len() + liveness.register_writes(id).len();
+        bank_pm += (ports * 1000 / bank_ports.max(1)).min(1000);
+    }
+    if n == 0 {
+        return (0, 0, 0);
+    }
+    (
+        (insts_pm / n) as u32,
+        (mem_pm / n) as u32,
+        (bank_pm / n) as u32,
+    )
 }
 
 #[cfg(test)]

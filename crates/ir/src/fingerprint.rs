@@ -1,0 +1,201 @@
+//! CFG-shape fingerprints: a coarse, renaming-stable summary of a
+//! function's control structure and profile skew.
+//!
+//! Two functions that differ only in register numbering, block-id
+//! numbering, or instruction payloads — but share the same loop nesting,
+//! branch fan-out, size class, and profile concentration — fingerprint
+//! identically. The compile service uses this to cache *policy decisions*
+//! (which block-selection policy won a tournament) across functions of the
+//! same shape, the way ahead-of-time provers specialize configurations by
+//! circuit shape: the exact content-addressed cache still keys full
+//! compile results, while the shape cache keys the much smaller space of
+//! "what worked on CFGs that look like this".
+//!
+//! Every component is a multiset or a bucket, never an id- or
+//! iteration-order-dependent value:
+//!
+//! * **loop-nest depth histogram** — how many blocks sit at loop depth
+//!   0, 1, 2, … (natural loops; depth 0 = not in any loop);
+//! * **branch fan-out histogram** — how many blocks have 0, 1, 2, … exits;
+//! * **block-count bucket** — `log2` of the live block count;
+//! * **profile-skew bucket** — how concentrated the dynamic block counts
+//!   are in the single hottest block (cold/uniform/warm/hot/spiky).
+
+use crate::function::Function;
+use crate::fxhash::FxHasher;
+use crate::loops::LoopForest;
+use crate::profile::ProfileData;
+use std::hash::Hasher;
+
+/// Histogram arms for loop depth and fan-out; deeper/wider lands in the
+/// last arm.
+const HIST_ARMS: usize = 8;
+
+/// A function's CFG shape: the inputs to [`CfgShape::fingerprint`],
+/// exposed so diagnostics can explain *why* two functions share a shape.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CfgShape {
+    /// `loop_depth_hist[d]` = blocks at natural-loop depth `d` (arm
+    /// `HIST_ARMS - 1` collects everything deeper).
+    pub loop_depth_hist: [u32; HIST_ARMS],
+    /// `fanout_hist[k]` = blocks with `k` exits (last arm collects wider).
+    pub fanout_hist: [u32; HIST_ARMS],
+    /// `floor(log2(live blocks))`, 0 for an empty or single-block function.
+    pub block_bucket: u32,
+    /// Profile concentration: the hottest block's share of all dynamic
+    /// block executions, bucketed (0 = unprofiled, then ≤1/8, ≤1/4, ≤1/2,
+    /// ≤3/4, >3/4).
+    pub skew_bucket: u32,
+}
+
+impl CfgShape {
+    /// Measure the shape of `f` under `profile`.
+    ///
+    /// Deterministic and invariant under register renaming and block-id
+    /// permutation: every component is computed from per-block properties
+    /// aggregated as a multiset, so neither numbering can leak in. The
+    /// profile must be keyed consistently with `f`'s block ids (the same
+    /// requirement every other profile consumer has).
+    pub fn of(f: &Function, profile: &ProfileData) -> CfgShape {
+        let forest = LoopForest::of(f);
+        let mut loop_depth_hist = [0u32; HIST_ARMS];
+        let mut fanout_hist = [0u32; HIST_ARMS];
+        let mut blocks = 0u32;
+        for (id, blk) in f.blocks() {
+            blocks += 1;
+            loop_depth_hist[forest.depth(id).min(HIST_ARMS - 1)] += 1;
+            fanout_hist[blk.exits.len().min(HIST_ARMS - 1)] += 1;
+        }
+        let block_bucket = if blocks == 0 {
+            0
+        } else {
+            31 - blocks.leading_zeros()
+        };
+
+        let total: u64 = profile.block_counts.values().sum();
+        let hottest: u64 = profile.block_counts.values().copied().max().unwrap_or(0);
+        // hottest/total in eighths, then coarsened to 5 arms (0 = no
+        // profile at all).
+        let skew_bucket = match (hottest * 8).checked_div(total) {
+            None => 0,
+            Some(0..=1) => 1, // ≤ 1/8: flat profile
+            Some(2) => 2,     // ≤ 1/4
+            Some(3..=4) => 3, // ≤ 1/2
+            Some(5..=6) => 4, // ≤ 3/4
+            Some(_) => 5,     // one dominant block
+        };
+
+        CfgShape {
+            loop_depth_hist,
+            fanout_hist,
+            block_bucket,
+            skew_bucket,
+        }
+    }
+
+    /// Deepest loop nest observed (the largest non-empty histogram arm).
+    pub fn max_loop_depth(&self) -> usize {
+        self.loop_depth_hist
+            .iter()
+            .rposition(|&n| n > 0)
+            .unwrap_or(0)
+    }
+
+    /// Hash the shape to a stable 64-bit key.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FxHasher::default();
+        for n in self.loop_depth_hist {
+            h.write_u32(n);
+        }
+        for n in self.fanout_hist {
+            h.write_u32(n);
+        }
+        h.write_u32(self.block_bucket);
+        h.write_u32(self.skew_bucket);
+        h.finish()
+    }
+}
+
+/// [`CfgShape::of`] composed with [`CfgShape::fingerprint`].
+pub fn shape_fingerprint(f: &Function, profile: &ProfileData) -> u64 {
+    CfgShape::of(f, profile).fingerprint()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::Operand;
+
+    /// `depth` nested counted loops around a trivial body.
+    fn nest(depth: usize) -> Function {
+        let mut fb = FunctionBuilder::new("nest", 1);
+        let entry = fb.create_block();
+        let exit = fb.create_block();
+        let mut headers = Vec::new();
+        for _ in 0..depth {
+            headers.push((fb.create_block(), fb.create_block()));
+        }
+        fb.switch_to(entry);
+        let n = fb.param(0);
+        if depth == 0 {
+            fb.ret(Some(Operand::Reg(n)));
+            return fb.build().unwrap();
+        }
+        let counters: Vec<_> = (0..depth).map(|_| fb.mov(Operand::Imm(0))).collect();
+        fb.jump(headers[0].0);
+        for d in 0..depth {
+            let (header, latch) = headers[d];
+            fb.switch_to(header);
+            let c = fb.cmp_lt(Operand::Reg(counters[d]), Operand::Reg(n));
+            let inner = if d + 1 < depth {
+                headers[d + 1].0
+            } else {
+                latch
+            };
+            fb.branch(c, inner, if d == 0 { exit } else { headers[d - 1].1 });
+            fb.switch_to(latch);
+            let inc = fb.add(Operand::Reg(counters[d]), Operand::Imm(1));
+            fb.mov_to(counters[d], Operand::Reg(inc));
+            fb.jump(header);
+        }
+        fb.switch_to(exit);
+        fb.ret(Some(Operand::Reg(n)));
+        fb.build().unwrap()
+    }
+
+    #[test]
+    fn deeper_nests_fingerprint_differently() {
+        let p = ProfileData::default();
+        let f1 = shape_fingerprint(&nest(1), &p);
+        let f2 = shape_fingerprint(&nest(2), &p);
+        let f3 = shape_fingerprint(&nest(3), &p);
+        assert_ne!(f1, f2);
+        assert_ne!(f2, f3);
+        assert_ne!(f1, f3);
+    }
+
+    #[test]
+    fn shape_is_stable_across_calls() {
+        let f = nest(2);
+        let p = ProfileData::default();
+        assert_eq!(shape_fingerprint(&f, &p), shape_fingerprint(&f, &p));
+        let shape = CfgShape::of(&f, &p);
+        assert_eq!(shape.max_loop_depth(), 2);
+    }
+
+    #[test]
+    fn skew_bucket_tracks_profile_concentration() {
+        let f = nest(1);
+        let flat = ProfileData::default();
+        let mut hot = ProfileData::default();
+        for id in f.block_ids() {
+            hot.block_counts.insert(id, 1);
+        }
+        *hot.block_counts.values_mut().next().unwrap() = 1_000;
+        assert_ne!(
+            CfgShape::of(&f, &flat).skew_bucket,
+            CfgShape::of(&f, &hot).skew_bucket
+        );
+    }
+}

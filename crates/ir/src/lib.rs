@@ -44,6 +44,7 @@ pub mod block;
 pub mod builder;
 pub mod cfg;
 pub mod dom;
+pub mod fingerprint;
 pub mod function;
 pub mod fxhash;
 pub mod ids;
@@ -60,6 +61,7 @@ pub mod verify;
 pub use block::{Block, Exit, ExitTarget};
 pub use builder::FunctionBuilder;
 pub use dom::DomTree;
+pub use fingerprint::{shape_fingerprint, CfgShape};
 pub use function::Function;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use ids::{BlockId, Reg};

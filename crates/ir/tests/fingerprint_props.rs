@@ -1,0 +1,249 @@
+//! Property tests for CFG-shape fingerprints: the shape must be invariant
+//! under value (register) renaming and block-label permutation — the two
+//! "same program, different numbering" transformations a shape cache must
+//! see through — while still distinguishing genuinely different control
+//! structure (loop-nest depth).
+
+use chf_ir::block::{Block, ExitTarget};
+use chf_ir::builder::FunctionBuilder;
+use chf_ir::fingerprint::{shape_fingerprint, CfgShape};
+use chf_ir::function::Function;
+use chf_ir::fxhash::FxHashMap;
+use chf_ir::ids::{BlockId, Reg};
+use chf_ir::instr::Operand;
+use chf_ir::profile::ProfileData;
+use chf_ir::testgen::{generate, GenConfig};
+use chf_ir::verify::verify;
+use chf_sim::functional::{profile_run, run, RunConfig};
+use proptest::prelude::*;
+
+/// SplitMix64 — the deterministic shuffle source (the in-tree proptest
+/// shim does not expose an RNG to test bodies).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut state = seed;
+    for i in (1..items.len()).rev() {
+        let j = (splitmix(&mut state) % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// Rename every non-parameter register through a seeded permutation of the
+/// register space. Parameters (`r0..params`) keep their ABI slots, so the
+/// renamed function is behaviourally identical.
+fn rename_registers(f: &Function, seed: u64) -> Function {
+    let params = f.params;
+    let mut tail: Vec<u32> = (params..f.reg_count()).collect();
+    shuffle(&mut tail, seed);
+    let map = |r: Reg| -> Reg {
+        if r.0 < params {
+            r
+        } else {
+            Reg(tail[(r.0 - params) as usize])
+        }
+    };
+    let map_op = |op: Operand| -> Operand {
+        match op {
+            Operand::Reg(r) => Operand::Reg(map(r)),
+            imm => imm,
+        }
+    };
+    let mut g = f.clone();
+    let ids: Vec<BlockId> = g.block_ids().collect();
+    for id in ids {
+        let blk = g.block_mut(id);
+        for inst in &mut blk.insts {
+            inst.dst = inst.dst.map(map);
+            inst.a = inst.a.map(map_op);
+            inst.b = inst.b.map(map_op);
+            if let Some(p) = &mut inst.pred {
+                p.reg = map(p.reg);
+            }
+        }
+        for e in &mut blk.exits {
+            if let Some(p) = &mut e.pred {
+                p.reg = map(p.reg);
+            }
+            if let ExitTarget::Return(Some(op)) = &mut e.target {
+                *op = map_op(*op);
+            }
+        }
+    }
+    g
+}
+
+/// Rebuild `f` with its blocks stored under a seeded permutation of labels
+/// (slot order), retargeting every edge and rekeying the profile to match.
+/// The result is the same CFG under different block ids.
+fn permute_blocks(f: &Function, profile: &ProfileData, seed: u64) -> (Function, ProfileData) {
+    let mut order: Vec<BlockId> = f.block_ids().collect();
+    shuffle(&mut order, seed);
+    let map: FxHashMap<BlockId, BlockId> = order
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, BlockId(new as u32)))
+        .collect();
+
+    let mut g = Function::new(f.name.clone(), f.params);
+    g.ensure_regs(f.reg_count());
+    for _ in 1..order.len() {
+        g.add_block(Block::new());
+    }
+    for (new, &old) in order.iter().enumerate() {
+        let mut blk = f.block(old).clone();
+        for e in &mut blk.exits {
+            if let ExitTarget::Block(t) = e.target {
+                e.target = ExitTarget::Block(map[&t]);
+            }
+        }
+        *g.block_mut(BlockId(new as u32)) = blk;
+    }
+    g.entry = map[&f.entry];
+
+    let mut p = ProfileData::default();
+    for (b, n) in &profile.block_counts {
+        p.block_counts.insert(map[b], *n);
+    }
+    for ((b, k), n) in &profile.exit_counts {
+        p.exit_counts.insert((map[b], *k), *n);
+    }
+    for (b, h) in &profile.trip_histograms {
+        p.trip_histograms.insert(map[b], h.clone());
+    }
+    (g, p)
+}
+
+fn gen_config() -> impl Strategy<Value = GenConfig> {
+    (1u32..4, 2u32..8, 0u64..6, 3u32..8, any::<bool>()).prop_map(
+        |(max_depth, max_stmts, max_trips, num_vars, memory_ops)| GenConfig {
+            max_depth,
+            max_stmts,
+            max_trips,
+            num_vars,
+            memory_ops,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Register renaming changes no shape component: the renamed function
+    /// is behaviourally identical and fingerprints identically.
+    #[test]
+    fn fingerprint_invariant_under_register_renaming(
+        seed in any::<u64>(),
+        rename_seed in any::<u64>(),
+        cfg in gen_config(),
+    ) {
+        let f = generate(seed, &cfg);
+        let args: Vec<i64> = (0..f.params).map(|i| i as i64 + 3).collect();
+        let profile = profile_run(&f, &args, &[]).unwrap_or_default();
+        let g = rename_registers(&f, rename_seed);
+        prop_assert!(verify(&g).is_ok(), "renaming broke the function");
+        let a = run(&f, &args, &[], &RunConfig::default()).unwrap();
+        let b = run(&g, &args, &[], &RunConfig::default()).unwrap();
+        prop_assert_eq!(a.digest(), b.digest(), "renaming changed behaviour");
+        prop_assert_eq!(
+            CfgShape::of(&f, &profile),
+            CfgShape::of(&g, &profile),
+            "shape saw through to register numbers"
+        );
+        prop_assert_eq!(shape_fingerprint(&f, &profile), shape_fingerprint(&g, &profile));
+    }
+
+    /// Block-label permutation changes no shape component: the same CFG
+    /// stored under different block ids (with the profile rekeyed to
+    /// match) fingerprints identically.
+    #[test]
+    fn fingerprint_invariant_under_block_permutation(
+        seed in any::<u64>(),
+        perm_seed in any::<u64>(),
+        cfg in gen_config(),
+    ) {
+        let f = generate(seed, &cfg);
+        let args: Vec<i64> = (0..f.params).map(|i| i as i64 + 3).collect();
+        let profile = profile_run(&f, &args, &[]).unwrap_or_default();
+        let (g, gp) = permute_blocks(&f, &profile, perm_seed);
+        prop_assert!(verify(&g).is_ok(), "permutation broke the function");
+        let a = run(&f, &args, &[], &RunConfig::default()).unwrap();
+        let b = run(&g, &args, &[], &RunConfig::default()).unwrap();
+        prop_assert_eq!(a.digest(), b.digest(), "permutation changed behaviour");
+        prop_assert_eq!(
+            CfgShape::of(&f, &profile),
+            CfgShape::of(&g, &gp),
+            "shape saw through to block labels"
+        );
+        prop_assert_eq!(shape_fingerprint(&f, &profile), shape_fingerprint(&g, &gp));
+    }
+
+    /// Both numbering transformations composed still fingerprint
+    /// identically.
+    #[test]
+    fn fingerprint_invariant_under_composed_renamings(
+        seed in any::<u64>(),
+        s1 in any::<u64>(),
+        s2 in any::<u64>(),
+        cfg in gen_config(),
+    ) {
+        let f = generate(seed, &cfg);
+        let args: Vec<i64> = (0..f.params).map(|i| i as i64 + 3).collect();
+        let profile = profile_run(&f, &args, &[]).unwrap_or_default();
+        let (g, gp) = permute_blocks(&rename_registers(&f, s1), &profile, s2);
+        prop_assert_eq!(shape_fingerprint(&f, &profile), shape_fingerprint(&g, &gp));
+    }
+}
+
+/// The fingerprint is not vacuous: nested loops of different depths must
+/// land in different shapes (the loop-depth histogram separates them).
+#[test]
+fn fingerprint_distinguishes_loop_nest_depths() {
+    fn nest(depth: usize) -> Function {
+        let mut fb = FunctionBuilder::new("nest", 1);
+        let entry = fb.create_block();
+        let exit = fb.create_block();
+        let loops: Vec<(BlockId, BlockId)> = (0..depth)
+            .map(|_| (fb.create_block(), fb.create_block()))
+            .collect();
+        fb.switch_to(entry);
+        let n = fb.param(0);
+        let counters: Vec<Reg> = (0..depth).map(|_| fb.mov(Operand::Imm(0))).collect();
+        fb.jump(loops[0].0);
+        for d in 0..depth {
+            let (header, latch) = loops[d];
+            fb.switch_to(header);
+            let c = fb.cmp_lt(Operand::Reg(counters[d]), Operand::Reg(n));
+            let inner = if d + 1 < depth { loops[d + 1].0 } else { latch };
+            fb.branch(c, inner, if d == 0 { exit } else { loops[d - 1].1 });
+            fb.switch_to(latch);
+            let inc = fb.add(Operand::Reg(counters[d]), Operand::Imm(1));
+            fb.mov_to(counters[d], Operand::Reg(inc));
+            fb.jump(header);
+        }
+        fb.switch_to(exit);
+        fb.ret(Some(Operand::Reg(n)));
+        fb.build().unwrap()
+    }
+
+    let p = ProfileData::default();
+    let prints: Vec<u64> = (1..=4).map(|d| shape_fingerprint(&nest(d), &p)).collect();
+    for i in 0..prints.len() {
+        for j in (i + 1)..prints.len() {
+            assert_ne!(
+                prints[i],
+                prints[j],
+                "depth {} and {} collide",
+                i + 1,
+                j + 1
+            );
+        }
+    }
+    assert_eq!(CfgShape::of(&nest(3), &p).max_loop_depth(), 3);
+}

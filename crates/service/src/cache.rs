@@ -142,8 +142,16 @@ fn entry_digest(c: &Compiled) -> u64 {
         s.skipped,
         s.trials,
         s.budget_skipped,
+        s.tournament_entrants,
     ] {
         h.write_usize(v);
+    }
+    for v in [
+        s.util_insts_permille,
+        s.util_mem_permille,
+        s.util_bank_permille,
+    ] {
+        h.write_u32(v);
     }
     h.write_u8(s.deadline_hit as u8);
     h.finish()

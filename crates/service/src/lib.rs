@@ -55,16 +55,20 @@
 pub mod cache;
 pub mod chaos;
 pub mod parallel;
+pub mod shape;
 pub mod stats;
 
 use cache::{cache_key, CacheKey, FormationCache, Lookup};
 use chf_core::pipeline::{try_compile, CompileConfig, Compiled};
-use chf_core::ChfError;
+use chf_core::tournament::{baseline, improvement_permille, score, ScoreMetric, TournamentConfig};
+use chf_core::{ChfError, PolicyKind};
 use chf_ir::function::Function;
-use chf_ir::fxhash::FxHashMap;
+use chf_ir::fxhash::{FxHashMap, FxHasher};
 use chf_ir::profile::ProfileData;
+use shape::{ShapeCache, ShapeEntry};
 use stats::{ServiceStats, StatsCollector};
 use std::collections::VecDeque;
+use std::hash::Hasher as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -119,6 +123,9 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Formation-cache capacity in entries; 0 disables memoization.
     pub cache_capacity: usize,
+    /// CFG-shape → tournament-winner cache capacity in shapes; 0 disables
+    /// shape specialization (every tournament runs the full portfolio).
+    pub shape_cache_capacity: usize,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline: Option<Duration>,
     /// Transient-failure retry policy.
@@ -131,6 +138,7 @@ impl Default for ServiceConfig {
             workers: usize::MAX, // clamped to available parallelism
             queue_capacity: 256,
             cache_capacity: 1024,
+            shape_cache_capacity: 1024,
             default_deadline: None,
             retry: RetryPolicy::default(),
         }
@@ -256,6 +264,81 @@ pub struct CompileResponse {
     pub compile_time: Duration,
 }
 
+/// A batch of submitted requests, produced by
+/// [`CompileService::submit_batch`]: the ids in submission order plus a
+/// single collective wait.
+#[must_use = "a batch that is never waited on leaves its responses unread"]
+pub struct BatchHandle<'a> {
+    svc: &'a CompileService,
+    ids: Vec<RequestId>,
+}
+
+impl BatchHandle<'_> {
+    /// Request ids, in submission order.
+    pub fn ids(&self) -> &[RequestId] {
+        &self.ids
+    }
+
+    /// Block until every request in the batch is terminal and return the
+    /// responses in submission order. Requests shed at the door
+    /// (`Rejected`) or failed synchronously are already terminal and
+    /// return immediately.
+    pub fn wait_all(self) -> Vec<CompileResponse> {
+        self.ids.iter().map(|&id| self.svc.wait(id)).collect()
+    }
+}
+
+/// One policy-tournament request: the program and profile to compile, the
+/// training input to score entrants on, and the portfolio.
+#[derive(Clone, Debug)]
+pub struct TournamentRequest {
+    /// The program, in basic-block form.
+    pub function: Function,
+    /// Training profile (also the shape fingerprint's skew input).
+    pub profile: ProfileData,
+    /// Arguments of the scoring run.
+    pub args: Vec<i64>,
+    /// Initial memory of the scoring run.
+    pub memory: Vec<(i64, i64)>,
+    /// Portfolio, metric, guard band, and base configuration.
+    pub config: TournamentConfig,
+}
+
+/// Terminal outcome of a service-side tournament.
+#[derive(Clone, Debug)]
+pub struct TournamentOutcome {
+    /// The winning artifact;
+    /// `stats.tournament_entrants` records how many policy compiles
+    /// produced it (1 = shape-cache hot path).
+    pub compiled: Compiled,
+    /// Winning policy.
+    pub policy: PolicyKind,
+    /// Winning trial budget.
+    pub budget: Option<usize>,
+    /// Winning entrant's label (`HF@16`, …).
+    pub label: String,
+    /// Winning score (lower is better).
+    pub score: u64,
+    /// Baseline score of the uncompiled input on the same metric.
+    pub baseline: u64,
+    /// CFG-shape key this tournament was cached under.
+    pub shape: u64,
+    /// Whether the shape cache answered (hot path: one policy compile).
+    pub shape_hit: bool,
+    /// Whether a shape hit regressed past the guard band and fell back to
+    /// the full portfolio.
+    pub guard_fallback: bool,
+    /// Policy compiles run and scored for this tournament.
+    pub entrants_run: usize,
+}
+
+impl TournamentOutcome {
+    /// Winner's improvement over the uncompiled baseline, in permille.
+    pub fn improvement_permille(&self) -> i64 {
+        improvement_permille(self.baseline, self.score)
+    }
+}
+
 enum State {
     Queued,
     Running,
@@ -281,6 +364,7 @@ struct Inner {
     states: Mutex<FxHashMap<RequestId, State>>,
     states_cv: Condvar,
     cache: FormationCache,
+    shapes: ShapeCache,
     stats: StatsCollector,
     shutdown: AtomicBool,
     next_id: AtomicU64,
@@ -320,6 +404,7 @@ impl CompileService {
             states: Mutex::new(FxHashMap::default()),
             states_cv: Condvar::new(),
             cache: FormationCache::new(config.cache_capacity),
+            shapes: ShapeCache::new(config.shape_cache_capacity),
             stats: StatsCollector::default(),
             shutdown: AtomicBool::new(false),
             next_id: AtomicU64::new(1),
@@ -508,6 +593,211 @@ impl CompileService {
         self.inner.cache.len()
     }
 
+    /// Submit a vector of requests as one batch, reusing the ordinary
+    /// queue and load-shedding semantics request by request (a full queue
+    /// rejects the overflow, never the whole batch), and return a handle
+    /// whose [`BatchHandle::wait_all`] collects every response in
+    /// submission order.
+    pub fn submit_batch(&self, reqs: Vec<CompileRequest>) -> BatchHandle<'_> {
+        let ids = reqs.into_iter().map(|r| self.submit(r)).collect();
+        BatchHandle { svc: self, ids }
+    }
+
+    /// Shapes currently cached in the tournament winner cache.
+    pub fn shape_cache_len(&self) -> usize {
+        self.inner.shapes.len()
+    }
+
+    /// Fault-injection / test hook: plant a winner entry for the shape
+    /// `req` would hit, with an arbitrary (possibly inflated) cached
+    /// improvement. An inflated score makes the next
+    /// [`CompileService::compile_tournament`] hot path regress past the
+    /// guard band and exercise the fallback. Returns the shape key.
+    pub fn override_shape_winner(
+        &self,
+        req: &TournamentRequest,
+        policy: PolicyKind,
+        budget: Option<usize>,
+        improvement_permille: i64,
+    ) -> u64 {
+        let shape = shape_key(&req.function, &req.profile, &req.config);
+        self.inner.shapes.insert(
+            shape,
+            ShapeEntry {
+                policy,
+                budget,
+                improvement_permille,
+            },
+        );
+        shape
+    }
+
+    /// Run a per-function policy tournament through the service.
+    ///
+    /// Cold path (shape miss): every `(policy, budget)` entrant of the
+    /// portfolio is fanned out through [`CompileService::submit_batch`],
+    /// scored on the training input in deterministic portfolio order, and
+    /// the winner (ties to the earlier entrant) is cached under the
+    /// function's CFG-shape fingerprint.
+    ///
+    /// Hot path (shape hit): a *single* compile with the cached winning
+    /// policy. The fresh artifact is re-scored; if its improvement over
+    /// baseline regresses more than the configured guard band below the
+    /// cached improvement, the entry is distrusted and the full tournament
+    /// runs instead (refreshing the cache). A stale entry therefore costs
+    /// one extra compile, never a worse artifact.
+    ///
+    /// Deterministic at any worker count: parallelism only changes when
+    /// entrants finish, not how they score or tie-break.
+    ///
+    /// # Errors
+    /// [`ChfError`] when the baseline cannot be established or every
+    /// portfolio entrant fails (compile error, shed, or miscompile).
+    pub fn compile_tournament(
+        &self,
+        req: &TournamentRequest,
+    ) -> Result<TournamentOutcome, ChfError> {
+        let stats = &self.inner.stats;
+        StatsCollector::bump(&stats.tournaments);
+        let shape = shape_key(&req.function, &req.profile, &req.config);
+        let (digest, base_score) =
+            baseline(&req.function, &req.args, &req.memory, req.config.metric).map_err(
+                |message| ChfError::Panicked {
+                    context: "tournament baseline",
+                    message,
+                },
+            )?;
+
+        if let Some(entry) = self.inner.shapes.get(shape) {
+            StatsCollector::bump(&stats.shape_hits);
+            StatsCollector::bump(&stats.tournament_entrants);
+            let mut config = req.config.base.clone();
+            config.policy = entry.policy;
+            config.trial_budget = entry.budget;
+            let resp = self.wait(self.submit(CompileRequest {
+                program: Program::Ir(req.function.clone()),
+                profile: req.profile.clone(),
+                config,
+                options: RequestOptions::default(),
+            }));
+            let hot = resp.compiled.and_then(|compiled| {
+                score(
+                    &compiled.function,
+                    &req.args,
+                    &req.memory,
+                    req.config.metric,
+                    &digest,
+                )
+                .ok()
+                .map(|s| (compiled, s))
+            });
+            if let Some((mut compiled, s)) = hot {
+                let improvement = improvement_permille(base_score, s);
+                let band = req.config.guard_band_permille as i64;
+                if improvement + band >= entry.improvement_permille {
+                    compiled.stats.tournament_entrants = 1;
+                    return Ok(TournamentOutcome {
+                        compiled,
+                        policy: entry.policy,
+                        budget: entry.budget,
+                        label: chf_core::tournament::entrant_label(entry.policy, entry.budget),
+                        score: s,
+                        baseline: base_score,
+                        shape,
+                        shape_hit: true,
+                        guard_fallback: false,
+                        entrants_run: 1,
+                    });
+                }
+            }
+            // Cached policy failed outright or regressed past the guard
+            // band: distrust the entry, run the full portfolio.
+            StatsCollector::bump(&stats.guard_fallbacks);
+            let mut outcome = self.run_portfolio(req, shape, &digest, base_score)?;
+            outcome.shape_hit = true;
+            outcome.guard_fallback = true;
+            outcome.entrants_run += 1; // the distrusted hot compile
+            return Ok(outcome);
+        }
+
+        StatsCollector::bump(&stats.shape_misses);
+        self.run_portfolio(req, shape, &digest, base_score)
+    }
+
+    /// Cold tournament: fan the portfolio out as a batch, score in entrant
+    /// order, crown and cache the winner.
+    fn run_portfolio(
+        &self,
+        req: &TournamentRequest,
+        shape: u64,
+        digest: &chf_core::tournament::BehaviourDigest,
+        base_score: u64,
+    ) -> Result<TournamentOutcome, ChfError> {
+        let entrants = req.config.entrants();
+        self.inner
+            .stats
+            .tournament_entrants
+            .fetch_add(entrants.len() as u64, Ordering::Relaxed);
+        let batch = self.submit_batch(
+            entrants
+                .iter()
+                .map(|(_, config)| CompileRequest {
+                    program: Program::Ir(req.function.clone()),
+                    profile: req.profile.clone(),
+                    config: config.clone(),
+                    options: RequestOptions::default(),
+                })
+                .collect(),
+        );
+        let mut best: Option<(usize, u64, Compiled)> = None;
+        for (idx, resp) in batch.wait_all().into_iter().enumerate() {
+            let Some(compiled) = resp.compiled else {
+                continue; // shed, failed, or timed out: not a contender
+            };
+            let Ok(s) = score(
+                &compiled.function,
+                &req.args,
+                &req.memory,
+                req.config.metric,
+                digest,
+            ) else {
+                continue; // miscompile or sim failure: contained
+            };
+            // Strict `<` keeps the earliest entrant on ties, matching the
+            // sequential core tournament at any worker count.
+            if best.as_ref().map(|(_, b, _)| s < *b).unwrap_or(true) {
+                best = Some((idx, s, compiled));
+            }
+        }
+        let (idx, s, mut compiled) = best.ok_or(ChfError::Panicked {
+            context: "tournament",
+            message: "every portfolio entrant failed".to_string(),
+        })?;
+        let (label, config) = &entrants[idx];
+        let improvement = improvement_permille(base_score, s);
+        self.inner.shapes.insert(
+            shape,
+            ShapeEntry {
+                policy: config.policy,
+                budget: config.trial_budget,
+                improvement_permille: improvement,
+            },
+        );
+        compiled.stats.tournament_entrants = entrants.len();
+        Ok(TournamentOutcome {
+            compiled,
+            policy: config.policy,
+            budget: config.trial_budget,
+            label: label.clone(),
+            score: s,
+            baseline: base_score,
+            shape,
+            shape_hit: false,
+            guard_fallback: false,
+            entrants_run: entrants.len(),
+        })
+    }
+
     /// Fault-injection hook (the `corrupted-cache-entry` chaos kind):
     /// corrupt the cached entry that `req` would hit, leaving its integrity
     /// digest stale. Returns `false` when the request has no cacheable key
@@ -565,6 +855,30 @@ impl Drop for CompileService {
     fn drop(&mut self) {
         self.shutdown_impl();
     }
+}
+
+/// Key of the shape→winner cache: the function's CFG-shape fingerprint
+/// (stable under value renaming and block-label permutation — see
+/// [`chf_ir::fingerprint`]) combined with everything that changes which
+/// winner is valid: the base configuration (with the entrant-overridden
+/// `policy`/`trial_budget` canonicalized out), the portfolio itself, and
+/// the scoring metric. Two tournaments with different portfolios never
+/// alias.
+fn shape_key(f: &Function, profile: &ProfileData, config: &TournamentConfig) -> u64 {
+    let mut base = config.base.clone();
+    base.policy = PolicyKind::BreadthFirst;
+    base.trial_budget = None;
+    let mut h = FxHasher::default();
+    h.write_u64(chf_ir::fingerprint::shape_fingerprint(f, profile));
+    h.write_u64(cache::config_fingerprint(&base));
+    for (label, _) in config.entrants() {
+        h.write(label.as_bytes());
+    }
+    h.write_u8(match config.metric {
+        ScoreMetric::DynamicBlocks => 0,
+        ScoreMetric::EventCycles => 1,
+    });
+    h.finish()
 }
 
 fn finish(inner: &Inner, resp: CompileResponse) {

@@ -25,6 +25,11 @@ pub(crate) struct StatsCollector {
     pub cache_corrupt_dropped: AtomicU64,
     pub trials: AtomicU64,
     pub compile_micros: AtomicU64,
+    pub tournaments: AtomicU64,
+    pub tournament_entrants: AtomicU64,
+    pub shape_hits: AtomicU64,
+    pub shape_misses: AtomicU64,
+    pub guard_fallbacks: AtomicU64,
     /// Wall latency of every completed compile (cold path), microseconds.
     latencies: Mutex<Vec<u64>>,
 }
@@ -64,6 +69,11 @@ impl StatsCollector {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_corrupt_dropped: self.cache_corrupt_dropped.load(Ordering::Relaxed),
+            tournaments: self.tournaments.load(Ordering::Relaxed),
+            tournament_entrants: self.tournament_entrants.load(Ordering::Relaxed),
+            shape_hits: self.shape_hits.load(Ordering::Relaxed),
+            shape_misses: self.shape_misses.load(Ordering::Relaxed),
+            guard_fallbacks: self.guard_fallbacks.load(Ordering::Relaxed),
             trials,
             compiles: lat.len() as u64,
             p50_compile_us: pick(0.50),
@@ -103,6 +113,20 @@ pub struct ServiceStats {
     /// Cache entries dropped because integrity revalidation failed
     /// (each one degraded to a cold compile instead of a miscompile).
     pub cache_corrupt_dropped: u64,
+    /// Policy tournaments resolved (shape-cache hot paths included).
+    pub tournaments: u64,
+    /// Portfolio entrants compiled and scored across all tournaments
+    /// (a shape-cache hot path contributes exactly 1).
+    pub tournament_entrants: u64,
+    /// Tournaments answered by the CFG-shape winner cache (one compile
+    /// with the cached policy instead of a full portfolio).
+    pub shape_hits: u64,
+    /// Tournaments that found no usable shape-cache entry and ran the
+    /// full portfolio.
+    pub shape_misses: u64,
+    /// Shape-cache hits whose cached policy scored past the guard band
+    /// and fell back to a full tournament.
+    pub guard_fallbacks: u64,
     /// Formation merge trials spent across all compiles.
     pub trials: u64,
     /// Compiles whose latency was recorded (cold completions).
@@ -126,6 +150,17 @@ impl ServiceStats {
         }
     }
 
+    /// Amortized portfolio entrants per tournament — the shape cache's
+    /// payoff metric. Converges from the portfolio size toward 1.0 as
+    /// recurring shapes hit the winner cache.
+    pub fn entrants_per_tournament(&self) -> f64 {
+        if self.tournaments == 0 {
+            0.0
+        } else {
+            self.tournament_entrants as f64 / self.tournaments as f64
+        }
+    }
+
     /// Requests that reached a terminal state.
     pub fn terminal(&self) -> u64 {
         self.rejected + self.done + self.degraded + self.timed_out + self.failed
@@ -137,6 +172,8 @@ impl ServiceStats {
             "{{\"submitted\":{},\"rejected\":{},\"done\":{},\"degraded\":{},\
              \"timed_out\":{},\"failed\":{},\"retries\":{},\"cache_hits\":{},\
              \"cache_misses\":{},\"cache_corrupt_dropped\":{},\"cache_hit_rate\":{:.4},\
+             \"tournaments\":{},\"tournament_entrants\":{},\"shape_hits\":{},\
+             \"shape_misses\":{},\"guard_fallbacks\":{},\"entrants_per_tournament\":{:.2},\
              \"trials\":{},\"compiles\":{},\"p50_compile_us\":{},\"p99_compile_us\":{},\
              \"trials_per_sec\":{:.1}}}",
             self.submitted,
@@ -150,6 +187,12 @@ impl ServiceStats {
             self.cache_misses,
             self.cache_corrupt_dropped,
             self.cache_hit_rate(),
+            self.tournaments,
+            self.tournament_entrants,
+            self.shape_hits,
+            self.shape_misses,
+            self.guard_fallbacks,
+            self.entrants_per_tournament(),
             self.trials,
             self.compiles,
             self.p50_compile_us,

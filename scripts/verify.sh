@@ -4,7 +4,7 @@
 #
 #   scripts/verify.sh            # everything, in order (same as `all`)
 #   scripts/verify.sh all        # fmt, build, lint, test, perf, smoke,
-#                                # sim-shard, chaos, service
+#                                # sim-shard, tournament, chaos, service
 #   scripts/verify.sh fmt        # cargo fmt --check (first CI step)
 #   scripts/verify.sh build      # cargo build --release
 #   scripts/verify.sh lint       # cargo clippy --workspace -- -D warnings
@@ -13,6 +13,11 @@
 #   scripts/verify.sh smoke      # whole_program --smoke
 #   scripts/verify.sh sim-shard  # whole_program --shard-smoke (sharded
 #                                # simulation: stitch + scaling probe)
+#   scripts/verify.sh tournament # policy-tournament gate: portfolio
+#                                # dominance over every fixed column,
+#                                # winner determinism at 1/2/8 workers,
+#                                # CSV byte-stability, shape-cache hot
+#                                # path
 #   scripts/verify.sh chaos [N]  # fault-injection campaign (default 500)
 #   scripts/verify.sh service [N] # compile-service gate: concurrent soak
 #                                # with ~5% injected faults (default 200
@@ -29,6 +34,10 @@
 #   CHF_BENCH_SIM_FLOOR_MCPS Per-call simulator throughput floor in
 #                            Mcycles/s for `perf` (default 23.8). Lower on
 #                            slow machines.
+#   CHF_SHARD_OVERHEAD_CEILING Max allowed unsharded/1-worker-sharded
+#                            throughput ratio in `perf` (default 2.5):
+#                            bounds the fixed cost of shard bookkeeping.
+#                            Raise on noisy machines.
 #   CHF_JOBS                 Worker count for the parallel evaluation
 #                            harness (default: available parallelism).
 #   CHF_SIM_SCALE_FLOOR      Minimum multi-worker / single-worker
@@ -90,6 +99,19 @@ run_sim_shard() {
     cargo run --release -p chf-bench --bin whole_program -- --shard-smoke
 }
 
+# Runs the per-function policy-tournament gate over the 19 composites:
+# the portfolio winner must dominate every fixed policy column, winners
+# and the table2_budget CSV (portfolio columns included) must be
+# byte-identical at 1/2/8 workers and match the committed archive, and a
+# second pass through one service must be answered by the CFG-shape
+# winner cache (hot path = one entrant). On CSV mismatch the regenerated
+# file is left at results/table2_budget.regenerated.csv as a failure
+# artifact.
+run_tournament() {
+    echo "==> tournament (policy-tournament + shape-cache gate)"
+    cargo run --release -p chf-bench --bin tournament
+}
+
 # Injects N seeded faults (IR corruption, profile corruption, scrambled
 # ordering inputs, mid-trial corruption) and fails on any process abort
 # or undetected miscompile.
@@ -121,6 +143,7 @@ run_all() {
     run_perf
     run_smoke
     run_sim_shard
+    run_tournament
     run_chaos "${1:-500}"
     run_service
 }
@@ -142,6 +165,7 @@ while [ "$#" -gt 0 ]; do
         perf) run_perf ;;
         smoke) run_smoke ;;
         sim-shard) run_sim_shard ;;
+        tournament) run_tournament ;;
         chaos)
             # Optional numeric fault count following `chaos`.
             case "${1:-}" in
@@ -165,7 +189,7 @@ while [ "$#" -gt 0 ]; do
         all) run_all ;;
         *)
             echo "verify.sh: unknown step '${step}'" >&2
-            echo "usage: scripts/verify.sh [fmt|build|lint|test|perf|smoke|sim-shard|chaos [N]|service [N]|all]..." >&2
+            echo "usage: scripts/verify.sh [fmt|build|lint|test|perf|smoke|sim-shard|tournament|chaos [N]|service [N]|all]..." >&2
             exit 2
             ;;
     esac

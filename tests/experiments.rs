@@ -117,6 +117,55 @@ fn table2_budget_hotfirst_at_least_matches_breadth_first() {
     }
 }
 
+/// Portfolio headline: the per-function tournament over
+/// `{BF, HF, DF} × {budget, unbounded}` contains every fixed column as an
+/// entrant, so its suite-total dynamic block count can never exceed the
+/// best fixed policy's — in particular HF's, the strongest fixed column.
+#[test]
+fn table2_portfolio_never_worse_than_any_fixed_policy() {
+    let rows = table2::run_budget_with(4, table2::DEFAULT_TRIAL_BUDGET);
+    assert_eq!(rows.len(), 19);
+    let healthy: Vec<_> = rows.iter().filter(|r| r.error.is_none()).collect();
+    assert_eq!(healthy.len(), 19, "portfolio run poisoned a composite");
+    let portfolio: u64 = healthy
+        .iter()
+        .map(|r| {
+            r.portfolio
+                .as_ref()
+                .expect("healthy row has portfolio")
+                .blocks
+        })
+        .sum();
+    for k in 0..3 {
+        let fixed: u64 = healthy.iter().map(|r| r.results[k].1).sum();
+        let label = healthy[0].results[k].0;
+        assert!(
+            portfolio <= fixed,
+            "portfolio {portfolio} blocks > fixed {label} {fixed}"
+        );
+    }
+    // Per-row dominance too: the winner is selected per function, so it
+    // must match or beat every fixed column on every single composite.
+    for r in &healthy {
+        let p = r.portfolio.as_ref().unwrap();
+        for (label, blocks, ..) in &r.results {
+            assert!(
+                p.blocks <= *blocks,
+                "{}: portfolio {} ({}) > {label} {blocks}",
+                r.name,
+                p.blocks,
+                p.winner
+            );
+        }
+        assert!(
+            p.stats.tournament_entrants == 6,
+            "{}: portfolio ran {} entrants, expected 6",
+            r.name,
+            p.stats.tournament_entrants
+        );
+    }
+}
+
 /// Figure 7's headline: cycle-count reduction correlates positively with
 /// block-count reduction.
 #[test]
