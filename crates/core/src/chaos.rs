@@ -438,6 +438,29 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
+    /// Every nonzero `(fault kind, outcome label, count)` classification
+    /// cell, in registry order — the export the trace-corpus coverage map
+    /// consumes. Labels are stable (`detected`, `rolled-back`, `survived`,
+    /// `abort`, `miscompile`); a `(kind, label)` pair is one coverage cell,
+    /// the count is informational.
+    pub fn classification_cells(&self) -> Vec<(FaultKind, &'static str, usize)> {
+        let mut cells = Vec::new();
+        for (kind, t) in FaultKind::ALL.iter().zip(&self.by_kind) {
+            for (label, n) in [
+                ("detected", t.detected),
+                ("rolled-back", t.rolled_back),
+                ("survived", t.survived),
+                ("abort", t.aborts),
+                ("miscompile", t.miscompiles),
+            ] {
+                if n > 0 {
+                    cells.push((*kind, label, n));
+                }
+            }
+        }
+        cells
+    }
+
     /// The campaign's pass criterion: no aborts, no undetected miscompiles,
     /// and every fault accounted for.
     pub fn ok(&self) -> bool {
@@ -745,6 +768,10 @@ mod tests {
             .map(|t| t.detected + t.rolled_back + t.survived + t.aborts + t.miscompiles)
             .sum();
         assert_eq!(outcomes, attributed);
+        let cells = r.classification_cells();
+        assert!(!cells.is_empty());
+        let cell_total: usize = cells.iter().map(|(_, _, n)| n).sum();
+        assert_eq!(cell_total, outcomes, "cells must cover every outcome");
         let j = r.json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"ok\":true"), "{j}");

@@ -194,36 +194,26 @@ fn detach_block(f: &mut Function, b: BlockId) {
     f.remove_block(b);
 }
 
-/// Greedy divergence-preserving reducer: starting from the pre-merge
-/// function, repeatedly try to (1) delete whole blocks, (2) delete
-/// instructions, (3) delete predicated exits — keeping each deletion only
-/// if the function still verifies and the merge `hb <- s` still diverges on
-/// `args`. Runs to a fixpoint (bounded sweeps); the result is the minimal
-/// reproducer written to disk.
-fn reduce_merge_mismatch(
+/// Greedy property-preserving reducer: repeatedly try to (1) delete whole
+/// blocks, (2) delete instructions, (3) delete predicated exits — keeping
+/// each deletion only while `keeps` still accepts the candidate. Runs to a
+/// fixpoint (bounded sweeps). Blocks in `pinned` are never deleted (the
+/// entry is always pinned).
+///
+/// The oracle drives this with "still verifies and the failing merge still
+/// diverges"; the trace-corpus fuzzer reuses it with "still lands in the
+/// same coverage cell" to shrink admitted entries.
+pub fn greedy_reduce(
     mut h: Function,
-    hb: BlockId,
-    s: BlockId,
-    config: &FormationConfig,
-    args: &[i64],
-    cfg: &OracleConfig,
+    pinned: &[BlockId],
+    keeps: &dyn Fn(&Function) -> bool,
 ) -> Function {
-    let plain = FormationConfig {
-        oracle: None,
-        chaos: None,
-        verify_trials: false,
-        ..config.clone()
-    };
-    let run_cfg = cfg.run_config();
-    let keeps = |cand: &Function| {
-        chf_ir::verify::verify(cand).is_ok() && reproduces(cand, hb, s, &plain, args, &run_cfg)
-    };
     const MAX_SWEEPS: usize = 8;
     for _ in 0..MAX_SWEEPS {
         let mut changed = false;
-        // Pass 1: whole blocks (entry and the merge pair are load-bearing).
+        // Pass 1: whole blocks (entry and pinned blocks are load-bearing).
         for b in h.block_ids().collect::<Vec<_>>() {
-            if b == h.entry || b == hb || b == s {
+            if b == h.entry || pinned.contains(&b) {
                 continue;
             }
             let mut cand = h.clone();
@@ -272,9 +262,64 @@ fn reduce_merge_mismatch(
     h
 }
 
+/// Divergence-preserving reduction of an oracle mismatch: [`greedy_reduce`]
+/// with "the function still verifies and the merge `hb <- s` still
+/// diverges on `args`" as the keep predicate, and the merge pair pinned.
+fn reduce_merge_mismatch(
+    h: Function,
+    hb: BlockId,
+    s: BlockId,
+    config: &FormationConfig,
+    args: &[i64],
+    cfg: &OracleConfig,
+) -> Function {
+    let plain = FormationConfig {
+        oracle: None,
+        chaos: None,
+        verify_trials: false,
+        ..config.clone()
+    };
+    let run_cfg = cfg.run_config();
+    let keeps = move |cand: &Function| {
+        chf_ir::verify::verify(cand).is_ok() && reproduces(cand, hb, s, &plain, args, &run_cfg)
+    };
+    greedy_reduce(h, &[hb, s], &keeps)
+}
+
+/// Write `contents` to `dir/stem.til` without ever clobbering a different
+/// repro: an existing file with identical contents is reused (the write is
+/// a no-op dedup), while a *different* existing file — a stem collision —
+/// pushes the new repro to `stem-2.til`, `stem-3.til`, … instead of
+/// silently overwriting it. Returns `None` on I/O failure.
+pub fn write_unique_til(dir: &Path, stem: &str, contents: &str) -> Option<PathBuf> {
+    std::fs::create_dir_all(dir).ok()?;
+    for k in 1..=1000u32 {
+        let name = if k == 1 {
+            format!("{stem}.til")
+        } else {
+            format!("{stem}-{k}.til")
+        };
+        let path = dir.join(name);
+        match std::fs::read_to_string(&path) {
+            Ok(existing) if existing == contents => return Some(path),
+            Ok(_) => continue, // occupied by a different repro: keep looking
+            Err(_) => {
+                std::fs::write(&path, contents).ok()?;
+                return Some(path);
+            }
+        }
+    }
+    None
+}
+
 /// Write a self-describing `.til` reproducer to `dir`. Returns `None` (and
 /// stays silent) on any I/O failure — repro writing must never be able to
 /// fail a compilation.
+///
+/// The filename carries the full 64-bit hash of the reduced body and the
+/// diverging arguments, and [`write_unique_til`] resolves any residual
+/// collision by suffixing rather than overwriting, so two distinct repros
+/// can never silently alias one file.
 fn write_repro(
     dir: &Path,
     f: &Function,
@@ -287,12 +332,11 @@ fn write_repro(
     use std::fmt::Write as _;
     use std::hash::{Hash, Hasher};
 
-    std::fs::create_dir_all(dir).ok()?;
     let body = f.to_string();
     let mut hasher = DefaultHasher::new();
     body.hash(&mut hasher);
     args.hash(&mut hasher);
-    let path = dir.join(format!("{}-{:08x}.til", f.name, hasher.finish() as u32));
+    let stem = format!("{}-{:016x}", f.name, hasher.finish());
 
     let mut text = String::new();
     let _ = writeln!(
@@ -305,8 +349,7 @@ fn write_repro(
         "# to reproduce: parse this function, run merge_blocks({hb}, {s}), compare runs"
     );
     text.push_str(&body);
-    std::fs::write(&path, text).ok()?;
-    Some(path)
+    write_unique_til(dir, &stem, &text)
 }
 
 #[cfg(test)]
@@ -335,6 +378,44 @@ mod tests {
         assert!(
             first_mismatch(&f, &g, &cfg).is_some(),
             "early-return sabotage must be observable"
+        );
+    }
+
+    #[test]
+    fn unique_til_never_clobbers_and_dedups() {
+        let dir = std::env::temp_dir().join(format!("chf_til_unique_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = write_unique_til(&dir, "repro", "contents A\n").unwrap();
+        assert_eq!(a.file_name().unwrap(), "repro.til");
+        // Same contents: dedup to the same file, no new file.
+        let a2 = write_unique_til(&dir, "repro", "contents A\n").unwrap();
+        assert_eq!(a, a2);
+        // Different contents under the same stem: must NOT overwrite.
+        let b = write_unique_til(&dir, "repro", "contents B\n").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(std::fs::read_to_string(&a).unwrap(), "contents A\n");
+        assert_eq!(std::fs::read_to_string(&b).unwrap(), "contents B\n");
+        // And the collision chain dedups too.
+        let b2 = write_unique_til(&dir, "repro", "contents B\n").unwrap();
+        assert_eq!(b, b2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn greedy_reduce_shrinks_while_preserving_property() {
+        let f = generate(5, &GenConfig::default());
+        let blocks_before = f.block_count();
+        let insts_before: usize = f.blocks().map(|(_, b)| b.insts.len()).sum();
+        // Property: still verifies and still has at least 2 blocks.
+        let keeps =
+            |cand: &Function| chf_ir::verify::verify(cand).is_ok() && cand.block_count() >= 2;
+        let reduced = greedy_reduce(f, &[], &keeps);
+        assert!(chf_ir::verify::verify(&reduced).is_ok());
+        assert!(reduced.block_count() >= 2);
+        let insts_after: usize = reduced.blocks().map(|(_, b)| b.insts.len()).sum();
+        assert!(
+            reduced.block_count() < blocks_before || insts_after < insts_before,
+            "reducer removed nothing from a generated program"
         );
     }
 

@@ -1,0 +1,292 @@
+//! The corpus manifest: one sidecar text file per `.til` entry recording
+//! everything replay needs to detect drift and everything triage needs to
+//! trace the entry back to its origin.
+//!
+//! The format is deliberately line-based `key: value` text (no serde, the
+//! workspace builds offline) and order-stable, so manifests diff cleanly in
+//! review and a drifted field shows up as a one-line change.
+
+use chf_ir::testgen::GenPlan;
+use std::fmt;
+
+/// What replaying an entry must observe.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Expect {
+    /// The entry compiles cleanly: formation stats, tournament winner, and
+    /// both digests must match the manifest byte-for-byte.
+    Formed,
+    /// The full verifier refuses the entry up front (corrupted-IR corpus
+    /// slots that pin the "detected" classification). Drift = it now
+    /// passes verification.
+    Rejected,
+    /// Compilation succeeds but the differential oracle flags a behaviour
+    /// change — a pinned miscompile reproducer. Drift = the divergence
+    /// disappeared (the bug was fixed; re-bless the entry into `passing/`).
+    Diverges,
+}
+
+impl Expect {
+    /// Stable manifest token.
+    pub fn label(self) -> &'static str {
+        match self {
+            Expect::Formed => "formed",
+            Expect::Rejected => "rejected",
+            Expect::Diverges => "diverges",
+        }
+    }
+
+    /// Parse a manifest token.
+    pub fn from_label(s: &str) -> Option<Expect> {
+        Some(match s {
+            "formed" => Expect::Formed,
+            "rejected" => Expect::Rejected,
+            "diverges" => Expect::Diverges,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Expect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The measured expectations of a formed (or diverging) entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Measured {
+    /// The paper's `m/t/u/p` rendering of the formation stats.
+    pub mtup: String,
+    /// Winning tournament entrant label (`BF@16`, `HF@unb`, …), or `-`
+    /// when the tournament could not score the function.
+    pub winner: String,
+    /// Hash of the compiled function's functional digest (return value +
+    /// memory image) on the training arguments.
+    pub func_digest: u64,
+    /// Hash of the event-driven timing simulation (cycles, mispredictions,
+    /// instruction count, digest) of the compiled function.
+    pub timing_digest: u64,
+    /// Pre-formation CFG shape class under the training profile
+    /// ([`chf_ir::fingerprint::CfgShape::class`] — bounded, so the
+    /// fuzzer's shape coverage can saturate).
+    pub shape: u64,
+    /// Combined coverage/dedup cell key (outcome bucket × shape × oracle
+    /// verdict).
+    pub cell: u64,
+}
+
+/// One corpus entry's sidecar manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// What replay must observe.
+    pub expect: Expect,
+    /// Free-text origin: `fresh-seed`, `mutated:<op> of <stem>`,
+    /// `chaos-repro`, … Informational only.
+    pub provenance: String,
+    /// The generator plan, when the entry came from the grammar (possibly
+    /// before CFG-level mutation — the `.til` body is authoritative).
+    pub plan: Option<GenPlan>,
+    /// Training/replay arguments.
+    pub train: Vec<i64>,
+    /// Seed of the deterministic profile perturbation applied between
+    /// training and formation (the "perturb edge profiles" fuzzing axis);
+    /// `None` when the entry compiles under its honest training profile.
+    pub profile_mut: Option<u64>,
+    /// Fixed-compile policy label the measurements were taken under.
+    pub policy: String,
+    /// Measured expectations; `None` for [`Expect::Rejected`] entries.
+    pub measured: Option<Measured>,
+    /// For rejected entries: the verifier's refusal, informational.
+    pub reason: Option<String>,
+}
+
+impl Manifest {
+    /// Render in the stable on-disk order.
+    pub fn render(&self) -> String {
+        let mut out = String::from("# chf-corpus manifest v1\n");
+        out.push_str(&format!("expect: {}\n", self.expect));
+        out.push_str(&format!("provenance: {}\n", self.provenance));
+        if let Some(plan) = &self.plan {
+            out.push_str(&format!("plan: {}\n", plan.describe()));
+        }
+        let train: Vec<String> = self.train.iter().map(|a| a.to_string()).collect();
+        out.push_str(&format!("train: {}\n", train.join(",")));
+        if let Some(seed) = self.profile_mut {
+            out.push_str(&format!("profile_mut: {seed}\n"));
+        }
+        out.push_str(&format!("policy: {}\n", self.policy));
+        if let Some(m) = &self.measured {
+            out.push_str(&format!("mtup: {}\n", m.mtup));
+            out.push_str(&format!("winner: {}\n", m.winner));
+            out.push_str(&format!("func_digest: {:016x}\n", m.func_digest));
+            out.push_str(&format!("timing_digest: {:016x}\n", m.timing_digest));
+            out.push_str(&format!("shape: {:016x}\n", m.shape));
+            out.push_str(&format!("cell: {:016x}\n", m.cell));
+        }
+        if let Some(reason) = &self.reason {
+            out.push_str(&format!("reason: {reason}\n"));
+        }
+        out
+    }
+
+    /// Parse a manifest file's text.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let mut expect = None;
+        let mut provenance = None;
+        let mut plan = None;
+        let mut train = None;
+        let mut profile_mut = None;
+        let mut policy = None;
+        let mut reason = None;
+        let mut mtup = None;
+        let mut winner = None;
+        let mut func_digest = None;
+        let mut timing_digest = None;
+        let mut shape = None;
+        let mut cell = None;
+
+        let hex = |v: &str, key: &str| {
+            u64::from_str_radix(v, 16).map_err(|e| format!("bad {key} `{v}`: {e}"))
+        };
+        for (n, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(':')
+                .ok_or_else(|| format!("line {}: expected `key: value`", n + 1))?;
+            let value = value.trim();
+            match key.trim() {
+                "expect" => {
+                    expect = Some(
+                        Expect::from_label(value).ok_or_else(|| format!("bad expect `{value}`"))?,
+                    )
+                }
+                "provenance" => provenance = Some(value.to_string()),
+                "plan" => {
+                    plan = Some(
+                        GenPlan::from_describe(value)
+                            .ok_or_else(|| format!("bad plan `{value}`"))?,
+                    )
+                }
+                "train" => {
+                    let args: Result<Vec<i64>, _> = value
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(|s| s.trim().parse::<i64>())
+                        .collect();
+                    train = Some(args.map_err(|e| format!("bad train `{value}`: {e}"))?);
+                }
+                "profile_mut" => {
+                    profile_mut = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|e| format!("bad profile_mut `{value}`: {e}"))?,
+                    )
+                }
+                "policy" => policy = Some(value.to_string()),
+                "mtup" => mtup = Some(value.to_string()),
+                "winner" => winner = Some(value.to_string()),
+                "func_digest" => func_digest = Some(hex(value, "func_digest")?),
+                "timing_digest" => timing_digest = Some(hex(value, "timing_digest")?),
+                "shape" => shape = Some(hex(value, "shape")?),
+                "cell" => cell = Some(hex(value, "cell")?),
+                "reason" => reason = Some(value.to_string()),
+                other => return Err(format!("unknown manifest key `{other}`")),
+            }
+        }
+
+        let expect = expect.ok_or("missing `expect`")?;
+        let measured = match (mtup, winner, func_digest, timing_digest, shape, cell) {
+            (Some(mtup), Some(winner), Some(fd), Some(td), Some(sh), Some(ce)) => Some(Measured {
+                mtup,
+                winner,
+                func_digest: fd,
+                timing_digest: td,
+                shape: sh,
+                cell: ce,
+            }),
+            (None, None, None, None, None, None) => None,
+            _ => return Err("partial measurement block".to_string()),
+        };
+        if expect != Expect::Rejected && measured.is_none() {
+            return Err(format!("expect `{expect}` requires a measurement block"));
+        }
+        Ok(Manifest {
+            expect,
+            provenance: provenance.ok_or("missing `provenance`")?,
+            plan,
+            train: train.ok_or("missing `train`")?,
+            profile_mut,
+            policy: policy.ok_or("missing `policy`")?,
+            measured,
+            reason,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn formed() -> Manifest {
+        Manifest {
+            expect: Expect::Formed,
+            provenance: "fresh-seed".into(),
+            plan: Some(GenPlan::new(7)),
+            train: vec![3, -2],
+            profile_mut: Some(42),
+            policy: "BF".into(),
+            measured: Some(Measured {
+                mtup: "2/1/0/0".into(),
+                winner: "BF@16".into(),
+                func_digest: 0xDEAD,
+                timing_digest: 0xBEEF,
+                shape: 0x1234,
+                cell: 0xABCD,
+            }),
+            reason: None,
+        }
+    }
+
+    #[test]
+    fn formed_round_trips() {
+        let m = formed();
+        assert_eq!(Manifest::parse(&m.render()), Ok(m));
+    }
+
+    #[test]
+    fn rejected_round_trips() {
+        let m = Manifest {
+            expect: Expect::Rejected,
+            provenance: "mutated:retarget-branch of gen-1".into(),
+            plan: None,
+            train: vec![0, 0],
+            profile_mut: None,
+            policy: "BF".into(),
+            measured: None,
+            reason: Some("block B3 targets nonexistent block B99".into()),
+        };
+        assert_eq!(Manifest::parse(&m.render()), Ok(m));
+    }
+
+    #[test]
+    fn partial_measurement_is_an_error() {
+        let mut text = formed().render();
+        text = text.replace("func_digest: 000000000000dead\n", "");
+        assert!(Manifest::parse(&text).is_err());
+    }
+
+    #[test]
+    fn formed_without_measurement_is_an_error() {
+        let text = "expect: formed\nprovenance: x\ntrain: 1\npolicy: BF\n";
+        assert!(Manifest::parse(text).is_err());
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let text = format!("{}bogus: 1\n", formed().render());
+        assert!(Manifest::parse(&text).is_err());
+    }
+}

@@ -1,0 +1,287 @@
+//! The corpus regression gate: re-measure every entry and fail on drift.
+//!
+//! Replay is the cheap, CI-blocking half of the campaign: it runs the full
+//! measurement pipeline over every stored `.til`, compares against the
+//! pinned manifest field by field, and reports each mismatch as a [`Drift`].
+//! The pass is parallel but order-preserving, and nothing in the report
+//! depends on timing or worker count, so the JSON summary is byte-identical
+//! at 1, 2, or 8 workers.
+
+use crate::manifest::Expect;
+use crate::measure::{measure, MeasureError};
+use crate::store::{load_corpus, CorpusEntry};
+use chf_service::parallel::par_map;
+use std::path::Path;
+
+/// One field of one entry that no longer matches its manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Drift {
+    /// Entry stem (`failing/` or `passing/` filename without extension).
+    pub stem: String,
+    /// Which manifest field drifted (`expect`, `mtup`, `func_digest`, …).
+    pub field: String,
+    /// The pinned value.
+    pub expected: String,
+    /// What replay observed.
+    pub actual: String,
+}
+
+impl std::fmt::Display for Drift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} drifted: expected {}, got {}",
+            self.stem, self.field, self.expected, self.actual
+        )
+    }
+}
+
+/// Outcome of a full corpus replay.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayReport {
+    /// Entries replayed (all classes).
+    pub entries: usize,
+    /// Entries that matched their manifest exactly.
+    pub clean: usize,
+    /// Every observed drift, in stable (class, filename) order.
+    pub drifts: Vec<Drift>,
+}
+
+impl ReplayReport {
+    /// True when every entry matched its manifest.
+    pub fn is_clean(&self) -> bool {
+        self.drifts.is_empty()
+    }
+
+    /// The replay fragment of the campaign JSON summary (no surrounding
+    /// braces; worker-count- and wall-clock-independent).
+    pub fn json_fragment(&self) -> String {
+        format!(
+            "\"replayed\":{},\"clean\":{},\"drift\":{}",
+            self.entries,
+            self.clean,
+            self.drifts.len()
+        )
+    }
+}
+
+fn push(drifts: &mut Vec<Drift>, stem: &str, field: &str, expected: String, actual: String) {
+    drifts.push(Drift {
+        stem: stem.to_string(),
+        field: field.to_string(),
+        expected,
+        actual,
+    });
+}
+
+/// Re-measure one entry and diff it against its manifest.
+pub fn replay_entry(entry: &CorpusEntry) -> Vec<Drift> {
+    let m = &entry.manifest;
+    let stem = format!("{}/{}", entry.class.dir(), entry.stem);
+    let mut drifts = Vec::new();
+    let result = measure(&entry.function, &m.train, m.profile_mut);
+
+    match (m.expect, result) {
+        (Expect::Rejected, Err(MeasureError::Rejected(_))) => {}
+        (Expect::Rejected, Err(e)) => push(
+            &mut drifts,
+            &stem,
+            "expect",
+            "rejected".into(),
+            format!("unmeasurable: {e}"),
+        ),
+        (Expect::Rejected, Ok(_)) => push(
+            &mut drifts,
+            &stem,
+            "expect",
+            "rejected".into(),
+            "now passes verification".into(),
+        ),
+        (expect, Err(e)) => push(
+            &mut drifts,
+            &stem,
+            "expect",
+            expect.label().into(),
+            format!("unmeasurable: {e}"),
+        ),
+        (expect, Ok(got)) => {
+            let want_diverge = expect == Expect::Diverges;
+            if got.diverged != want_diverge {
+                push(
+                    &mut drifts,
+                    &stem,
+                    "expect",
+                    expect.label().into(),
+                    if got.diverged {
+                        "diverges".into()
+                    } else {
+                        "formed (divergence gone — bug fixed? re-bless)".into()
+                    },
+                );
+            }
+            // Manifest validation guarantees `measured` is present for
+            // Formed/Diverges entries.
+            let pinned = m.measured.as_ref().expect("validated at load");
+            let got = &got.measured;
+            let hex = |v: u64| format!("{v:016x}");
+            if got.mtup != pinned.mtup {
+                push(
+                    &mut drifts,
+                    &stem,
+                    "mtup",
+                    pinned.mtup.clone(),
+                    got.mtup.clone(),
+                );
+            }
+            if got.winner != pinned.winner {
+                push(
+                    &mut drifts,
+                    &stem,
+                    "winner",
+                    pinned.winner.clone(),
+                    got.winner.clone(),
+                );
+            }
+            if got.func_digest != pinned.func_digest {
+                push(
+                    &mut drifts,
+                    &stem,
+                    "func_digest",
+                    hex(pinned.func_digest),
+                    hex(got.func_digest),
+                );
+            }
+            if got.timing_digest != pinned.timing_digest {
+                push(
+                    &mut drifts,
+                    &stem,
+                    "timing_digest",
+                    hex(pinned.timing_digest),
+                    hex(got.timing_digest),
+                );
+            }
+            if got.shape != pinned.shape {
+                push(
+                    &mut drifts,
+                    &stem,
+                    "shape",
+                    hex(pinned.shape),
+                    hex(got.shape),
+                );
+            }
+            if got.cell != pinned.cell {
+                push(&mut drifts, &stem, "cell", hex(pinned.cell), hex(got.cell));
+            }
+        }
+    }
+    drifts
+}
+
+/// Replay the whole corpus under `root` with `jobs` workers.
+///
+/// Entries are measured in parallel but drifts are collected in the loader's
+/// stable order, so the report (and anything derived from it) is identical
+/// for any worker count.
+pub fn replay_corpus(root: &Path, jobs: usize) -> Result<ReplayReport, String> {
+    let entries = load_corpus(root)?;
+    let per_entry = par_map(&entries, jobs, replay_entry);
+    let mut report = ReplayReport {
+        entries: entries.len(),
+        ..ReplayReport::default()
+    };
+    for drifts in per_entry {
+        if drifts.is_empty() {
+            report.clean += 1;
+        }
+        report.drifts.extend(drifts);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::Manifest;
+    use crate::store::admit;
+    use chf_ir::testgen::{generate, GenConfig, GenPlan};
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("chf-corpus-replay-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn admit_measured(root: &Path, seed: u64, train: &[i64]) {
+        let f = generate(seed, &GenConfig::default());
+        let got = measure(&f, train, None).unwrap();
+        assert!(!got.diverged);
+        let m = Manifest {
+            expect: Expect::Formed,
+            provenance: "fresh-seed".into(),
+            plan: Some(GenPlan::new(seed)),
+            train: train.to_vec(),
+            profile_mut: None,
+            policy: "BF".into(),
+            measured: Some(got.measured),
+            reason: None,
+        };
+        admit(root, &format!("gen-{seed}"), &f.to_string(), &m).unwrap();
+    }
+
+    #[test]
+    fn clean_corpus_replays_clean_at_any_worker_count() {
+        let root = tmpdir("clean");
+        admit_measured(&root, 7, &[3, -2]);
+        admit_measured(&root, 11, &[5, 1]);
+        let one = replay_corpus(&root, 1).unwrap();
+        assert!(one.is_clean(), "{:?}", one.drifts);
+        assert_eq!(one.entries, 2);
+        let eight = replay_corpus(&root, 8).unwrap();
+        assert_eq!(one.json_fragment(), eight.json_fragment());
+        assert_eq!(one.drifts, eight.drifts);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tampered_digest_reports_drift() {
+        let root = tmpdir("tamper");
+        admit_measured(&root, 7, &[3, -2]);
+        // Flip a digest bit in the stored manifest.
+        let mpath = root.join("passing/gen-7.manifest");
+        let text = std::fs::read_to_string(&mpath).unwrap();
+        let mut m = Manifest::parse(&text).unwrap();
+        m.measured.as_mut().unwrap().func_digest ^= 1;
+        std::fs::write(&mpath, m.render()).unwrap();
+
+        let report = replay_corpus(&root, 2).unwrap();
+        assert_eq!(report.drifts.len(), 1);
+        assert_eq!(report.drifts[0].field, "func_digest");
+        assert_eq!(report.clean, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn rejected_entry_that_verifies_is_drift() {
+        let root = tmpdir("rejected");
+        let f = generate(7, &GenConfig::default());
+        // A perfectly healthy function misfiled as `rejected`.
+        let m = Manifest {
+            expect: Expect::Rejected,
+            provenance: "test".into(),
+            plan: None,
+            train: vec![1, 2],
+            profile_mut: None,
+            policy: "BF".into(),
+            measured: None,
+            reason: Some("pinned refusal".into()),
+        };
+        admit(&root, "bogus", &f.to_string(), &m).unwrap();
+        let report = replay_corpus(&root, 1).unwrap();
+        assert_eq!(report.drifts.len(), 1);
+        assert!(report.drifts[0].actual.contains("now passes"));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

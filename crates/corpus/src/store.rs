@@ -1,0 +1,233 @@
+//! The on-disk corpus: `tests/corpus/passing/` and `tests/corpus/failing/`,
+//! each holding minimized `.til` reproducers with a `.manifest` sidecar.
+//!
+//! Class is encoded by directory: `passing/` entries must expect
+//! [`Expect::Formed`]; `failing/` entries must expect [`Expect::Rejected`]
+//! or [`Expect::Diverges`]. Admission goes through the oracle's
+//! collision-proof writer so two entries can never silently clobber each
+//! other, and the manifest filename is always derived from the `.til` path
+//! the writer actually chose.
+
+use crate::manifest::{Expect, Manifest};
+use chf_core::oracle::write_unique_til;
+use chf_ir::function::Function;
+use chf_ir::parse::parse_function;
+use std::path::{Path, PathBuf};
+
+/// Corpus root relative to the workspace root.
+pub const CORPUS_DIR: &str = "tests/corpus";
+
+/// The two corpus classes, by directory name.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Class {
+    /// `passing/`: formation succeeds and every digest is pinned.
+    Passing,
+    /// `failing/`: the entry is refused by the verifier or diverges.
+    Failing,
+}
+
+impl Class {
+    /// Directory name under the corpus root.
+    pub fn dir(self) -> &'static str {
+        match self {
+            Class::Passing => "passing",
+            Class::Failing => "failing",
+        }
+    }
+
+    /// The class an expectation must live under.
+    pub fn of(expect: Expect) -> Class {
+        match expect {
+            Expect::Formed => Class::Passing,
+            Expect::Rejected | Expect::Diverges => Class::Failing,
+        }
+    }
+}
+
+/// One loaded corpus entry.
+#[derive(Clone, Debug)]
+pub struct CorpusEntry {
+    /// Path of the `.til` file.
+    pub path: PathBuf,
+    /// File stem (`gen-7`, `mut-retarget-3`, …) for reporting.
+    pub stem: String,
+    /// Which directory the entry came from.
+    pub class: Class,
+    /// The parsed sidecar manifest.
+    pub manifest: Manifest,
+    /// The parsed function. Rejected entries are stored as raw text that
+    /// *parses* but fails verification, so this is always present.
+    pub function: Function,
+}
+
+fn manifest_path(til: &Path) -> PathBuf {
+    til.with_extension("manifest")
+}
+
+fn load_class(root: &Path, class: Class, out: &mut Vec<CorpusEntry>) -> Result<(), String> {
+    let dir = root.join(class.dir());
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        // An absent class directory is an empty class, not an error: a
+        // fresh checkout has no failing entries until a campaign finds one.
+        Err(_) => return Ok(()),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "til"))
+        .collect();
+    // Stable order regardless of directory enumeration order — replay
+    // reports and JSON summaries must be byte-identical across machines.
+    paths.sort();
+    for path in paths {
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| format!("{}: non-utf8 stem", path.display()))?
+            .to_string();
+        let til = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let function = parse_function(&til).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mpath = manifest_path(&path);
+        let mtext = std::fs::read_to_string(&mpath)
+            .map_err(|e| format!("{}: missing manifest: {e}", mpath.display()))?;
+        let manifest = Manifest::parse(&mtext).map_err(|e| format!("{}: {e}", mpath.display()))?;
+        if Class::of(manifest.expect) != class {
+            return Err(format!(
+                "{}: expect `{}` does not belong in `{}/`",
+                mpath.display(),
+                manifest.expect,
+                class.dir()
+            ));
+        }
+        out.push(CorpusEntry {
+            path,
+            stem,
+            class,
+            manifest,
+            function,
+        });
+    }
+    Ok(())
+}
+
+/// Load and validate the whole corpus under `root` (the `tests/corpus`
+/// directory). Entries come back in a stable (class, path) order:
+/// `failing/` first, then `passing/`, each sorted by filename.
+pub fn load_corpus(root: &Path) -> Result<Vec<CorpusEntry>, String> {
+    let mut out = Vec::new();
+    load_class(root, Class::Failing, &mut out)?;
+    load_class(root, Class::Passing, &mut out)?;
+    Ok(out)
+}
+
+/// Admit a new entry: write the `.til` body through the collision-proof
+/// writer (which dedups identical contents and never clobbers different
+/// ones), then write the manifest under the filename the writer chose.
+///
+/// Refuses to overwrite an existing *different* manifest — that would
+/// silently re-bless an entry — and returns the `.til` path on success.
+pub fn admit(root: &Path, stem: &str, til: &str, manifest: &Manifest) -> Result<PathBuf, String> {
+    let class = Class::of(manifest.expect);
+    let dir = root.join(class.dir());
+    let path = write_unique_til(&dir, stem, til)
+        .ok_or_else(|| format!("could not place `{stem}` under {}", dir.display()))?;
+    let mpath = manifest_path(&path);
+    let rendered = manifest.render();
+    match std::fs::read_to_string(&mpath) {
+        Ok(existing) if existing == rendered => Ok(path),
+        Ok(_) => Err(format!(
+            "{}: refusing to overwrite a manifest with different contents",
+            mpath.display()
+        )),
+        Err(_) => {
+            std::fs::write(&mpath, rendered).map_err(|e| format!("{}: {e}", mpath.display()))?;
+            Ok(path)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::Measured;
+    use chf_ir::testgen::{generate, GenConfig, GenPlan};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("chf-corpus-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn formed_manifest() -> Manifest {
+        Manifest {
+            expect: Expect::Formed,
+            provenance: "fresh-seed".into(),
+            plan: Some(GenPlan::new(7)),
+            train: vec![3, -2],
+            profile_mut: None,
+            policy: "BF".into(),
+            measured: Some(Measured {
+                mtup: "1/0/0/0".into(),
+                winner: "BF@16".into(),
+                func_digest: 1,
+                timing_digest: 2,
+                shape: 3,
+                cell: 4,
+            }),
+            reason: None,
+        }
+    }
+
+    #[test]
+    fn admit_then_load_round_trips() {
+        let root = tmpdir("roundtrip");
+        let f = generate(7, &GenConfig::default());
+        let til = f.to_string();
+        let m = formed_manifest();
+        let path = admit(&root, "gen-7", &til, &m).unwrap();
+        assert!(path.ends_with("passing/gen-7.til"));
+
+        let loaded = load_corpus(&root).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].stem, "gen-7");
+        assert_eq!(loaded[0].class, Class::Passing);
+        assert_eq!(loaded[0].manifest, m);
+        assert_eq!(loaded[0].function.to_string(), til);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn admit_same_contents_is_idempotent_but_conflicts_fork() {
+        let root = tmpdir("conflict");
+        let f = generate(9, &GenConfig::default());
+        let til = f.to_string();
+        let m = formed_manifest();
+        let first = admit(&root, "gen-9", &til, &m).unwrap();
+        let again = admit(&root, "gen-9", &til, &m).unwrap();
+        assert_eq!(first, again, "identical entry must dedup, not fork");
+
+        // A different body under the same stem gets a fresh filename and
+        // its own manifest — never a clobber.
+        let g = generate(10, &GenConfig::default());
+        let forked = admit(&root, "gen-9", &g.to_string(), &m).unwrap();
+        assert_ne!(first, forked);
+        assert_eq!(load_corpus(&root).unwrap().len(), 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn misfiled_entry_is_rejected_at_load() {
+        let root = tmpdir("misfiled");
+        let f = generate(7, &GenConfig::default());
+        // Hand-place a Formed entry under failing/.
+        let dir = root.join("failing");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("bad.til"), f.to_string()).unwrap();
+        std::fs::write(dir.join("bad.manifest"), formed_manifest().render()).unwrap();
+        let err = load_corpus(&root).unwrap_err();
+        assert!(err.contains("does not belong"), "{err}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

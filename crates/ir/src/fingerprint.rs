@@ -101,6 +101,30 @@ impl CfgShape {
             .unwrap_or(0)
     }
 
+    /// Coarse, *bounded* shape class for coverage maps: which histogram
+    /// arms are occupied (not how heavily), plus the block and skew
+    /// buckets. Two functions share a class when their CFGs have the same
+    /// kinds of structure — the same loop depths and fan-out widths
+    /// present, a similar size, a similar profile concentration — even if
+    /// the block counts differ. Unlike [`CfgShape::fingerprint`] (which is
+    /// effectively unique per function and would make "new shape" trivially
+    /// true forever), the class space is small enough for a fuzzing
+    /// campaign to saturate.
+    pub fn class(&self) -> u64 {
+        let mut bits = 0u64;
+        for (i, &n) in self.loop_depth_hist.iter().enumerate() {
+            if n > 0 {
+                bits |= 1 << i;
+            }
+        }
+        for (i, &n) in self.fanout_hist.iter().enumerate() {
+            if n > 0 {
+                bits |= 1 << (HIST_ARMS + i);
+            }
+        }
+        bits | u64::from(self.block_bucket.min(15)) << 16 | u64::from(self.skew_bucket) << 20
+    }
+
     /// Hash the shape to a stable 64-bit key.
     pub fn fingerprint(&self) -> u64 {
         let mut h = FxHasher::default();
@@ -119,6 +143,11 @@ impl CfgShape {
 /// [`CfgShape::of`] composed with [`CfgShape::fingerprint`].
 pub fn shape_fingerprint(f: &Function, profile: &ProfileData) -> u64 {
     CfgShape::of(f, profile).fingerprint()
+}
+
+/// [`CfgShape::of`] composed with [`CfgShape::class`].
+pub fn shape_class(f: &Function, profile: &ProfileData) -> u64 {
+    CfgShape::of(f, profile).class()
 }
 
 #[cfg(test)]
@@ -182,6 +211,24 @@ mod tests {
         assert_eq!(shape_fingerprint(&f, &p), shape_fingerprint(&f, &p));
         let shape = CfgShape::of(&f, &p);
         assert_eq!(shape.max_loop_depth(), 2);
+    }
+
+    #[test]
+    fn class_tracks_occupancy_not_counts() {
+        let p = ProfileData::default();
+        let a = CfgShape::of(&nest(1), &p);
+        let b = CfgShape::of(&nest(2), &p);
+        assert_ne!(a.class(), b.class(), "extra nesting depth is a new class");
+        // Scaling arm counts changes the fingerprint but not the class:
+        // the class sees which kinds of structure exist, not how many.
+        let mut c = a.clone();
+        for n in c.loop_depth_hist.iter_mut() {
+            if *n > 0 {
+                *n *= 3;
+            }
+        }
+        assert_ne!(c.fingerprint(), a.fingerprint());
+        assert_eq!(c.class(), a.class());
     }
 
     #[test]

@@ -4,9 +4,10 @@
 #
 #   scripts/verify.sh            # everything, in order (same as `all`)
 #   scripts/verify.sh all        # fmt, build, lint, test, perf, smoke,
-#                                # sim-shard, tournament, chaos, service
+#                                # sim-shard, tournament, corpus, chaos,
+#                                # service
 #   scripts/verify.sh fmt        # cargo fmt --check (first CI step)
-#   scripts/verify.sh build      # cargo build --release
+#   scripts/verify.sh build      # cargo build --release --locked
 #   scripts/verify.sh lint       # cargo clippy --workspace -- -D warnings
 #   scripts/verify.sh test       # cargo test -q (tier-1 suite)
 #   scripts/verify.sh perf       # bench_perf --check (perf regression gate)
@@ -18,6 +19,11 @@
 #                                # winner determinism at 1/2/8 workers,
 #                                # CSV byte-stability, shape-cache hot
 #                                # path
+#   scripts/verify.sh corpus     # trace-corpus gate: replay every entry
+#                                # under tests/corpus/ (zero drift, <10 s),
+#                                # then a 500-fault + coverage-guided fuzz
+#                                # smoke; summary at
+#                                # results/corpus_summary.json
 #   scripts/verify.sh chaos [N]  # fault-injection campaign (default 500)
 #   scripts/verify.sh service [N] # compile-service gate: concurrent soak
 #                                # with ~5% injected faults (default 200
@@ -46,6 +52,9 @@
 #                            enough cores to make a speedup meaningful).
 #   CHF_FAULT_SEED           Pins the `chaos` campaign's fault stream so a
 #                            CI failure is replayable locally.
+#   CHF_CORPUS_REPLAY_CEILING_S  Wall-time budget for the `corpus` replay
+#                            pass (default 10). Raise on slow machines —
+#                            or prune the corpus.
 #   CHF_BLESS                Set to re-capture golden snapshots under
 #                            `test` after an intentional formation change.
 set -eu
@@ -58,8 +67,11 @@ run_fmt() {
 }
 
 run_build() {
-    echo "==> cargo build --release"
-    cargo build --release
+    # --locked: any Cargo.lock drift (a dependency edit without a committed
+    # lockfile update) fails here, fast, instead of surfacing as confusing
+    # cache misses or version skew in later steps.
+    echo "==> cargo build --release --locked"
+    cargo build --release --locked
 }
 
 run_lint() {
@@ -112,6 +124,16 @@ run_tournament() {
     cargo run --release -p chf-bench --bin tournament
 }
 
+# Replays every persistent trace-corpus entry through compile → oracle →
+# event-sim and fails on any digest or outcome drift, then runs the
+# CI-blocking fuzz smoke (500 chaos faults feeding the coverage map plus a
+# short coverage-guided generation loop). The one-line JSON summary lands
+# in results/corpus_summary.json for CI failure artifacts.
+run_corpus() {
+    echo "==> fuzz --smoke (trace-corpus replay + coverage-guided fuzz smoke)"
+    cargo run --release -p chf-bench --bin fuzz -- --smoke
+}
+
 # Injects N seeded faults (IR corruption, profile corruption, scrambled
 # ordering inputs, mid-trial corruption) and fails on any process abort
 # or undetected miscompile.
@@ -144,6 +166,7 @@ run_all() {
     run_smoke
     run_sim_shard
     run_tournament
+    run_corpus
     run_chaos "${1:-500}"
     run_service
 }
@@ -166,6 +189,7 @@ while [ "$#" -gt 0 ]; do
         smoke) run_smoke ;;
         sim-shard) run_sim_shard ;;
         tournament) run_tournament ;;
+        corpus) run_corpus ;;
         chaos)
             # Optional numeric fault count following `chaos`.
             case "${1:-}" in
@@ -189,7 +213,7 @@ while [ "$#" -gt 0 ]; do
         all) run_all ;;
         *)
             echo "verify.sh: unknown step '${step}'" >&2
-            echo "usage: scripts/verify.sh [fmt|build|lint|test|perf|smoke|sim-shard|tournament|chaos [N]|service [N]|all]..." >&2
+            echo "usage: scripts/verify.sh [fmt|build|lint|test|perf|smoke|sim-shard|tournament|corpus|chaos [N]|service [N]|all]..." >&2
             exit 2
             ;;
     esac

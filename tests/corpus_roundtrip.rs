@@ -1,0 +1,66 @@
+//! The checked-in trace corpus is a contract: every `.til` entry must
+//! parse back, re-measure to exactly its manifest, and do so identically
+//! at any worker count. This is the same gate `verify.sh corpus` runs in
+//! CI, exercised here through the library so `cargo test` catches a
+//! corpus/compiler skew without the release binary.
+
+use chf_corpus::store::Class;
+use chf_corpus::{load_corpus, replay_corpus, Expect};
+use std::path::PathBuf;
+
+fn corpus_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn every_entry_parses_with_a_consistent_manifest() {
+    let entries = load_corpus(&corpus_root()).expect("corpus loads");
+    assert!(!entries.is_empty(), "the seed corpus must not be empty");
+    assert!(
+        entries.iter().any(|e| e.class == Class::Failing),
+        "the seed corpus pins at least one verifier-refused entry"
+    );
+    assert!(
+        entries.iter().any(|e| e.class == Class::Passing),
+        "the seed corpus pins at least one formed entry"
+    );
+    for e in &entries {
+        // Round-trip stability: rendering the parsed function and parsing
+        // it again is a fixed point, so the stored text is canonical.
+        let rendered = e.function.to_string();
+        let reparsed = chf_ir::parse::parse_function(&rendered)
+            .unwrap_or_else(|err| panic!("{}: re-parse failed: {err}", e.path.display()));
+        assert_eq!(
+            reparsed.to_string(),
+            rendered,
+            "{}: text form is not a fixed point",
+            e.path.display()
+        );
+        // The manifest's own invariants (measured block present iff the
+        // class needs one) are enforced at load; spot-check the linkage.
+        match e.manifest.expect {
+            Expect::Rejected => assert!(e.manifest.measured.is_none()),
+            _ => assert!(e.manifest.measured.is_some()),
+        }
+    }
+}
+
+#[test]
+fn corpus_replays_clean_and_identically_at_1_2_8_workers() {
+    let root = corpus_root();
+    let reports: Vec<_> = [1, 2, 8]
+        .iter()
+        .map(|&jobs| replay_corpus(&root, jobs).expect("replay runs"))
+        .collect();
+    for r in &reports {
+        assert!(
+            r.is_clean(),
+            "corpus drifted — formation stats or digests no longer match \
+             the pinned manifests: {:?}",
+            r.drifts
+        );
+    }
+    let fragments: Vec<String> = reports.iter().map(|r| r.json_fragment()).collect();
+    assert_eq!(fragments[0], fragments[1], "1 vs 2 workers");
+    assert_eq!(fragments[0], fragments[2], "1 vs 8 workers");
+}
